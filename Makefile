@@ -1,0 +1,40 @@
+# DeepRest reproduction — common tasks. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench experiments experiments-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full-scale reproduction of every table and figure (a few minutes).
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Reduced-scale reproduction (well under a minute).
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/capacityplan
+	$(GO) run ./examples/sanitycheck
+	$(GO) run ./examples/interpret
+
+clean:
+	$(GO) clean ./...
+	rm -f deeprest.model telemetry.json test_output.txt bench_output.txt

@@ -1,0 +1,155 @@
+// Tests of the public deeprest package: the end-to-end flows a library user
+// follows, exercised exclusively through the exported surface.
+package deeprest_test
+
+import (
+	"bytes"
+	"testing"
+
+	deeprest "repro"
+)
+
+// publicFixture provisions a small deployment and its learning telemetry
+// through the public API only.
+func publicFixture(t *testing.T, seed int64) (*deeprest.Cluster, *deeprest.TelemetryServer, deeprest.Program) {
+	t.Helper()
+	cluster, err := deeprest.NewCluster(deeprest.SocialNetwork(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	program := deeprest.UniformProgram(2, deeprest.DaySpec{
+		Shape:   deeprest.TwoPeak{},
+		Mix:     deeprest.Mix{"/composePost": 0.3, "/readTimeline": 0.5, "/uploadMedia": 0.2},
+		PeakRPS: 30,
+	})
+	program.WindowsPerDay = 48
+	program.WindowSeconds = 60
+	program.Seed = seed
+	run, err := cluster.Run(program.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := deeprest.NewTelemetryServer(program.WindowSeconds)
+	ts.RecordRun(run)
+	return cluster, ts, program
+}
+
+func quickOpts() deeprest.Options {
+	opts := deeprest.DefaultOptions()
+	opts.Estimator.Epochs = 10
+	opts.Estimator.AttentionEpochs = 1
+	opts.Estimator.ChunkLen = 24
+	return opts
+}
+
+func TestPublicLearnEstimate(t *testing.T) {
+	cluster, ts, program := publicFixture(t, 21)
+	opts := quickOpts()
+	opts.Pairs = []deeprest.Pair{
+		{Component: "ComposePostService", Resource: deeprest.CPU},
+		{Component: "PostStorageMongoDB", Resource: deeprest.WriteIOps},
+	}
+	system, err := deeprest.Learn(ts, 0, ts.NumWindows(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(system.Pairs()); got != 2 {
+		t.Fatalf("Pairs = %d", got)
+	}
+
+	query := program
+	query.Days = program.Days[:1]
+	query.Seed = 99
+	traffic := query.Generate()
+	estimates, err := system.EstimateTraffic(traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := cluster.Run(traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range system.Pairs() {
+		e := estimates[p]
+		if len(e.Exp) != traffic.NumWindows() {
+			t.Fatalf("%s: estimate length %d", p, len(e.Exp))
+		}
+		// Rough magnitude check: within 2x of the measured mean.
+		em, am := mean(e.Exp), mean(truth.Usage[p])
+		if em < am/2 || em > am*2 {
+			t.Errorf("%s: estimated mean %.1f vs actual %.1f", p, em, am)
+		}
+	}
+}
+
+func TestPublicSanityCheckAndSaveLoad(t *testing.T) {
+	cluster, ts, program := publicFixture(t, 22)
+	victim := "PostStorageMongoDB"
+	opts := quickOpts()
+	opts.Pairs = []deeprest.Pair{
+		{Component: victim, Resource: deeprest.CPU},
+		{Component: victim, Resource: deeprest.Memory},
+	}
+	system, err := deeprest.Learn(ts, 0, ts.NumWindows(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Save/load through the public surface.
+	var buf bytes.Buffer
+	if err := system.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deeprest.LoadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject a cryptojacker and check the alert fires.
+	check := program
+	check.Days = program.Days[:1]
+	check.Seed = 123
+	traffic := check.Generate()
+	base := cluster.Window()
+	cluster.Inject(deeprest.Cryptojack{Component: victim, FromWindow: base + 12, ToWindow: base + 30, ExtraCPU: 60})
+	truth, err := cluster.Run(traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := map[deeprest.Pair][]float64{}
+	for _, p := range opts.Pairs {
+		actual[p] = truth.Usage[p]
+	}
+	events, err := system.SanityCheck(truth.Windows, actual, deeprest.NewDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("cryptojack not detected through the public API")
+	}
+	if events[0].Component != victim {
+		t.Errorf("event component = %s", events[0].Component)
+	}
+}
+
+func TestPublicSpecs(t *testing.T) {
+	if got := len(deeprest.SocialNetwork().Components); got != 29 {
+		t.Errorf("social components = %d", got)
+	}
+	if got := len(deeprest.HotelReservation().APIs); got != 4 {
+		t.Errorf("hotel APIs = %d", got)
+	}
+	if err := deeprest.SocialNetwork().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func mean(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, v := range s {
+		t += v
+	}
+	return t / float64(len(s))
+}

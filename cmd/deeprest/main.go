@@ -1,0 +1,456 @@
+// Command deeprest is the end-to-end CLI over a simulated deployment: it
+// provisions one of the bundled applications, serves learning traffic,
+// trains DeepRest, and then answers queries — mirroring how the system
+// would be driven against a real cluster's telemetry.
+//
+// Subcommands:
+//
+//	learn     train a model from simulated or imported (-telemetry) telemetry
+//	estimate  load a model and estimate resources for hypothetical traffic (Mode 1),
+//	          either generated or read from a loadgen CSV (-traffic)
+//	sanity    run an application sanity check over an attacked period (Mode 2)
+//	synth     report trace-synthesizer statistics for hypothetical traffic
+//	export    dump simulated telemetry as a JSON interchange stream
+//	topology  emit the execution topology graph as Graphviz DOT (Figure 5)
+//
+// All state flows through the model file, so `deeprest learn` followed by
+// `deeprest estimate` exercises serialization the way a real deployment
+// would.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/anomaly"
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "learn":
+		err = cmdLearn(os.Args[2:])
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	case "sanity":
+		err = cmdSanity(os.Args[2:])
+	case "synth":
+		err = cmdSynth(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "topology":
+		err = cmdTopology(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "deeprest: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deeprest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: deeprest <learn|estimate|sanity|synth> [flags]
+  learn     -app social|hotel -days N -model FILE [-seed N] [-quick]
+  estimate  -app social|hotel -model FILE -scale F [-shape 2peak|flat] [-days N]
+  sanity    -app social|hotel -attack ransomware|cryptojack|memleak [-quick]
+  synth     -app social|hotel [-quick]
+  export    -app social|hotel -o FILE [-quick]   (dump simulated telemetry as JSON)
+  topology  -app social|hotel [-o FILE] [-quick] (execution topology graph as Graphviz DOT)`)
+}
+
+// labFlags bundles the options shared by subcommands.
+type labFlags struct {
+	app   string
+	seed  int64
+	quick bool
+	days  int
+	model string
+}
+
+func addLabFlags(fs *flag.FlagSet) *labFlags {
+	lf := &labFlags{}
+	fs.StringVar(&lf.app, "app", "social", "application: social or hotel")
+	fs.Int64Var(&lf.seed, "seed", 1, "random seed")
+	fs.BoolVar(&lf.quick, "quick", false, "reduced scale for fast runs")
+	fs.IntVar(&lf.days, "days", 0, "learning days (default 7, or 3 with -quick)")
+	fs.StringVar(&lf.model, "model", "deeprest.model", "model file path")
+	return lf
+}
+
+func (lf *labFlags) spec() (*app.Spec, workload.Mix, error) {
+	switch lf.app {
+	case "social":
+		return app.SocialNetwork(), workload.SocialDefaultMix(), nil
+	case "hotel":
+		return app.HotelReservation(), workload.HotelDefaultMix(), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown app %q (want social or hotel)", lf.app)
+	}
+}
+
+func (lf *labFlags) geometry() (wpd int, windowSeconds float64, days int, peak float64) {
+	wpd, windowSeconds, days, peak = 96, 300, 7, 60
+	if lf.quick {
+		wpd, windowSeconds, days, peak = 48, 60, 3, 30
+	}
+	if lf.days > 0 {
+		days = lf.days
+	}
+	return wpd, windowSeconds, days, peak
+}
+
+func (lf *labFlags) estConfig() estimator.Config {
+	cfg := estimator.DefaultConfig()
+	cfg.Seed = lf.seed
+	if lf.quick {
+		cfg.ChunkLen = 24
+	}
+	return cfg
+}
+
+// simulateLearning provisions a cluster, serves the learning traffic, and
+// returns the cluster plus a telemetry server holding the learning period.
+func simulateLearning(lf *labFlags) (*sim.Cluster, *telemetry.Server, *workload.Traffic, error) {
+	spec, mix, err := lf.spec()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wpd, ws, days, peak := lf.geometry()
+	cluster, err := sim.NewCluster(spec, lf.seed+100)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prog := workload.Uniform(days, workload.DaySpec{Shape: workload.TwoPeak{}, Mix: mix, PeakRPS: peak})
+	prog.WindowsPerDay = wpd
+	prog.WindowSeconds = ws
+	prog.Seed = lf.seed + 300
+	traffic := prog.Generate()
+	run, err := cluster.Run(traffic)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ts := telemetry.NewServer(ws)
+	ts.RecordRun(run)
+	return cluster, ts, traffic, nil
+}
+
+func cmdLearn(args []string) error {
+	fs := flag.NewFlagSet("learn", flag.ExitOnError)
+	lf := addLabFlags(fs)
+	telemetryFile := fs.String("telemetry", "", "learn from a JSON telemetry dump instead of simulating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ts *telemetry.Server
+	if *telemetryFile != "" {
+		f, err := os.Open(*telemetryFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ts, err = telemetry.ImportJSON(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("learning phase: %d windows imported from %s\n", ts.NumWindows(), *telemetryFile)
+	} else {
+		var traffic *workload.Traffic
+		var err error
+		_, ts, traffic, err = simulateLearning(lf)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("learning phase: %d windows, %d total requests\n", ts.NumWindows(), traffic.TotalRequests())
+	}
+	opts := core.DefaultOptions()
+	opts.Estimator = lf.estConfig()
+	opts.Log = os.Stdout
+	sys, err := core.Learn(ts, 0, ts.NumWindows(), opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(lf.model)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sys.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained %d experts; model saved to %s\n", len(sys.Pairs()), lf.model)
+	sys.Model().Summary(os.Stdout)
+	return nil
+}
+
+func cmdTopology(args []string) error {
+	fs := flag.NewFlagSet("topology", flag.ExitOnError)
+	lf := addLabFlags(fs)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, ts, _, err := simulateLearning(lf)
+	if err != nil {
+		return err
+	}
+	windows, err := ts.Traces(0, ts.NumWindows())
+	if err != nil {
+		return err
+	}
+	g := trace.NewTopology()
+	for _, w := range windows {
+		for _, b := range w {
+			g.AddBatch(b)
+		}
+	}
+	dot := g.DOT(lf.app)
+	if *out == "" {
+		fmt.Print(dot)
+		return nil
+	}
+	if err := os.WriteFile(*out, []byte(dot), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("execution topology (%d nodes, %d edges) written to %s\n", g.NumNodes(), g.NumEdges(), *out)
+	return nil
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	lf := addLabFlags(fs)
+	scale := fs.Float64("scale", 2, "user-scale multiplier for the query day")
+	shape := fs.String("shape", "2peak", "query traffic shape: 2peak or flat")
+	trafficFile := fs.String("traffic", "", "query traffic from a loadgen-format CSV instead of generating it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, mix, err := lf.spec()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(lf.model)
+	if err != nil {
+		return fmt.Errorf("open model (run `deeprest learn` first): %w", err)
+	}
+	model, err := estimator.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	// The synthesizer is rebuilt from a replayed learning phase (it is
+	// not serialized; see core.System.Save).
+	_, ts, _, err := simulateLearning(lf)
+	if err != nil {
+		return err
+	}
+	windows, err := ts.Traces(0, ts.NumWindows())
+	if err != nil {
+		return err
+	}
+	syn := synth.Learn(windows)
+
+	wpd, ws, _, peak := lf.geometry()
+	var sh workload.Shape = workload.TwoPeak{}
+	if *shape == "flat" {
+		sh = workload.Flat{}
+	}
+	var query *workload.Traffic
+	if *trafficFile != "" {
+		tf, err := os.Open(*trafficFile)
+		if err != nil {
+			return err
+		}
+		query, err = workload.ReadCSV(tf, ws, wpd)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		prog := workload.Uniform(1, workload.DaySpec{Shape: sh, Mix: mix, PeakRPS: peak * *scale})
+		prog.WindowsPerDay = wpd
+		prog.WindowSeconds = ws
+		prog.Seed = lf.seed + 900
+		query = prog.Generate()
+	}
+
+	synthetic, err := syn.Synthesize(query, lf.seed+11)
+	if err != nil {
+		return err
+	}
+	est, err := model.Predict(synthetic)
+	if err != nil {
+		return err
+	}
+	label := fmt.Sprintf("%.1fx users, %s shape", *scale, sh.Name())
+	if *trafficFile != "" {
+		label = "traffic from " + *trafficFile
+	}
+	fmt.Printf("resource allocation for %s (%d windows):\n", label, query.NumWindows())
+	for _, p := range model.Pairs {
+		e := est[p]
+		fmt.Printf("  %-36s peak=%9.1f %-7s mean=%9.1f  %s\n",
+			p, max(e.Up), p.Resource.Unit(), mean(e.Exp), eval.Sparkline(e.Exp, 48))
+	}
+	return nil
+}
+
+func mean(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+func max(s []float64) float64 {
+	m := 0.0
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func cmdSanity(args []string) error {
+	fs := flag.NewFlagSet("sanity", flag.ExitOnError)
+	lf := addLabFlags(fs)
+	attackKind := fs.String("attack", "ransomware", "attack to inject: ransomware, cryptojack, or memleak")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cluster, ts, _, err := simulateLearning(lf)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.Estimator = lf.estConfig()
+	sys, err := core.Learn(ts, 0, ts.NumWindows(), opts)
+	if err != nil {
+		return err
+	}
+
+	// Serve two more days; the attack fires midway through day 2.
+	spec := cluster.Spec()
+	_, mixFor, err := lf.spec()
+	if err != nil {
+		return err
+	}
+	wpd, ws, _, peak := lf.geometry()
+	prog := workload.Uniform(2, workload.DaySpec{Shape: workload.TwoPeak{}, Mix: mixFor, PeakRPS: peak})
+	prog.WindowsPerDay = wpd
+	prog.WindowSeconds = ws
+	prog.Seed = lf.seed + 950
+	check := prog.Generate()
+
+	victim := "PostStorageMongoDB"
+	if lf.app == "hotel" {
+		victim = "ReserveMongoDB"
+	}
+	start := cluster.Window() + wpd + wpd/2
+	switch *attackKind {
+	case "ransomware":
+		cluster.Inject(sim.Ransomware{Component: victim, FromWindow: start, ToWindow: start + wpd/8, ExtraCPU: 90, ExtraWriteOps: 400, ExtraWriteKiB: 800})
+	case "cryptojack":
+		cluster.Inject(sim.Cryptojack{Component: victim, FromWindow: start, ToWindow: 1 << 30, ExtraCPU: 70})
+	case "memleak":
+		cluster.Inject(sim.MemoryLeak{Component: victim, FromWindow: start, MiBPerWindow: 4})
+	default:
+		return fmt.Errorf("unknown attack %q", *attackKind)
+	}
+	run, err := cluster.Run(check)
+	if err != nil {
+		return err
+	}
+	actual := make(map[app.Pair][]float64)
+	for _, p := range spec.ResourcePairs() {
+		if p.Component == victim || p.Resource == app.CPU {
+			actual[p] = run.Usage[p]
+		}
+	}
+	events, err := sys.SanityCheck(run.Windows, actual, anomaly.NewDetector())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sanity check over %d windows with injected %s on %s (from window %d):\n",
+		check.NumWindows(), *attackKind, victim, wpd+wpd/2)
+	if len(events) == 0 {
+		fmt.Println("  no anomalies detected")
+	}
+	for _, e := range events {
+		fmt.Println(e.Format(nil))
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	lf := addLabFlags(fs)
+	out := fs.String("o", "telemetry.json", "output file for the telemetry dump")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, ts, traffic, err := simulateLearning(lf)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ts.ExportJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("exported %d windows (%d requests) to %s\n", ts.NumWindows(), traffic.TotalRequests(), *out)
+	return nil
+}
+
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	lf := addLabFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, ts, _, err := simulateLearning(lf)
+	if err != nil {
+		return err
+	}
+	windows, err := ts.Traces(0, ts.NumWindows())
+	if err != nil {
+		return err
+	}
+	syn := synth.Learn(windows)
+	fmt.Println("trace synthesizer: learned Prob(path | API)")
+	for _, api := range syn.APIs() {
+		fmt.Printf("  %-20s %d invocation-path shapes:", api, syn.NumShapes(api))
+		for i := 0; i < syn.NumShapes(api); i++ {
+			fmt.Printf(" %.3f", syn.Prob(api, i))
+		}
+		fmt.Println()
+	}
+	return nil
+}

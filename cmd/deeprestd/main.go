@@ -1,0 +1,77 @@
+// Command deeprestd runs DeepRest as a long-lived HTTP service — the
+// deployment mode the paper envisions for on-premises clusters and clouds
+// (§1). Telemetry adapters push windows to it, the operator triggers
+// learning, and any tool can then query resource allocations or sanity
+// checks over JSON.
+//
+//	deeprestd -addr :8080 [-anonymize] [-salt S] [-hidden N] [-epochs N]
+//
+// Endpoints (see internal/service):
+//
+//	POST /v1/telemetry  POST /v1/learn  GET /v1/status
+//	POST /v1/estimate   POST /v1/sanity GET /v1/influence  GET /v1/model
+//
+// A quick demo against a simulated deployment:
+//
+//	go run ./cmd/deeprest export -quick -o telemetry.json
+//	go run ./cmd/deeprestd -addr :8080 &
+//	curl --data-binary @telemetry.json localhost:8080/v1/telemetry
+//	curl -X POST localhost:8080/v1/learn -d '{}'
+//	curl localhost:8080/v1/status
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	anonymize := flag.Bool("anonymize", false, "hash component/operation/API names before learning")
+	salt := flag.String("salt", "", "anonymisation salt")
+	hidden := flag.Int("hidden", 0, "GRU width override (0 = default)")
+	epochs := flag.Int("epochs", 0, "training epochs override (0 = default)")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Anonymize = *anonymize
+	opts.HashSalt = *salt
+	opts.Log = os.Stdout
+	if *hidden > 0 {
+		opts.Estimator.Hidden = *hidden
+	}
+	if *epochs > 0 {
+		opts.Estimator.Epochs = *epochs
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.New(opts).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("deeprestd listening on %s (anonymize=%v)", *addr, *anonymize)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("deeprestd: %v", err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	log.Print("deeprestd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("deeprestd: shutdown: %v", err)
+	}
+}

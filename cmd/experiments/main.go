@@ -1,0 +1,60 @@
+// Command experiments regenerates the tables and figures of the DeepRest
+// paper's evaluation (§5–§6) on the simulated testbed.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-reps N] [ids...]
+//
+// With no IDs, every experiment runs in paper order. Use -list to see the
+// available IDs. -quick shrinks the workload and training so the full suite
+// completes in well under a minute (the default mirrors the paper's 7-day
+// learning phase and takes a few minutes of pure-Go training).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced workload and training for fast runs")
+	seed := flag.Int64("seed", 1, "random seed for all stages")
+	reps := flag.Int("reps", 3, "query repetitions per scenario (paper: 9)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	metrics := flag.Bool("metrics", true, "print headline metrics after each experiment")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.List() {
+			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	p := experiments.DefaultParams(os.Stdout)
+	p.Quick = *quick
+	p.Seed = *seed
+	p.Reps = *reps
+	r := experiments.NewRunner(p)
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.List()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := r.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *metrics {
+			experiments.PrintMetrics(os.Stdout, res)
+		}
+		fmt.Printf("  (%s finished in %v)\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,42 @@
+// Command webdemo serves the interactive comparison the paper's artifact
+// ships as a web-based demo (Artifact Appendix A.5): precomputed estimation
+// scenarios — unseen user scales, compositions, and shapes — plotted per
+// method against the actual measurements.
+//
+//	webdemo [-addr :8090] [-seed N]
+//
+// The first page load provisions the quick-scale lab (a few seconds of
+// training); subsequent loads serve precomputed results.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/webdemo"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	seed := flag.Int64("seed", 1, "random seed for the precomputed scenarios")
+	flag.Parse()
+
+	p := experiments.DefaultParams(os.Stdout)
+	p.Quick = true
+	p.Seed = *seed
+	demo := webdemo.New(experiments.NewRunner(p))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           demo.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("webdemo listening on http://localhost%s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

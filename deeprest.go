@@ -1,0 +1,177 @@
+// Package deeprest is the public API of this DeepRest reproduction: deep,
+// API-aware resource estimation for interactive microservices (Chow et al.,
+// EuroSys '22).
+//
+// DeepRest learns, directly from production telemetry (distributed traces
+// plus resource metrics), how each API endpoint of a microservice
+// application consumes each resource of each component. A learned System
+// answers two kinds of queries:
+//
+//   - resource allocation: "how much CPU / memory / write IOps / disk will
+//     this hypothetical API traffic need?" — including traffic the
+//     application has never served (more users, different API mixes,
+//     different shapes);
+//   - application sanity checks: "is the utilization we measured justified
+//     by the traffic we actually served?" — flagging ransomware,
+//     cryptojacking, and leaks whose consumption no API traffic explains.
+//
+// The package re-exports the stable surface of the internal implementation
+// packages; see the examples directory for end-to-end usage, DESIGN.md for
+// the architecture, and EXPERIMENTS.md for the paper-reproduction results.
+package deeprest
+
+import (
+	"io"
+
+	"repro/internal/anomaly"
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Telemetry data model (what DeepRest consumes).
+type (
+	// Span is one operation performed by one component while serving a
+	// request; spans form trees.
+	Span = trace.Span
+	// Trace is one recorded API request: endpoint plus span tree.
+	Trace = trace.Trace
+	// Batch groups identical traces within one scrape window.
+	Batch = trace.Batch
+	// Pair identifies one estimation target: a resource of a component.
+	Pair = app.Pair
+	// Resource enumerates the tracked resource kinds.
+	Resource = app.Resource
+	// TelemetryServer stores windows of traces and metrics.
+	TelemetryServer = telemetry.Server
+)
+
+// Resource kinds.
+const (
+	CPU       = app.CPU
+	Memory    = app.Memory
+	WriteIOps = app.WriteIOps
+	WriteTput = app.WriteTput
+	DiskUsage = app.DiskUsage
+)
+
+// Learning and querying.
+type (
+	// System is a learned DeepRest instance.
+	System = core.System
+	// Options configures the learning phase.
+	Options = core.Options
+	// Config is the neural estimator configuration.
+	Config = estimator.Config
+	// Estimate is a per-pair utilization prediction with a confidence
+	// interval.
+	Estimate = estimator.Estimate
+	// Model is the trained multi-expert estimator.
+	Model = estimator.Model
+	// Synthesizer converts hypothetical traffic into synthetic traces.
+	Synthesizer = synth.Synthesizer
+	// Event is one detected anomaly.
+	Event = anomaly.Event
+	// Detector tunes sanity-check thresholds.
+	Detector = anomaly.Detector
+)
+
+// Traffic description.
+type (
+	// Traffic is a multivariate requests-per-window time series.
+	Traffic = workload.Traffic
+	// Program generates Traffic from shapes, mixes, and scales.
+	Program = workload.Program
+	// DaySpec describes one day of a Program.
+	DaySpec = workload.DaySpec
+	// Mix is an API composition.
+	Mix = workload.Mix
+)
+
+// NewTelemetryServer returns an empty telemetry store with the given scrape
+// window duration in seconds.
+func NewTelemetryServer(windowSeconds float64) *TelemetryServer {
+	return telemetry.NewServer(windowSeconds)
+}
+
+// DefaultOptions returns learning options with the default estimator
+// configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultConfig returns the default neural estimator configuration.
+func DefaultConfig() Config { return estimator.DefaultConfig() }
+
+// Learn runs the application learning phase over windows [from, to) of a
+// telemetry server.
+func Learn(ts *TelemetryServer, from, to int, opts Options) (*System, error) {
+	return core.Learn(ts, from, to, opts)
+}
+
+// LearnFromData learns from in-memory telemetry: per-window trace batches
+// and aligned per-pair utilization series.
+func LearnFromData(windows [][]Batch, usage map[Pair][]float64, opts Options) (*System, error) {
+	return core.LearnFromData(windows, usage, opts)
+}
+
+// LoadModel deserializes an estimator model saved with System.Save or
+// Model.Save.
+func LoadModel(r io.Reader) (*Model, error) { return estimator.Load(r) }
+
+// NewDetector returns a sanity-check detector with default thresholds.
+func NewDetector() *Detector { return anomaly.NewDetector() }
+
+// Simulation harness (the paper's testbed stand-in), exported so library
+// users can reproduce the evaluation or prototype against the bundled
+// DeathStarBench-style applications without a cluster.
+type (
+	// AppSpec describes a microservice application for the simulator.
+	AppSpec = app.Spec
+	// Cluster is a simulated deployment of an AppSpec.
+	Cluster = sim.Cluster
+	// SimRun is the telemetry of a simulated traffic program.
+	SimRun = sim.Run
+)
+
+// Traffic shapes and attack injectors, re-exported for building evaluation
+// scenarios against the simulator.
+type (
+	// TwoPeak is the default diurnal shape (two peak hours per day).
+	TwoPeak = workload.TwoPeak
+	// Flat is a constant-intensity shape.
+	Flat = workload.Flat
+	// OnePeak has a single daily peak.
+	OnePeak = workload.OnePeak
+	// Ransomware injects CPU + write load on a stateful component.
+	Ransomware = sim.Ransomware
+	// Cryptojack injects sustained CPU theft.
+	Cryptojack = sim.Cryptojack
+	// MemoryLeak injects steadily growing memory.
+	MemoryLeak = sim.MemoryLeak
+)
+
+// UniformProgram returns a traffic program repeating one day specification.
+func UniformProgram(days int, spec DaySpec) Program {
+	return workload.Uniform(days, spec)
+}
+
+// SocialNetwork returns the bundled DeathStarBench-style social network
+// application (29 components, 11 APIs).
+func SocialNetwork() *AppSpec { return app.SocialNetwork() }
+
+// HotelReservation returns the bundled hotel reservation application
+// (18 components, 4 APIs).
+func HotelReservation() *AppSpec { return app.HotelReservation() }
+
+// MediaMicroservices returns the bundled movie-review application
+// (19 components, 6 APIs).
+func MediaMicroservices() *AppSpec { return app.MediaMicroservices() }
+
+// NewCluster deploys an application spec in the simulator.
+func NewCluster(spec *AppSpec, seed int64) (*Cluster, error) {
+	return sim.NewCluster(spec, seed)
+}

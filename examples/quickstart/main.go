@@ -1,0 +1,84 @@
+// Quickstart: the minimal end-to-end DeepRest flow on a simulated
+// deployment of the bundled social network application.
+//
+//  1. Deploy the app in the simulator and serve three days of two-peak
+//     traffic — this produces the telemetry (traces + metrics) a real
+//     cluster's Jaeger/Prometheus would hold.
+//  2. Learn a DeepRest system from that telemetry.
+//  3. Ask it how many resources a day with 2x more users would need.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deeprest "repro"
+)
+
+func main() {
+	// 1. Simulated deployment + learning-phase traffic. In production
+	// these artifacts come from the cluster's telemetry stack instead.
+	cluster, err := deeprest.NewCluster(deeprest.SocialNetwork(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	program := deeprest.UniformProgram(3, deeprest.DaySpec{
+		Shape:   deeprest.TwoPeak{},
+		Mix:     deeprest.Mix{"/composePost": 0.3, "/readTimeline": 0.5, "/uploadMedia": 0.2},
+		PeakRPS: 40,
+	})
+	program.WindowsPerDay = 48
+	program.WindowSeconds = 60
+	learnTraffic := program.Generate()
+	run, err := cluster.Run(learnTraffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ts := deeprest.NewTelemetryServer(learnTraffic.WindowSeconds)
+	ts.RecordRun(run)
+
+	// 2. Application learning: pick three targets to keep the example
+	// fast (omit Options.Pairs to learn every recorded pair).
+	opts := deeprest.DefaultOptions()
+	opts.Pairs = []deeprest.Pair{
+		{Component: "ComposePostService", Resource: deeprest.CPU},
+		{Component: "PostStorageMongoDB", Resource: deeprest.WriteIOps},
+		{Component: "PostStorageMongoDB", Resource: deeprest.DiskUsage},
+	}
+	system, err := deeprest.Learn(ts, 0, ts.NumWindows(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Mode-1 query: expected resources for one day at 2x users.
+	query := deeprest.UniformProgram(1, deeprest.DaySpec{
+		Shape:   deeprest.TwoPeak{},
+		Mix:     deeprest.Mix{"/composePost": 0.3, "/readTimeline": 0.5, "/uploadMedia": 0.2},
+		PeakRPS: 80,
+	})
+	query.WindowsPerDay = 48
+	query.WindowSeconds = 60
+	estimates, err := system.EstimateTraffic(query.Generate())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("expected resources for a day with 2x more users:")
+	for _, p := range system.Pairs() {
+		e := estimates[p]
+		peak, mean := 0.0, 0.0
+		for _, v := range e.Up {
+			if v > peak {
+				peak = v
+			}
+		}
+		for _, v := range e.Exp {
+			mean += v
+		}
+		mean /= float64(len(e.Exp))
+		fmt.Printf("  %-34s mean %8.1f, allocate for peak %8.1f %s\n",
+			p, mean, peak, p.Resource.Unit())
+	}
+}

@@ -1,0 +1,116 @@
+// Application sanity checks — the paper's §5.4: detect resource consumption
+// that the served API traffic cannot justify.
+//
+// The example learns the social network's normal behaviour, then serves two
+// more days during which (a) a ransomware process encrypts the post store
+// and (b) a cryptominer steals CPU. A history-only monitor would also have
+// flagged the benign flash-crowd morning we throw in; DeepRest justifies
+// that via the traffic and alerts only on the attacks.
+//
+// Run with: go run ./examples/sanitycheck
+package main
+
+import (
+	"fmt"
+	"log"
+
+	deeprest "repro"
+)
+
+const (
+	wpd       = 48
+	windowSec = 60
+	peakRPS   = 30
+)
+
+func main() {
+	spec := deeprest.SocialNetwork()
+	cluster, err := deeprest.NewCluster(spec, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix := deeprest.Mix{
+		"/composePost": 0.25, "/readTimeline": 0.45,
+		"/uploadMedia": 0.15, "/getMedia": 0.15,
+	}
+
+	// Learn three normal days.
+	program := deeprest.UniformProgram(3, deeprest.DaySpec{Shape: deeprest.TwoPeak{}, Mix: mix, PeakRPS: peakRPS})
+	program.WindowsPerDay = wpd
+	program.WindowSeconds = windowSec
+	learn := program.Generate()
+	run, err := cluster.Run(learn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := deeprest.NewTelemetryServer(windowSec)
+	ts.RecordRun(run)
+
+	victim := "PostStorageMongoDB"
+	opts := deeprest.DefaultOptions()
+	opts.Pairs = []deeprest.Pair{
+		{Component: victim, Resource: deeprest.CPU},
+		{Component: victim, Resource: deeprest.Memory},
+		{Component: victim, Resource: deeprest.WriteIOps},
+		{Component: victim, Resource: deeprest.WriteTput},
+		{Component: "FrontendNGINX", Resource: deeprest.CPU},
+	}
+	system, err := deeprest.Learn(ts, 0, ts.NumWindows(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve two more days. Day 1 is a benign flash crowd (constantly
+	// high traffic); day 2 carries both attacks.
+	check := deeprest.Program{
+		Days: []deeprest.DaySpec{
+			{Shape: deeprest.Flat{Level: 0.95}, Mix: mix, PeakRPS: peakRPS},
+			{Shape: deeprest.TwoPeak{}, Mix: mix, PeakRPS: peakRPS},
+		},
+		WindowsPerDay: wpd,
+		WindowSeconds: windowSec,
+		DayJitter:     0.05,
+		MixJitter:     0.15,
+		NoiseCV:       0.06,
+		Seed:          42,
+	}
+	checkTraffic := check.Generate()
+	base := cluster.Window()
+	cluster.Inject(deeprest.Ransomware{
+		Component:  victim,
+		FromWindow: base + wpd + 10, ToWindow: base + wpd + 16,
+		ExtraCPU: 60, ExtraWriteOps: 300, ExtraWriteKiB: 600,
+	})
+	cluster.Inject(deeprest.Cryptojack{
+		Component:  victim,
+		FromWindow: base + wpd + 30, ToWindow: base + 2*wpd,
+		ExtraCPU: 50,
+	})
+	truth, err := cluster.Run(checkTraffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	actual := make(map[deeprest.Pair][]float64, len(opts.Pairs))
+	for _, p := range opts.Pairs {
+		actual[p] = truth.Usage[p]
+	}
+	events, err := system.SanityCheck(truth.Windows, actual, deeprest.NewDetector())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sanity check over %d windows (day 1 = benign flash crowd, day 2 = attacks):\n\n", checkTraffic.NumWindows())
+	if len(events) == 0 {
+		fmt.Println("no anomalies detected")
+		return
+	}
+	label := func(w int) string {
+		return fmt.Sprintf("day %d %02d:%02d", w/wpd+1, (w%wpd)*24/wpd, (w%wpd*24*60/wpd)%60)
+	}
+	for _, e := range events {
+		fmt.Println(e.Format(label))
+	}
+	fmt.Println("note: the flash-crowd day raised every metric but produced no alert —")
+	fmt.Println("its consumption is justified by the traffic DeepRest saw in the traces.")
+}

@@ -1,0 +1,277 @@
+// Package anomaly implements DeepRest's application sanity checks (paper
+// §5.4): given the utilization DeepRest expects for the API traffic an
+// application actually served, it scores how far the measured utilization
+// deviates from the expected δ-confidence interval, combines the scores
+// across the resources of a component into an ensemble, and emits
+// interpretable alert events like the paper's Figure 19c.
+//
+// The core idea: violating historical utilization patterns is not by itself
+// anomalous — traffic changes for benign reasons. Consumption is anomalous
+// only when the API traffic cannot justify it.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/estimator"
+)
+
+// Score quantifies, per window, how far the actual measurement falls
+// outside the expected interval [low, up], normalised by the interval's
+// scale so that scores are comparable across resources. Inside the interval
+// the score is 0; the paper visualises this series as a 1-D heatmap.
+func Score(actual []float64, est estimator.Estimate) ([]float64, error) {
+	if len(actual) != len(est.Exp) {
+		return nil, fmt.Errorf("anomaly: %d measurements for %d estimated windows", len(actual), len(est.Exp))
+	}
+	out := make([]float64, len(actual))
+	for i, y := range actual {
+		low, up := est.Low[i], est.Up[i]
+		var dev float64
+		switch {
+		case y > up:
+			dev = y - up
+		case y < low:
+			dev = low - y
+		}
+		if dev == 0 {
+			continue
+		}
+		scale := math.Max(up-low, 0.05*math.Max(math.Abs(est.Exp[i]), 1e-9))
+		out[i] = dev / scale
+	}
+	return out, nil
+}
+
+// Ensemble averages the scores of several resources (typically all
+// resources of one component) window-by-window, boosting confidence the way
+// the paper triangulates resources before alerting.
+func Ensemble(scores ...[]float64) []float64 {
+	if len(scores) == 0 {
+		return nil
+	}
+	n := len(scores[0])
+	out := make([]float64, n)
+	for _, s := range scores {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(scores))
+	}
+	return out
+}
+
+// Deviation describes how one resource deviated from expectation during an
+// event.
+type Deviation struct {
+	// Pair is the resource.
+	Pair app.Pair
+	// Percent is the mean deviation of the actual measurement from the
+	// expected utilization over the event, in percent. Positive means
+	// higher than expected.
+	Percent float64
+}
+
+// Event is one contiguous anomalous period on one component.
+type Event struct {
+	// Component under suspicion.
+	Component string
+	// From and To bound the event in window indices (half-open).
+	From, To int
+	// PeakScore is the maximum ensemble score inside the event.
+	PeakScore float64
+	// Deviations lists the per-resource deviations, largest magnitude
+	// first. Resources of other components with notable deviations in
+	// the same period may be appended by the detector for triangulation.
+	Deviations []Deviation
+}
+
+// Detector runs sanity checks over a set of pairs.
+type Detector struct {
+	// Threshold is the ensemble score above which a window is anomalous
+	// (default 1: the measurement exceeds the interval by its width).
+	Threshold float64
+	// MinLen is the minimum anomalous run length, in windows, to report
+	// an event (default 3) — brief scrape noise does not alert.
+	MinLen int
+	// SideNote is the |percent| deviation above which other components'
+	// resources are included in the event report for triangulation
+	// (default 15).
+	SideNote float64
+}
+
+// NewDetector returns a detector with the defaults above.
+func NewDetector() *Detector {
+	return &Detector{Threshold: 1, MinLen: 3, SideNote: 15}
+}
+
+// Detect compares actual measurements against expected estimates and
+// returns the alert events, ordered by start window. Pairs sharing a
+// component are ensembled together.
+func (d *Detector) Detect(actual map[app.Pair][]float64, expected map[app.Pair]estimator.Estimate) ([]Event, error) {
+	perComponent := make(map[string][]app.Pair)
+	scores := make(map[app.Pair][]float64, len(actual))
+	for p, series := range actual {
+		est, ok := expected[p]
+		if !ok {
+			return nil, fmt.Errorf("anomaly: no expectation for measured pair %s", p)
+		}
+		s, err := Score(series, est)
+		if err != nil {
+			return nil, fmt.Errorf("anomaly: %s: %w", p, err)
+		}
+		scores[p] = s
+		perComponent[p.Component] = append(perComponent[p.Component], p)
+	}
+
+	var events []Event
+	for comp, pairs := range perComponent {
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].Resource < pairs[j].Resource })
+		compScores := make([][]float64, len(pairs))
+		for i, p := range pairs {
+			compScores[i] = scores[p]
+		}
+		ens := Ensemble(compScores...)
+		for _, run := range runsAbove(ens, d.Threshold, d.MinLen) {
+			ev := Event{Component: comp, From: run[0], To: run[1]}
+			for _, v := range ens[run[0]:run[1]] {
+				if v > ev.PeakScore {
+					ev.PeakScore = v
+				}
+			}
+			for _, p := range pairs {
+				if pct := meanDeviationPct(actual[p], expected[p], run[0], run[1]); math.Abs(pct) >= 1 {
+					ev.Deviations = append(ev.Deviations, Deviation{Pair: p, Percent: pct})
+				}
+			}
+			// Triangulate: other components' notable deviations in
+			// the same period strengthen (or contextualise) the
+			// alert, like FrontendNGINX's CPU drop in Figure 19c.
+			for p := range actual {
+				if p.Component == comp {
+					continue
+				}
+				if pct := meanDeviationPct(actual[p], expected[p], run[0], run[1]); math.Abs(pct) >= d.SideNote {
+					ev.Deviations = append(ev.Deviations, Deviation{Pair: p, Percent: pct})
+				}
+			}
+			// Group the suspect component first, then other
+			// components alphabetically, with the largest
+			// deviations leading within each group — the layout of
+			// the paper's Figure 19c alert.
+			sort.Slice(ev.Deviations, func(i, j int) bool {
+				di, dj := ev.Deviations[i], ev.Deviations[j]
+				ri, rj := 1, 1
+				if di.Pair.Component == comp {
+					ri = 0
+				}
+				if dj.Pair.Component == comp {
+					rj = 0
+				}
+				if ri != rj {
+					return ri < rj
+				}
+				if di.Pair.Component != dj.Pair.Component {
+					return di.Pair.Component < dj.Pair.Component
+				}
+				ai, aj := math.Abs(di.Percent), math.Abs(dj.Percent)
+				if ai != aj {
+					return ai > aj
+				}
+				return di.Pair.String() < dj.Pair.String()
+			})
+			events = append(events, ev)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].From != events[j].From {
+			return events[i].From < events[j].From
+		}
+		return events[i].Component < events[j].Component
+	})
+	return events, nil
+}
+
+// runsAbove returns the [from, to) runs where s exceeds threshold for at
+// least minLen consecutive windows, tolerating single-window dips.
+func runsAbove(s []float64, threshold float64, minLen int) [][2]int {
+	var out [][2]int
+	start := -1
+	dips := 0
+	for i, v := range s {
+		if v > threshold {
+			if start < 0 {
+				start = i
+			}
+			dips = 0
+			continue
+		}
+		if start >= 0 && dips == 0 && i+1 < len(s) && s[i+1] > threshold {
+			dips = 1 // tolerate one quiet window inside a run
+			continue
+		}
+		if start >= 0 {
+			end := i - dips
+			if end-start >= minLen {
+				out = append(out, [2]int{start, end})
+			}
+			start = -1
+			dips = 0
+		}
+	}
+	if start >= 0 && len(s)-start >= minLen {
+		out = append(out, [2]int{start, len(s)})
+	}
+	return out
+}
+
+// meanDeviationPct returns the mean percentage deviation of actual from the
+// expected utilization over windows [from, to).
+func meanDeviationPct(actual []float64, est estimator.Estimate, from, to int) float64 {
+	sum, n := 0.0, 0
+	for i := from; i < to && i < len(actual); i++ {
+		exp := est.Exp[i]
+		if math.Abs(exp) < 1e-9 {
+			continue
+		}
+		sum += (actual[i] - exp) / math.Abs(exp)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}
+
+// Format renders an event as the interpretable alert of the paper's
+// Figure 19c. windowLabel converts a window index into a human-readable
+// timestamp; pass nil for bare indices.
+func (e Event) Format(windowLabel func(int) string) string {
+	var b strings.Builder
+	if windowLabel == nil {
+		fmt.Fprintf(&b, "Anomalous Event: windows %d–%d (peak score %.2f)\n", e.From, e.To, e.PeakScore)
+	} else {
+		fmt.Fprintf(&b, "Anomalous Event: %s – %s (peak score %.2f)\n", windowLabel(e.From), windowLabel(e.To), e.PeakScore)
+	}
+	lastComp := ""
+	for _, d := range e.Deviations {
+		if d.Pair.Component != lastComp {
+			fmt.Fprintf(&b, "  Component: %s\n", d.Pair.Component)
+			lastComp = d.Pair.Component
+		}
+		dir := "higher"
+		pct := d.Percent
+		if pct < 0 {
+			dir = "lower"
+			pct = -pct
+		}
+		fmt.Fprintf(&b, "    %s: %.1f%% %s than expected\n", d.Pair.Resource, pct, dir)
+	}
+	return b.String()
+}

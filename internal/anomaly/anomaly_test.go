@@ -1,0 +1,249 @@
+package anomaly
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/app"
+	"repro/internal/estimator"
+)
+
+// flatEstimate builds an Estimate expecting exp everywhere with a ±width/2
+// interval.
+func flatEstimate(n int, exp, width float64) estimator.Estimate {
+	e := estimator.Estimate{
+		Exp: make([]float64, n),
+		Low: make([]float64, n),
+		Up:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		e.Exp[i] = exp
+		e.Low[i] = exp - width/2
+		e.Up[i] = exp + width/2
+	}
+	return e
+}
+
+func TestScoreInsideIntervalIsZero(t *testing.T) {
+	est := flatEstimate(5, 100, 20)
+	actual := []float64{95, 100, 105, 109, 91}
+	s, err := Score(actual, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s {
+		if v != 0 {
+			t.Errorf("window %d: score %v, want 0", i, v)
+		}
+	}
+}
+
+func TestScoreScalesWithDeviation(t *testing.T) {
+	est := flatEstimate(3, 100, 20)
+	s, err := Score([]float64{130, 150, 70}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 130: 20 above the upper bound 110 → 20/20 = 1.
+	if math.Abs(s[0]-1) > 1e-9 {
+		t.Errorf("score = %v, want 1", s[0])
+	}
+	if s[1] <= s[0] {
+		t.Error("larger deviation must score higher")
+	}
+	// 70: 20 below the lower bound 90 → symmetric.
+	if math.Abs(s[2]-1) > 1e-9 {
+		t.Errorf("below-interval score = %v, want 1", s[2])
+	}
+}
+
+func TestScoreLengthMismatch(t *testing.T) {
+	if _, err := Score([]float64{1}, flatEstimate(2, 1, 1)); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestEnsemble(t *testing.T) {
+	e := Ensemble([]float64{1, 0}, []float64{3, 0})
+	if e[0] != 2 || e[1] != 0 {
+		t.Fatalf("Ensemble = %v", e)
+	}
+	if Ensemble() != nil {
+		t.Error("empty ensemble should be nil")
+	}
+}
+
+func TestRunsAbove(t *testing.T) {
+	// Two runs: [1,4) clean, and [6,10) via the one-window dip tolerance
+	// (window 8 is quiet but 9 resumes).
+	s := []float64{0, 2, 2, 2, 0, 0, 2, 2, 0, 2}
+	runs := runsAbove(s, 1, 3)
+	if len(runs) != 2 || runs[0] != [2]int{1, 4} || runs[1] != [2]int{6, 10} {
+		t.Fatalf("runs = %v", runs)
+	}
+	// One-window dips inside a run are tolerated.
+	s2 := []float64{2, 2, 0, 2, 2, 0, 0}
+	runs2 := runsAbove(s2, 1, 4)
+	if len(runs2) != 1 || runs2[0] != [2]int{0, 5} {
+		t.Fatalf("dip-tolerant runs = %v", runs2)
+	}
+	// Run extending to the end.
+	s3 := []float64{0, 2, 2, 2}
+	runs3 := runsAbove(s3, 1, 3)
+	if len(runs3) != 1 || runs3[0] != [2]int{1, 4} {
+		t.Fatalf("tail run = %v", runs3)
+	}
+}
+
+func sanityFixture() (map[app.Pair][]float64, map[app.Pair]estimator.Estimate) {
+	cpu := app.Pair{Component: "DB", Resource: app.CPU}
+	iops := app.Pair{Component: "DB", Resource: app.WriteIOps}
+	fcpu := app.Pair{Component: "Frontend", Resource: app.CPU}
+	n := 30
+	actual := map[app.Pair][]float64{
+		cpu:  make([]float64, n),
+		iops: make([]float64, n),
+		fcpu: make([]float64, n),
+	}
+	expected := map[app.Pair]estimator.Estimate{
+		cpu:  flatEstimate(n, 100, 10),
+		iops: flatEstimate(n, 50, 10),
+		fcpu: flatEstimate(n, 80, 10),
+	}
+	for i := 0; i < n; i++ {
+		actual[cpu][i] = 100
+		actual[iops][i] = 50
+		actual[fcpu][i] = 80
+	}
+	// Attack on windows 10..18: CPU + IOps burst on DB, slight dip on
+	// the frontend.
+	for i := 10; i < 18; i++ {
+		actual[cpu][i] = 260
+		actual[iops][i] = 170
+		actual[fcpu][i] = 66
+	}
+	return actual, expected
+}
+
+func TestDetectFindsAttack(t *testing.T) {
+	actual, expected := sanityFixture()
+	events, err := NewDetector().Detect(actual, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Component != "DB" {
+		t.Errorf("component = %s", ev.Component)
+	}
+	if ev.From > 10 || ev.To < 17 {
+		t.Errorf("event window [%d, %d) misses the attack", ev.From, ev.To)
+	}
+	if len(ev.Deviations) == 0 {
+		t.Fatal("no deviations reported")
+	}
+	// DB deviations lead; the frontend's dip is triangulated after.
+	if ev.Deviations[0].Pair.Component != "DB" {
+		t.Errorf("first deviation = %v", ev.Deviations[0])
+	}
+	foundShed := false
+	for _, d := range ev.Deviations {
+		if d.Pair.Component == "Frontend" && d.Percent < 0 {
+			foundShed = true
+		}
+	}
+	if !foundShed {
+		t.Error("frontend CPU dip not triangulated")
+	}
+	text := ev.Format(nil)
+	if !strings.Contains(text, "DB") || !strings.Contains(text, "higher than expected") {
+		t.Errorf("Format = %q", text)
+	}
+	label := func(w int) string { return "T" }
+	if !strings.Contains(ev.Format(label), "T – T") {
+		t.Error("Format with label broken")
+	}
+}
+
+func TestDetectNoFalseAlarmOnClean(t *testing.T) {
+	actual, expected := sanityFixture()
+	// Remove the attack.
+	for p := range actual {
+		for i := range actual[p] {
+			actual[p][i] = expected[p].Exp[i]
+		}
+	}
+	events, err := NewDetector().Detect(actual, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("false alarms: %v", events)
+	}
+}
+
+func TestDetectMissingExpectation(t *testing.T) {
+	actual, expected := sanityFixture()
+	delete(expected, app.Pair{Component: "DB", Resource: app.CPU})
+	if _, err := NewDetector().Detect(actual, expected); err == nil {
+		t.Fatal("missing expectation must error")
+	}
+}
+
+func TestDetectorMinLen(t *testing.T) {
+	cpu := app.Pair{Component: "DB", Resource: app.CPU}
+	n := 20
+	actual := map[app.Pair][]float64{cpu: make([]float64, n)}
+	expected := map[app.Pair]estimator.Estimate{cpu: flatEstimate(n, 100, 10)}
+	for i := range actual[cpu] {
+		actual[cpu][i] = 100
+	}
+	actual[cpu][5] = 300 // single-window blip
+	d := NewDetector()
+	events, err := d.Detect(actual, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("single-window blip must not alert, got %v", events)
+	}
+}
+
+// Property: scores are non-negative and zero whenever actual lies within
+// the interval.
+func TestScoreProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		n := len(vals)
+		if n == 0 {
+			return true
+		}
+		est := flatEstimate(n, 10, 4)
+		actual := make([]float64, n)
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 10
+			}
+			actual[i] = math.Mod(math.Abs(v), 30)
+		}
+		s, err := Score(actual, est)
+		if err != nil {
+			return false
+		}
+		for i, v := range s {
+			if v < 0 {
+				return false
+			}
+			if actual[i] >= 8 && actual[i] <= 12 && v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package anomaly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// seasonalSeries builds days of a sinusoidal daily pattern plus noise.
+func seasonalSeries(days, period int, noise float64, rng *rand.Rand) []float64 {
+	out := make([]float64, days*period)
+	for i := range out {
+		phase := 2 * math.Pi * float64(i%period) / float64(period)
+		out[i] = 100 + 30*math.Sin(phase) + noise*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestSeasonalESDFindsInjectedSpikes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	period := 48
+	history := seasonalSeries(4, period, 2, rng)
+	series := seasonalSeries(1, period, 2, rng)
+	series[10] += 60
+	series[30] -= 55
+	d := NewSeasonalESD(period)
+	got, err := d.Detect(history, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsInt(got, 10) || !containsInt(got, 30) {
+		t.Errorf("Detect = %v, want to include 10 and 30", got)
+	}
+	if len(got) > 6 {
+		t.Errorf("too many flags: %v", got)
+	}
+}
+
+func TestSeasonalESDCleanSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	period := 48
+	history := seasonalSeries(4, period, 2, rng)
+	series := seasonalSeries(1, period, 2, rng)
+	d := NewSeasonalESD(period)
+	got, err := d.Detect(history, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 3 {
+		t.Errorf("clean series flagged %d windows: %v", len(got), got)
+	}
+}
+
+// TestSeasonalESDFlagsBenignShapeChange demonstrates the detector's
+// documented weakness: a benign flat day violates the learned two-peak
+// pattern and gets flagged — exactly why the paper's traffic-justified
+// checks are needed.
+func TestSeasonalESDFlagsBenignShapeChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	period := 48
+	history := seasonalSeries(4, period, 2, rng)
+	flat := make([]float64, period)
+	for i := range flat {
+		flat[i] = 100 + 2*rng.NormFloat64() // constant level, no daily swing
+	}
+	d := NewSeasonalESD(period)
+	got, err := d.Detect(history, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Error("history-only detector should (wrongly) flag a benign flat day")
+	}
+}
+
+func TestSeasonalESDValidation(t *testing.T) {
+	d := NewSeasonalESD(0)
+	if _, err := d.Detect([]float64{1}, []float64{1}); err == nil {
+		t.Error("zero period must fail")
+	}
+	d = NewSeasonalESD(48)
+	if _, err := d.Detect(make([]float64, 10), make([]float64, 48)); err == nil {
+		t.Error("short history must fail")
+	}
+}
+
+func TestMedianAndMAD(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("empty median = %v", got)
+	}
+	m := mad([]float64{1, 2, 3, 4, 100}, 3)
+	if m <= 0 {
+		t.Errorf("mad = %v", m)
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:   0,
+		0.975: 1.959964,
+		0.025: -1.959964,
+		0.99:  2.326348,
+	}
+	for p, want := range cases {
+		if got := normQuantile(p); math.Abs(got-want) > 1e-4 {
+			t.Errorf("normQuantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("boundary quantiles must be infinite")
+	}
+}
+
+func TestStudentTQuantile(t *testing.T) {
+	// t(0.975, 10) ≈ 2.228.
+	if got := studentTQuantile(0.975, 10); math.Abs(got-2.228) > 0.03 {
+		t.Errorf("t quantile = %v, want ≈2.228", got)
+	}
+	// Converges to the normal for large df.
+	if got := studentTQuantile(0.975, 1e6); math.Abs(got-1.96) > 0.001 {
+		t.Errorf("large-df t quantile = %v", got)
+	}
+}
+
+func TestSuspiciousDays(t *testing.T) {
+	flagged := []int{1, 2, 3, 50, 100, 101, 102, 103}
+	days := SuspiciousDays(flagged, 48, 3)
+	if len(days) != 2 || days[0] != 0 || days[1] != 2 {
+		t.Errorf("SuspiciousDays = %v, want [0 2]", days)
+	}
+}
+
+// Property: median is always within [min, max] of its input.
+func TestMedianBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var v []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		m := median(v)
+		lo, hi := v[0], v[0]
+		for _, x := range v {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBundledSpecsValidate(t *testing.T) {
+	for _, spec := range []*Spec{SocialNetwork(), HotelReservation(), Toy()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestSocialNetworkShape(t *testing.T) {
+	s := SocialNetwork()
+	if got := len(s.Components); got != 29 {
+		t.Errorf("social components = %d, want 29 (paper §5.1)", got)
+	}
+	stateless, stateful := 0, 0
+	for _, c := range s.Components {
+		if c.Stateful {
+			stateful++
+		} else {
+			stateless++
+		}
+	}
+	if stateless != 23 || stateful != 6 {
+		t.Errorf("stateless/stateful = %d/%d, want 23/6", stateless, stateful)
+	}
+	if got := len(s.APIs); got != 11 {
+		t.Errorf("social APIs = %d, want 11", got)
+	}
+	if got := len(s.ResourcePairs()); got != 76 {
+		t.Errorf("resource pairs = %d, want 76 (paper §5.1)", got)
+	}
+}
+
+func TestHotelReservationShape(t *testing.T) {
+	s := HotelReservation()
+	if got := len(s.Components); got != 18 {
+		t.Errorf("hotel components = %d, want 18", got)
+	}
+	if got := len(s.APIs); got != 4 {
+		t.Errorf("hotel APIs = %d, want 4", got)
+	}
+	if got := len(s.ResourcePairs()); got != 54 {
+		t.Errorf("resource pairs = %d, want 54 (paper §5.1)", got)
+	}
+}
+
+func TestGroundTruthDependencies(t *testing.T) {
+	s := SocialNetwork()
+	compose, _ := s.API("/composePost")
+	read, _ := s.API("/readTimeline")
+	if !contains(compose.TouchedComponents(), "ComposePostService") {
+		t.Error("/composePost must touch ComposePostService")
+	}
+	if contains(read.TouchedComponents(), "ComposePostService") {
+		t.Error("/readTimeline must not touch ComposePostService (Figure 8)")
+	}
+	// /readTimeline reaches PostStorageMongoDB read path but must not
+	// issue writes there (paper §5.2 program analysis).
+	if !contains(read.TouchedComponents(), "PostStorageMongoDB") {
+		t.Error("/readTimeline must read PostStorageMongoDB")
+	}
+	for _, tpl := range read.Templates {
+		assertNoWrites(t, tpl.Root, "PostStorageMongoDB")
+	}
+}
+
+func assertNoWrites(t *testing.T, n *PathNode, component string) {
+	t.Helper()
+	if n.Component == component && (n.Cost.WriteOps > 0 || n.Cost.WriteKiB > 0 || n.Cost.DiskMiB > 0) {
+		t.Errorf("unexpected write cost on %s", component)
+	}
+	for _, c := range n.Children {
+		assertNoWrites(t, c, component)
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestResourceMetadata(t *testing.T) {
+	if CPU.StatefulOnly() || Memory.StatefulOnly() {
+		t.Error("CPU/Memory apply to all components")
+	}
+	for _, r := range []Resource{WriteIOps, WriteTput, DiskUsage} {
+		if !r.StatefulOnly() {
+			t.Errorf("%s must be stateful-only", r)
+		}
+	}
+	if CPU.String() != "cpu" || CPU.Unit() != "mcores" {
+		t.Error("CPU metadata wrong")
+	}
+	if Resource(99).String() == "" || Resource(99).Unit() != "?" {
+		t.Error("unknown resource metadata")
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{CPUms: 1, MemMiB: 2, CacheMiB: 3, WriteOps: 4, WriteKiB: 5, DiskMiB: 6}
+	b := a.Scale(2)
+	if b.CPUms != 2 || b.DiskMiB != 12 {
+		t.Errorf("Scale = %+v", b)
+	}
+	c := a.Add(b)
+	if c.CPUms != 3 || c.WriteKiB != 15 {
+		t.Errorf("Add = %+v", c)
+	}
+}
+
+// Property: Cost.Scale distributes over Add.
+func TestCostScaleDistributesProperty(t *testing.T) {
+	f := func(x, y float64, f8 uint8) bool {
+		if !finite(x) || !finite(y) {
+			return true
+		}
+		fac := float64(f8) / 16
+		a := Cost{CPUms: x, WriteOps: y}
+		b := Cost{CPUms: y, DiskMiB: x}
+		lhs := a.Add(b).Scale(fac)
+		rhs := a.Scale(fac).Add(b.Scale(fac))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func finite(x float64) bool { return x == x && x < 1e300 && x > -1e300 }
+
+func TestValidateCatchesErrors(t *testing.T) {
+	base := func() *Spec {
+		return &Spec{
+			Name:       "t",
+			Components: []Component{{Name: "A"}, {Name: "DB", Stateful: true}},
+			APIs: []API{{
+				Name:      "/x",
+				Templates: []Template{{Prob: 1, Root: Node("A", "op", Cost{})}},
+			}},
+		}
+	}
+
+	s := base()
+	s.Components = append(s.Components, Component{Name: "A"})
+	if err := s.Validate(); err == nil {
+		t.Error("duplicate component must fail validation")
+	}
+
+	s = base()
+	s.APIs = append(s.APIs, s.APIs[0])
+	if err := s.Validate(); err == nil {
+		t.Error("duplicate API must fail validation")
+	}
+
+	s = base()
+	s.APIs[0].Templates[0].Prob = 0.5
+	if err := s.Validate(); err == nil {
+		t.Error("probabilities not summing to 1 must fail")
+	}
+
+	s = base()
+	s.APIs[0].Templates[0].Root = Node("Ghost", "op", Cost{})
+	if err := s.Validate(); err == nil {
+		t.Error("undeclared component must fail")
+	}
+
+	s = base()
+	s.APIs[0].Templates[0].Root = Node("A", "op", Cost{WriteOps: 1})
+	if err := s.Validate(); err == nil {
+		t.Error("storage cost on stateless component must fail")
+	}
+
+	s = base()
+	s.APIs[0].Templates = nil
+	if err := s.Validate(); err == nil {
+		t.Error("API without templates must fail")
+	}
+
+	s = base()
+	s.APIs[0].Templates[0].Root = nil
+	if err := s.Validate(); err == nil {
+		t.Error("nil template root must fail")
+	}
+
+	s = base()
+	s.APIs[0].Templates[0].Prob = -1
+	s.APIs[0].Templates = append(s.APIs[0].Templates, Template{Prob: 2, Root: Node("A", "op", Cost{})})
+	if err := s.Validate(); err == nil {
+		t.Error("negative probability must fail")
+	}
+}
+
+func TestSpecAccessors(t *testing.T) {
+	s := Toy()
+	if _, ok := s.Component("DB"); !ok {
+		t.Error("Component(DB) missing")
+	}
+	if _, ok := s.Component("nope"); ok {
+		t.Error("unknown component resolved")
+	}
+	if _, ok := s.API("/read"); !ok {
+		t.Error("API(/read) missing")
+	}
+	if _, ok := s.API("/nope"); ok {
+		t.Error("unknown API resolved")
+	}
+	if got := len(s.APINames()); got != 2 {
+		t.Errorf("APINames = %d", got)
+	}
+	if got := len(s.ComponentNames()); got != 3 {
+		t.Errorf("ComponentNames = %d", got)
+	}
+	p := Pair{Component: "DB", Resource: DiskUsage}
+	if p.String() != "DB/disk_usage" {
+		t.Errorf("Pair.String = %q", p.String())
+	}
+}
+
+func TestNodeCall(t *testing.T) {
+	n := Node("A", "op", Cost{})
+	n.Call(Node("B", "op", Cost{})).Call(Node("C", "op", Cost{}))
+	if len(n.Children) != 2 {
+		t.Fatalf("Call chaining produced %d children, want 2", len(n.Children))
+	}
+}

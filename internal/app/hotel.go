@@ -1,0 +1,147 @@
+package app
+
+// HotelReservation returns the hotel reservation application modelled on
+// DeathStarBench: 12 stateless and 6 stateful components serving 4 API
+// endpoints for searching, getting recommendations, and reserving hotels
+// (paper Figure 7 and §5.1).
+func HotelReservation() *Spec {
+	s := &Spec{
+		Name: "hotel-reservation",
+		Components: []Component{
+			{Name: "FrontendService", BaseCPU: 18, BaseMemory: 130, CPUCapacity: 144},
+			{Name: "SearchService", BaseCPU: 10, BaseMemory: 170, CPUCapacity: 120},
+			{Name: "GeoService", BaseCPU: 8, BaseMemory: 150, CPUCapacity: 104},
+			{Name: "RateService", BaseCPU: 8, BaseMemory: 150, CPUCapacity: 104},
+			{Name: "RecommendService", BaseCPU: 8, BaseMemory: 160, CPUCapacity: 104},
+			{Name: "ProfileService", BaseCPU: 8, BaseMemory: 170, CPUCapacity: 104},
+			{Name: "ReserveService", BaseCPU: 9, BaseMemory: 170, CPUCapacity: 112},
+			{Name: "UserService", BaseCPU: 7, BaseMemory: 140, CPUCapacity: 96},
+			{Name: "RateMemcached", BaseCPU: 6, BaseMemory: 110, CPUCapacity: 88, CacheMax: 400, CacheDecay: 0.99},
+			{Name: "ProfileMemcached", BaseCPU: 6, BaseMemory: 110, CPUCapacity: 88, CacheMax: 500, CacheDecay: 0.99},
+			{Name: "ReserveMemcached", BaseCPU: 5, BaseMemory: 100, CPUCapacity: 80, CacheMax: 250, CacheDecay: 0.99},
+			{Name: "ConsulAgent", BaseCPU: 5, BaseMemory: 90, CPUCapacity: 60},
+			{Name: "GeoMongoDB", Stateful: true, BaseCPU: 13, BaseMemory: 290, CPUCapacity: 112, CacheMax: 400, CacheDecay: 0.995},
+			{Name: "RateMongoDB", Stateful: true, BaseCPU: 13, BaseMemory: 290, CPUCapacity: 112, CacheMax: 400, CacheDecay: 0.995},
+			{Name: "RecommendMongoDB", Stateful: true, BaseCPU: 12, BaseMemory: 270, CPUCapacity: 104, CacheMax: 350, CacheDecay: 0.995},
+			{Name: "ProfileMongoDB", Stateful: true, BaseCPU: 13, BaseMemory: 300, CPUCapacity: 112, CacheMax: 450, CacheDecay: 0.995},
+			{Name: "ReserveMongoDB", Stateful: true, BaseCPU: 14, BaseMemory: 310, CPUCapacity: 120, CacheMax: 300, CacheDecay: 0.995},
+			{Name: "UserMongoDB", Stateful: true, BaseCPU: 11, BaseMemory: 260, CPUCapacity: 96, CacheMax: 250, CacheDecay: 0.995},
+		},
+	}
+	s.APIs = []API{
+		hotelSearch(),
+		hotelRecommend(),
+		hotelReserve(),
+		hotelUser(),
+	}
+	return s
+}
+
+// hotelSearch finds nearby hotels with availability: geo lookup, rate
+// lookup, then profile hydration.
+func hotelSearch() API {
+	discover := Node("ConsulAgent", "resolve", Cost{CPUms: 90, MemMiB: 0.02})
+	hit := Node("FrontendService", "search", Cost{CPUms: 1450, MemMiB: 0.35},
+		discover,
+		Node("SearchService", "nearby", Cost{CPUms: 1700, MemMiB: 0.45},
+			Node("GeoService", "nearby", Cost{CPUms: 900, MemMiB: 0.22},
+				Node("GeoMongoDB", "find", Cost{CPUms: 1150, MemMiB: 0.20, CacheMiB: 0.010})),
+			Node("RateService", "getRates", Cost{CPUms: 950, MemMiB: 0.24},
+				Node("RateMemcached", "get", Cost{CPUms: 320, MemMiB: 0.05, CacheMiB: 0.012}))),
+		Node("ProfileService", "getProfiles", Cost{CPUms: 1050, MemMiB: 0.30},
+			Node("ProfileMemcached", "get", Cost{CPUms: 360, MemMiB: 0.06, CacheMiB: 0.016})))
+	miss := Node("FrontendService", "search", Cost{CPUms: 1500, MemMiB: 0.36},
+		discover,
+		Node("SearchService", "nearby", Cost{CPUms: 1800, MemMiB: 0.48},
+			Node("GeoService", "nearby", Cost{CPUms: 950, MemMiB: 0.23},
+				Node("GeoMongoDB", "find", Cost{CPUms: 1200, MemMiB: 0.21, CacheMiB: 0.010})),
+			Node("RateService", "getRates", Cost{CPUms: 1050, MemMiB: 0.26},
+				Node("RateMongoDB", "find", Cost{CPUms: 1200, MemMiB: 0.22, CacheMiB: 0.014}))),
+		Node("ProfileService", "getProfiles", Cost{CPUms: 1150, MemMiB: 0.33},
+			Node("ProfileMongoDB", "find", Cost{CPUms: 1300, MemMiB: 0.24, CacheMiB: 0.018})))
+	return API{
+		Name:      "/search",
+		PayloadCV: 0.16,
+		Templates: []Template{
+			{Prob: 0.60, Root: hit},
+			{Prob: 0.40, Root: miss},
+		},
+	}
+}
+
+// hotelRecommend returns personalised hotel recommendations.
+func hotelRecommend() API {
+	root := Node("FrontendService", "recommend", Cost{CPUms: 1100, MemMiB: 0.28},
+		Node("RecommendService", "getRecommendations", Cost{CPUms: 1600, MemMiB: 0.40},
+			Node("RecommendMongoDB", "find", Cost{CPUms: 1250, MemMiB: 0.22, CacheMiB: 0.012})),
+		Node("ProfileService", "getProfiles", Cost{CPUms: 1000, MemMiB: 0.28},
+			Node("ProfileMemcached", "get", Cost{CPUms: 350, MemMiB: 0.06, CacheMiB: 0.014})))
+	return API{
+		Name:      "/recommend",
+		PayloadCV: 0.12,
+		Templates: []Template{{Prob: 1.0, Root: root}},
+	}
+}
+
+// hotelReserve books a room: the write path of the application.
+func hotelReserve() API {
+	root := Node("FrontendService", "reserve", Cost{CPUms: 1300, MemMiB: 0.32},
+		Node("UserService", "checkUser", Cost{CPUms: 700, MemMiB: 0.16},
+			Node("UserMongoDB", "find", Cost{CPUms: 800, MemMiB: 0.15, CacheMiB: 0.006})),
+		Node("ReserveService", "makeReservation", Cost{CPUms: 1500, MemMiB: 0.38},
+			Node("ReserveMemcached", "checkAvailability", Cost{CPUms: 330, MemMiB: 0.06, CacheMiB: 0.008}),
+			Node("ReserveMongoDB", "insert", Cost{CPUms: 1400, MemMiB: 0.26, WriteOps: 5, WriteKiB: 8, DiskMiB: 0.005})))
+	return API{
+		Name:      "/reserve",
+		PayloadCV: 0.10,
+		Templates: []Template{{Prob: 1.0, Root: root}},
+	}
+}
+
+// hotelUser authenticates a user.
+func hotelUser() API {
+	root := Node("FrontendService", "user", Cost{CPUms: 800, MemMiB: 0.18},
+		Node("UserService", "login", Cost{CPUms: 900, MemMiB: 0.20},
+			Node("UserMongoDB", "find", Cost{CPUms: 780, MemMiB: 0.15, CacheMiB: 0.006})))
+	return API{
+		Name:      "/user",
+		PayloadCV: 0.08,
+		Templates: []Template{{Prob: 1.0, Root: root}},
+	}
+}
+
+// Toy returns a deliberately tiny three-component application used by unit
+// tests and the quickstart example: a gateway, one service, and one
+// database, with a read API and a write API whose resource footprints are
+// easy to reason about by hand.
+func Toy() *Spec {
+	s := &Spec{
+		Name: "toy",
+		Components: []Component{
+			{Name: "Gateway", BaseCPU: 5, BaseMemory: 50, CPUCapacity: 40},
+			{Name: "Service", BaseCPU: 5, BaseMemory: 80, CPUCapacity: 48},
+			{Name: "DB", Stateful: true, BaseCPU: 8, BaseMemory: 150, CPUCapacity: 60, CacheMax: 200, CacheDecay: 0.99},
+		},
+		APIs: []API{
+			{
+				Name:      "/read",
+				PayloadCV: 0.10,
+				Templates: []Template{
+					{Prob: 1.0, Root: Node("Gateway", "read", Cost{CPUms: 300, MemMiB: 0.08},
+						Node("Service", "read", Cost{CPUms: 900, MemMiB: 0.25},
+							Node("DB", "find", Cost{CPUms: 1100, MemMiB: 0.20, CacheMiB: 0.010})))},
+				},
+			},
+			{
+				Name:      "/write",
+				PayloadCV: 0.10,
+				Templates: []Template{
+					{Prob: 1.0, Root: Node("Gateway", "write", Cost{CPUms: 320, MemMiB: 0.08},
+						Node("Service", "write", Cost{CPUms: 1000, MemMiB: 0.28},
+							Node("DB", "insert", Cost{CPUms: 1400, MemMiB: 0.24, WriteOps: 5, WriteKiB: 10, DiskMiB: 0.008})))},
+				},
+			},
+		},
+	}
+	return s
+}

@@ -1,0 +1,164 @@
+package app
+
+// MediaMicroservices returns the third DeathStarBench application — the
+// movie-review service — modelled at the same fidelity as the other two
+// bundled specs. The paper evaluates on the social network and hotel
+// reservation only, but positions DeepRest to "serve any hosted application
+// deployed in a cluster" (§3); this spec backs the generality tests.
+//
+// 14 stateless and 5 stateful components serve 6 API endpoints for
+// browsing movie pages, posting and reading reviews, renting movies, and
+// registering users.
+func MediaMicroservices() *Spec {
+	s := &Spec{
+		Name: "media-microservices",
+		Components: []Component{
+			{Name: "NginxWeb", BaseCPU: 16, BaseMemory: 110, CPUCapacity: 140},
+			{Name: "ComposeReviewService", BaseCPU: 9, BaseMemory: 180, CPUCapacity: 110},
+			{Name: "TextService", BaseCPU: 5, BaseMemory: 130, CPUCapacity: 80},
+			{Name: "UniqueIDService", BaseCPU: 4, BaseMemory: 90, CPUCapacity: 72},
+			{Name: "UserService", BaseCPU: 7, BaseMemory: 150, CPUCapacity: 96},
+			{Name: "MovieIDService", BaseCPU: 6, BaseMemory: 140, CPUCapacity: 88},
+			{Name: "RatingService", BaseCPU: 6, BaseMemory: 140, CPUCapacity: 88},
+			{Name: "MovieInfoService", BaseCPU: 8, BaseMemory: 170, CPUCapacity: 104},
+			{Name: "PlotService", BaseCPU: 6, BaseMemory: 150, CPUCapacity: 88},
+			{Name: "MovieReviewService", BaseCPU: 8, BaseMemory: 170, CPUCapacity: 104},
+			{Name: "UserReviewService", BaseCPU: 8, BaseMemory: 170, CPUCapacity: 104},
+			{Name: "ReviewStorageService", BaseCPU: 9, BaseMemory: 180, CPUCapacity: 110},
+			{Name: "VideoStreamingService", BaseCPU: 12, BaseMemory: 220, CPUCapacity: 130},
+			{Name: "ReviewCacheRedis", BaseCPU: 6, BaseMemory: 100, CPUCapacity: 88, CacheMax: 500, CacheDecay: 0.99},
+			{Name: "ReviewMongoDB", Stateful: true, BaseCPU: 15, BaseMemory: 340, CPUCapacity: 128, CacheMax: 700, CacheDecay: 0.995},
+			{Name: "MovieInfoMongoDB", Stateful: true, BaseCPU: 14, BaseMemory: 320, CPUCapacity: 120, CacheMax: 600, CacheDecay: 0.995},
+			{Name: "UserMongoDB", Stateful: true, BaseCPU: 12, BaseMemory: 280, CPUCapacity: 104, CacheMax: 350, CacheDecay: 0.995},
+			{Name: "RatingMongoDB", Stateful: true, BaseCPU: 12, BaseMemory: 280, CPUCapacity: 104, CacheMax: 350, CacheDecay: 0.995},
+			{Name: "RentalMongoDB", Stateful: true, BaseCPU: 12, BaseMemory: 290, CPUCapacity: 104, CacheMax: 300, CacheDecay: 0.995},
+		},
+	}
+	s.APIs = []API{
+		mediaComposeReview(),
+		mediaReadMoviePage(),
+		mediaReadUserReviews(),
+		mediaRentMovie(),
+		mediaRegister(),
+		mediaRateMovie(),
+	}
+	return s
+}
+
+// mediaComposeReview posts a movie review: the application's write path.
+func mediaComposeReview() API {
+	base := func(textCost float64) *PathNode {
+		return Node("NginxWeb", "composeReview", Cost{CPUms: 400, MemMiB: 0.10},
+			Node("ComposeReviewService", "composeReview", Cost{CPUms: 2300, MemMiB: 0.50},
+				Node("UniqueIDService", "generateID", Cost{CPUms: 170, MemMiB: 0.03}),
+				Node("TextService", "processText", Cost{CPUms: textCost, MemMiB: 0.16}),
+				Node("UserService", "verifyUser", Cost{CPUms: 420, MemMiB: 0.10},
+					Node("UserMongoDB", "find", Cost{CPUms: 620, MemMiB: 0.12, CacheMiB: 0.005})),
+				Node("MovieIDService", "resolveMovie", Cost{CPUms: 380, MemMiB: 0.09},
+					Node("MovieInfoMongoDB", "find", Cost{CPUms: 700, MemMiB: 0.13, CacheMiB: 0.008})),
+				Node("RatingService", "recordRating", Cost{CPUms: 350, MemMiB: 0.08},
+					Node("RatingMongoDB", "update", Cost{CPUms: 800, MemMiB: 0.14, WriteOps: 3, WriteKiB: 2, DiskMiB: 0.0006})),
+				Node("ReviewStorageService", "storeReview", Cost{CPUms: 850, MemMiB: 0.24},
+					Node("ReviewMongoDB", "insert", Cost{CPUms: 1400, MemMiB: 0.28, WriteOps: 5, WriteKiB: 10, DiskMiB: 0.009})),
+				Node("MovieReviewService", "appendMovieIndex", Cost{CPUms: 520, MemMiB: 0.14},
+					Node("ReviewCacheRedis", "update", Cost{CPUms: 280, MemMiB: 0.05, CacheMiB: 0.012})),
+				Node("UserReviewService", "appendUserIndex", Cost{CPUms: 500, MemMiB: 0.13})))
+	}
+	return API{
+		Name:      "/composeReview",
+		PayloadCV: 0.18,
+		Templates: []Template{
+			{Prob: 0.65, Root: base(650)},
+			{Prob: 0.35, Root: base(1100)}, // long-form reviews
+		},
+	}
+}
+
+// mediaReadMoviePage renders a movie page: info, plot, and recent reviews.
+func mediaReadMoviePage() API {
+	hit := Node("NginxWeb", "readMoviePage", Cost{CPUms: 420, MemMiB: 0.11},
+		Node("MovieInfoService", "getInfo", Cost{CPUms: 900, MemMiB: 0.26},
+			Node("MovieInfoMongoDB", "find", Cost{CPUms: 950, MemMiB: 0.18, CacheMiB: 0.012})),
+		Node("PlotService", "getPlot", Cost{CPUms: 600, MemMiB: 0.16}),
+		Node("MovieReviewService", "getRecentReviews", Cost{CPUms: 800, MemMiB: 0.24},
+			Node("ReviewCacheRedis", "get", Cost{CPUms: 330, MemMiB: 0.06, CacheMiB: 0.014})))
+	miss := Node("NginxWeb", "readMoviePage", Cost{CPUms: 420, MemMiB: 0.11},
+		Node("MovieInfoService", "getInfo", Cost{CPUms: 950, MemMiB: 0.27},
+			Node("MovieInfoMongoDB", "find", Cost{CPUms: 1000, MemMiB: 0.19, CacheMiB: 0.012})),
+		Node("PlotService", "getPlot", Cost{CPUms: 620, MemMiB: 0.17}),
+		Node("MovieReviewService", "getRecentReviews", Cost{CPUms: 880, MemMiB: 0.26},
+			Node("ReviewStorageService", "readReviews", Cost{CPUms: 700, MemMiB: 0.20},
+				Node("ReviewMongoDB", "find", Cost{CPUms: 1250, MemMiB: 0.24, CacheMiB: 0.016}))))
+	return API{
+		Name:      "/readMoviePage",
+		PayloadCV: 0.14,
+		Templates: []Template{
+			{Prob: 0.6, Root: hit},
+			{Prob: 0.4, Root: miss},
+		},
+	}
+}
+
+// mediaReadUserReviews lists a user's review history.
+func mediaReadUserReviews() API {
+	root := Node("NginxWeb", "readUserReviews", Cost{CPUms: 380, MemMiB: 0.10},
+		Node("UserReviewService", "getUserReviews", Cost{CPUms: 900, MemMiB: 0.26},
+			Node("ReviewStorageService", "readReviews", Cost{CPUms: 720, MemMiB: 0.21},
+				Node("ReviewMongoDB", "find", Cost{CPUms: 1200, MemMiB: 0.23, CacheMiB: 0.015}))))
+	return API{
+		Name:      "/readUserReviews",
+		PayloadCV: 0.12,
+		Templates: []Template{{Prob: 1, Root: root}},
+	}
+}
+
+// mediaRentMovie starts a rental and a streaming session.
+func mediaRentMovie() API {
+	root := Node("NginxWeb", "rentMovie", Cost{CPUms: 450, MemMiB: 0.12},
+		Node("UserService", "verifyUser", Cost{CPUms: 430, MemMiB: 0.10},
+			Node("UserMongoDB", "find", Cost{CPUms: 640, MemMiB: 0.12, CacheMiB: 0.005})),
+		Node("RentalMongoDB", "insert", Cost{CPUms: 1000, MemMiB: 0.18, WriteOps: 4, WriteKiB: 4, DiskMiB: 0.002}),
+		Node("VideoStreamingService", "startStream", Cost{CPUms: 2500, MemMiB: 0.80}))
+	return API{
+		Name:      "/rentMovie",
+		PayloadCV: 0.15,
+		Templates: []Template{{Prob: 1, Root: root}},
+	}
+}
+
+// mediaRegister creates a user account.
+func mediaRegister() API {
+	root := Node("NginxWeb", "register", Cost{CPUms: 380, MemMiB: 0.09},
+		Node("UserService", "register", Cost{CPUms: 1200, MemMiB: 0.28},
+			Node("UserMongoDB", "insert", Cost{CPUms: 1050, MemMiB: 0.19, WriteOps: 4, WriteKiB: 3, DiskMiB: 0.0015})))
+	return API{
+		Name:      "/register",
+		PayloadCV: 0.08,
+		Templates: []Template{{Prob: 1, Root: root}},
+	}
+}
+
+// mediaRateMovie records a star rating without review text.
+func mediaRateMovie() API {
+	root := Node("NginxWeb", "rateMovie", Cost{CPUms: 340, MemMiB: 0.08},
+		Node("RatingService", "rate", Cost{CPUms: 700, MemMiB: 0.16},
+			Node("RatingMongoDB", "update", Cost{CPUms: 820, MemMiB: 0.14, WriteOps: 3, WriteKiB: 2, DiskMiB: 0.0005})))
+	return API{
+		Name:      "/rateMovie",
+		PayloadCV: 0.07,
+		Templates: []Template{{Prob: 1, Root: root}},
+	}
+}
+
+// MediaDefaultMix is a plausible learning-phase composition for the media
+// service: read-heavy with a steady review/rating stream.
+func MediaDefaultMix() map[string]float64 {
+	return map[string]float64{
+		"/readMoviePage":   0.45,
+		"/readUserReviews": 0.12,
+		"/composeReview":   0.16,
+		"/rateMovie":       0.12,
+		"/rentMovie":       0.10,
+		"/register":        0.05,
+	}
+}

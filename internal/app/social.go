@@ -1,0 +1,296 @@
+package app
+
+// SocialNetwork returns the social network application modelled on
+// DeathStarBench: 23 stateless and 6 stateful components collectively
+// serving 11 user-facing API endpoints for publishing, reading, and reacting
+// to social media posts (paper Figure 1 and §5.1).
+//
+// The per-visit costs encode the ground-truth API → resource relationships
+// the paper's evaluation revolves around, e.g. /composePost drives CPU in
+// ComposePostService and write IOps / write throughput / disk usage in
+// PostStorageMongoDB, while /readTimeline touches PostStorageMongoDB's CPU
+// but none of its write resources (Figures 10, 11, 22).
+func SocialNetwork() *Spec {
+	s := &Spec{
+		Name: "social-network",
+		Components: []Component{
+			// Entry webservers.
+			{Name: "FrontendNGINX", BaseCPU: 20, BaseMemory: 120, CPUCapacity: 160},
+			{Name: "MediaNGINX", BaseCPU: 12, BaseMemory: 100, CPUCapacity: 120},
+			// Stateless business-logic services.
+			{Name: "UserService", BaseCPU: 8, BaseMemory: 160, CPUCapacity: 100},
+			{Name: "MediaService", BaseCPU: 8, BaseMemory: 180, CPUCapacity: 100},
+			{Name: "SocialGraphService", BaseCPU: 8, BaseMemory: 170, CPUCapacity: 100},
+			{Name: "ComposePostService", BaseCPU: 10, BaseMemory: 200, CPUCapacity: 120},
+			{Name: "TextService", BaseCPU: 6, BaseMemory: 140, CPUCapacity: 80},
+			{Name: "UserMentionService", BaseCPU: 5, BaseMemory: 130, CPUCapacity: 80},
+			{Name: "UrlShortenService", BaseCPU: 5, BaseMemory: 130, CPUCapacity: 80},
+			{Name: "UniqueIDService", BaseCPU: 4, BaseMemory: 90, CPUCapacity: 80},
+			{Name: "PostStorageService", BaseCPU: 9, BaseMemory: 190, CPUCapacity: 120},
+			{Name: "HomeTimelineService", BaseCPU: 9, BaseMemory: 180, CPUCapacity: 112},
+			{Name: "UserTimelineService", BaseCPU: 9, BaseMemory: 180, CPUCapacity: 112},
+			{Name: "WriteHomeTimelineService", BaseCPU: 7, BaseMemory: 150, CPUCapacity: 96},
+			{Name: "WriteHomeTimelineRabbitMQ", BaseCPU: 10, BaseMemory: 220, CPUCapacity: 88},
+			{Name: "SearchService", BaseCPU: 6, BaseMemory: 150, CPUCapacity: 88},
+			// In-memory caches: stateless in the paper's accounting (no
+			// write IOps / throughput / disk tracked), but they carry
+			// cache-driven memory behaviour.
+			{Name: "ComposePostRedis", BaseCPU: 6, BaseMemory: 90, CPUCapacity: 88, CacheMax: 300, CacheDecay: 0.985},
+			{Name: "HomeTimelineRedis", BaseCPU: 8, BaseMemory: 110, CPUCapacity: 104, CacheMax: 600, CacheDecay: 0.99},
+			{Name: "SocialGraphRedis", BaseCPU: 6, BaseMemory: 100, CPUCapacity: 88, CacheMax: 400, CacheDecay: 0.99},
+			{Name: "UserTimelineRedis", BaseCPU: 8, BaseMemory: 110, CPUCapacity: 104, CacheMax: 600, CacheDecay: 0.99},
+			{Name: "PostStorageMemcached", BaseCPU: 7, BaseMemory: 120, CPUCapacity: 96, CacheMax: 700, CacheDecay: 0.99},
+			{Name: "MediaMemcached", BaseCPU: 6, BaseMemory: 110, CPUCapacity: 88, CacheMax: 800, CacheDecay: 0.985},
+			{Name: "UserMemcached", BaseCPU: 5, BaseMemory: 100, CPUCapacity: 80, CacheMax: 300, CacheDecay: 0.99},
+			// Stateful MongoDB stores.
+			{Name: "UserMongoDB", Stateful: true, BaseCPU: 15, BaseMemory: 300, CPUCapacity: 120, CacheMax: 500, CacheDecay: 0.995},
+			{Name: "SocialGraphMongoDB", Stateful: true, BaseCPU: 15, BaseMemory: 320, CPUCapacity: 120, CacheMax: 500, CacheDecay: 0.995},
+			{Name: "UrlShortenMongoDB", Stateful: true, BaseCPU: 12, BaseMemory: 280, CPUCapacity: 104, CacheMax: 300, CacheDecay: 0.995},
+			{Name: "PostStorageMongoDB", Stateful: true, BaseCPU: 18, BaseMemory: 380, CPUCapacity: 144, CacheMax: 900, CacheDecay: 0.995},
+			{Name: "UserTimelineMongoDB", Stateful: true, BaseCPU: 16, BaseMemory: 340, CPUCapacity: 128, CacheMax: 700, CacheDecay: 0.995},
+			{Name: "MediaMongoDB", Stateful: true, BaseCPU: 16, BaseMemory: 360, CPUCapacity: 128, CacheMax: 800, CacheDecay: 0.995},
+		},
+	}
+	s.APIs = []API{
+		composePost(),
+		readTimeline(),
+		readHomeTimeline(),
+		uploadMedia(),
+		getMedia(),
+		registerUser(),
+		login(),
+		follow(),
+		unfollow(),
+		readPost(),
+		searchUser(),
+	}
+	return s
+}
+
+// composePost publishes a new post. Three payload variants: plain text,
+// text with URLs and user mentions, and text referencing uploaded media.
+func composePost() API {
+	// The shared fan-out every compose request performs after the
+	// front-end hands it to ComposePostService.
+	storageWrites := func(mediaRef bool) []*PathNode {
+		post := Node("PostStorageService", "storePost", Cost{CPUms: 900, MemMiB: 0.25},
+			Node("PostStorageMongoDB", "insert", Cost{CPUms: 1500, MemMiB: 0.30, WriteOps: 6, WriteKiB: 14, DiskMiB: 0.012}))
+		utl := Node("UserTimelineService", "writeUserTimeline", Cost{CPUms: 700, MemMiB: 0.20},
+			Node("UserTimelineMongoDB", "update", Cost{CPUms: 1100, MemMiB: 0.22, WriteOps: 4, WriteKiB: 6, DiskMiB: 0.004}))
+		htl := Node("WriteHomeTimelineService", "fanoutHomeTimelines", Cost{CPUms: 1200, MemMiB: 0.30},
+			Node("SocialGraphService", "getFollowers", Cost{CPUms: 650, MemMiB: 0.18},
+				Node("SocialGraphRedis", "get", Cost{CPUms: 260, MemMiB: 0.05, CacheMiB: 0.010})),
+			Node("HomeTimelineRedis", "update", Cost{CPUms: 520, MemMiB: 0.10, CacheMiB: 0.018}))
+		mq := Node("WriteHomeTimelineRabbitMQ", "enqueue", Cost{CPUms: 330, MemMiB: 0.12})
+		nodes := []*PathNode{post, utl, mq, htl}
+		if mediaRef {
+			media := Node("MediaService", "composeMedia", Cost{CPUms: 800, MemMiB: 0.35},
+				Node("MediaMongoDB", "linkMedia", Cost{CPUms: 700, MemMiB: 0.15, WriteOps: 2, WriteKiB: 3, DiskMiB: 0.001}))
+			nodes = append([]*PathNode{media}, nodes...)
+		}
+		return nodes
+	}
+
+	base := func(extra []*PathNode, mediaRef bool) *PathNode {
+		compose := Node("ComposePostService", "composePost", Cost{CPUms: 2600, MemMiB: 0.55},
+			Node("UniqueIDService", "generateID", Cost{CPUms: 180, MemMiB: 0.03}),
+			Node("UserService", "verifyUser", Cost{CPUms: 420, MemMiB: 0.10},
+				Node("UserMemcached", "get", Cost{CPUms: 150, MemMiB: 0.02, CacheMiB: 0.004})),
+			Node("ComposePostRedis", "stageState", Cost{CPUms: 300, MemMiB: 0.06, CacheMiB: 0.008}),
+		)
+		compose.Children = append(compose.Children, extra...)
+		compose.Children = append(compose.Children, storageWrites(mediaRef)...)
+		return Node("FrontendNGINX", "composePost", Cost{CPUms: 420, MemMiB: 0.10}, compose)
+	}
+
+	textPlain := Node("TextService", "processText", Cost{CPUms: 700, MemMiB: 0.16})
+	textRich := Node("TextService", "processText", Cost{CPUms: 950, MemMiB: 0.20},
+		Node("UserMentionService", "resolveMentions", Cost{CPUms: 520, MemMiB: 0.12},
+			Node("UserMongoDB", "find", Cost{CPUms: 620, MemMiB: 0.12, CacheMiB: 0.006})),
+		Node("UrlShortenService", "shortenUrls", Cost{CPUms: 480, MemMiB: 0.10},
+			Node("UrlShortenMongoDB", "insert", Cost{CPUms: 760, MemMiB: 0.12, WriteOps: 2, WriteKiB: 2, DiskMiB: 0.0008})))
+	textMedia := Node("TextService", "processText", Cost{CPUms: 760, MemMiB: 0.17})
+
+	return API{
+		Name:      "/composePost",
+		PayloadCV: 0.18,
+		Templates: []Template{
+			{Prob: 0.50, Root: base([]*PathNode{textPlain}, false)},
+			{Prob: 0.30, Root: base([]*PathNode{textRich}, false)},
+			{Prob: 0.20, Root: base([]*PathNode{textMedia}, true)},
+		},
+	}
+}
+
+// readTimeline reads a user's own timeline (the paper's /readTimeline,
+// Figure 3): it never touches the write path of PostStorageMongoDB, only
+// its read CPU.
+func readTimeline() API {
+	hit := Node("FrontendNGINX", "readTimeline", Cost{CPUms: 360, MemMiB: 0.09},
+		Node("UserTimelineService", "readTimeline", Cost{CPUms: 1300, MemMiB: 0.40},
+			Node("UserTimelineRedis", "get", Cost{CPUms: 420, MemMiB: 0.08, CacheMiB: 0.012}),
+			Node("PostStorageService", "getPosts", Cost{CPUms: 980, MemMiB: 0.34},
+				Node("PostStorageMemcached", "get", Cost{CPUms: 380, MemMiB: 0.07, CacheMiB: 0.016}))))
+	miss := Node("FrontendNGINX", "readTimeline", Cost{CPUms: 360, MemMiB: 0.09},
+		Node("UserTimelineService", "readTimeline", Cost{CPUms: 1450, MemMiB: 0.44},
+			Node("UserTimelineMongoDB", "find", Cost{CPUms: 1250, MemMiB: 0.26, CacheMiB: 0.014}),
+			Node("PostStorageService", "getPosts", Cost{CPUms: 1050, MemMiB: 0.36},
+				Node("PostStorageMongoDB", "find", Cost{CPUms: 1600, MemMiB: 0.30, CacheMiB: 0.020}))))
+	return API{
+		Name:      "/readTimeline",
+		PayloadCV: 0.14,
+		Templates: []Template{
+			{Prob: 0.55, Root: hit},
+			{Prob: 0.45, Root: miss},
+		},
+	}
+}
+
+// readHomeTimeline reads the aggregated timeline of followed users.
+func readHomeTimeline() API {
+	hit := Node("FrontendNGINX", "readHomeTimeline", Cost{CPUms: 360, MemMiB: 0.09},
+		Node("HomeTimelineService", "readHomeTimeline", Cost{CPUms: 1350, MemMiB: 0.42},
+			Node("HomeTimelineRedis", "get", Cost{CPUms: 470, MemMiB: 0.09, CacheMiB: 0.014}),
+			Node("PostStorageService", "getPosts", Cost{CPUms: 1000, MemMiB: 0.35},
+				Node("PostStorageMemcached", "get", Cost{CPUms: 390, MemMiB: 0.07, CacheMiB: 0.016}))))
+	miss := Node("FrontendNGINX", "readHomeTimeline", Cost{CPUms: 360, MemMiB: 0.09},
+		Node("HomeTimelineService", "readHomeTimeline", Cost{CPUms: 1500, MemMiB: 0.46},
+			Node("HomeTimelineRedis", "get", Cost{CPUms: 470, MemMiB: 0.09, CacheMiB: 0.014}),
+			Node("PostStorageService", "getPosts", Cost{CPUms: 1100, MemMiB: 0.37},
+				Node("PostStorageMongoDB", "find", Cost{CPUms: 1700, MemMiB: 0.32, CacheMiB: 0.022}))))
+	return API{
+		Name:      "/readHomeTimeline",
+		PayloadCV: 0.14,
+		Templates: []Template{
+			{Prob: 0.60, Root: hit},
+			{Prob: 0.40, Root: miss},
+		},
+	}
+}
+
+// uploadMedia stores a photo; it is the only API that grows MediaMongoDB's
+// disk (Figure 22: MediaMongoDB memory is affected only by /uploadMedia in
+// the paper's learned masks; here the write resources are exclusive to it).
+func uploadMedia() API {
+	small := Node("MediaNGINX", "uploadMedia", Cost{CPUms: 900, MemMiB: 0.80},
+		Node("MediaService", "storeMedia", Cost{CPUms: 1400, MemMiB: 1.00},
+			Node("MediaMongoDB", "store", Cost{CPUms: 2100, MemMiB: 0.80, CacheMiB: 0.09, WriteOps: 10, WriteKiB: 220, DiskMiB: 0.22})))
+	large := Node("MediaNGINX", "uploadMedia", Cost{CPUms: 1500, MemMiB: 1.40},
+		Node("MediaService", "storeMedia", Cost{CPUms: 2300, MemMiB: 1.70},
+			Node("MediaMongoDB", "store", Cost{CPUms: 3400, MemMiB: 1.30, CacheMiB: 0.28, WriteOps: 18, WriteKiB: 760, DiskMiB: 0.75})))
+	return API{
+		Name:      "/uploadMedia",
+		PayloadCV: 0.30,
+		Templates: []Template{
+			{Prob: 0.70, Root: small},
+			{Prob: 0.30, Root: large},
+		},
+	}
+}
+
+// getMedia fetches a photo, usually from cache.
+func getMedia() API {
+	hit := Node("MediaNGINX", "getMedia", Cost{CPUms: 650, MemMiB: 0.50},
+		Node("MediaService", "getMedia", Cost{CPUms: 800, MemMiB: 0.60},
+			Node("MediaMemcached", "get", Cost{CPUms: 420, MemMiB: 0.12, CacheMiB: 0.05})))
+	miss := Node("MediaNGINX", "getMedia", Cost{CPUms: 700, MemMiB: 0.55},
+		Node("MediaService", "getMedia", Cost{CPUms: 950, MemMiB: 0.70},
+			Node("MediaMongoDB", "find", Cost{CPUms: 1900, MemMiB: 0.60, CacheMiB: 0.08})))
+	return API{
+		Name:      "/getMedia",
+		PayloadCV: 0.25,
+		Templates: []Template{
+			{Prob: 0.75, Root: hit},
+			{Prob: 0.25, Root: miss},
+		},
+	}
+}
+
+// registerUser creates an account and a social-graph node.
+func registerUser() API {
+	root := Node("FrontendNGINX", "register", Cost{CPUms: 380, MemMiB: 0.09},
+		Node("UserService", "register", Cost{CPUms: 1300, MemMiB: 0.30},
+			Node("UserMongoDB", "insert", Cost{CPUms: 1100, MemMiB: 0.20, WriteOps: 4, WriteKiB: 4, DiskMiB: 0.002})),
+		Node("SocialGraphService", "insertUser", Cost{CPUms: 600, MemMiB: 0.15},
+			Node("SocialGraphMongoDB", "insert", Cost{CPUms: 900, MemMiB: 0.16, WriteOps: 3, WriteKiB: 2, DiskMiB: 0.001})))
+	return API{
+		Name:      "/register",
+		PayloadCV: 0.10,
+		Templates: []Template{{Prob: 1.0, Root: root}},
+	}
+}
+
+// login authenticates a user, usually hitting the user cache.
+func login() API {
+	hit := Node("FrontendNGINX", "login", Cost{CPUms: 340, MemMiB: 0.08},
+		Node("UserService", "login", Cost{CPUms: 800, MemMiB: 0.18},
+			Node("UserMemcached", "get", Cost{CPUms: 190, MemMiB: 0.03, CacheMiB: 0.004})))
+	miss := Node("FrontendNGINX", "login", Cost{CPUms: 340, MemMiB: 0.08},
+		Node("UserService", "login", Cost{CPUms: 900, MemMiB: 0.20},
+			Node("UserMongoDB", "find", Cost{CPUms: 700, MemMiB: 0.14, CacheMiB: 0.005})))
+	return API{
+		Name:      "/login",
+		PayloadCV: 0.08,
+		Templates: []Template{
+			{Prob: 0.70, Root: hit},
+			{Prob: 0.30, Root: miss},
+		},
+	}
+}
+
+// follow adds a social-graph edge.
+func follow() API {
+	root := Node("FrontendNGINX", "follow", Cost{CPUms: 350, MemMiB: 0.08},
+		Node("SocialGraphService", "follow", Cost{CPUms: 900, MemMiB: 0.20},
+			Node("SocialGraphMongoDB", "update", Cost{CPUms: 1000, MemMiB: 0.18, WriteOps: 3, WriteKiB: 2, DiskMiB: 0.0008}),
+			Node("SocialGraphRedis", "update", Cost{CPUms: 300, MemMiB: 0.05, CacheMiB: 0.006})))
+	return API{
+		Name:      "/follow",
+		PayloadCV: 0.06,
+		Templates: []Template{{Prob: 1.0, Root: root}},
+	}
+}
+
+// unfollow removes a social-graph edge.
+func unfollow() API {
+	root := Node("FrontendNGINX", "unfollow", Cost{CPUms: 350, MemMiB: 0.08},
+		Node("SocialGraphService", "unfollow", Cost{CPUms: 880, MemMiB: 0.20},
+			Node("SocialGraphMongoDB", "update", Cost{CPUms: 980, MemMiB: 0.18, WriteOps: 3, WriteKiB: 2, DiskMiB: 0.0004}),
+			Node("SocialGraphRedis", "update", Cost{CPUms: 300, MemMiB: 0.05, CacheMiB: 0.006})))
+	return API{
+		Name:      "/unfollow",
+		PayloadCV: 0.06,
+		Templates: []Template{{Prob: 1.0, Root: root}},
+	}
+}
+
+// readPost fetches a single post by ID.
+func readPost() API {
+	hit := Node("FrontendNGINX", "readPost", Cost{CPUms: 330, MemMiB: 0.08},
+		Node("PostStorageService", "readPost", Cost{CPUms: 750, MemMiB: 0.22},
+			Node("PostStorageMemcached", "get", Cost{CPUms: 340, MemMiB: 0.06, CacheMiB: 0.012})))
+	miss := Node("FrontendNGINX", "readPost", Cost{CPUms: 330, MemMiB: 0.08},
+		Node("PostStorageService", "readPost", Cost{CPUms: 860, MemMiB: 0.26},
+			Node("PostStorageMongoDB", "find", Cost{CPUms: 1350, MemMiB: 0.26, CacheMiB: 0.018})))
+	return API{
+		Name:      "/readPost",
+		PayloadCV: 0.10,
+		Templates: []Template{
+			{Prob: 0.65, Root: hit},
+			{Prob: 0.35, Root: miss},
+		},
+	}
+}
+
+// searchUser looks up accounts by name.
+func searchUser() API {
+	root := Node("FrontendNGINX", "searchUser", Cost{CPUms: 360, MemMiB: 0.09},
+		Node("SearchService", "search", Cost{CPUms: 1500, MemMiB: 0.40},
+			Node("UserService", "lookup", Cost{CPUms: 600, MemMiB: 0.14},
+				Node("UserMongoDB", "find", Cost{CPUms: 850, MemMiB: 0.16, CacheMiB: 0.008}))))
+	return API{
+		Name:      "/searchUser",
+		PayloadCV: 0.12,
+		Templates: []Template{{Prob: 1.0, Root: root}},
+	}
+}

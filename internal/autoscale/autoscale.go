@@ -1,0 +1,202 @@
+// Package autoscale turns resource estimates into schedule-based scaling
+// plans — the §2 use case the paper positions DeepRest for: unlike reactive
+// autoscalers, which act only after load changes (too late for resources
+// that take time to provision), a schedule allocates each resource ahead of
+// time from the estimated demand, with headroom taken from the estimator's
+// confidence interval.
+//
+// The package also scores plans against measured consumption, so the
+// experiment drivers can compare "what would the cluster have looked like"
+// under DeepRest-driven scheduling versus the baselines: violation minutes
+// (demand above allocation → queueing/SLO risk) and waste (allocation above
+// demand → cost).
+package autoscale
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/app"
+	"repro/internal/estimator"
+)
+
+// Config controls plan construction.
+type Config struct {
+	// IntervalWindows is the scheduling granularity: one allocation
+	// decision per this many windows (e.g. an hour's worth). Resources
+	// cannot be re-provisioned per scrape window.
+	IntervalWindows int
+	// Headroom is the fractional margin added above the estimate
+	// (default 0.10).
+	Headroom float64
+	// UseUpper allocates against the upper confidence bound when
+	// available, falling back to the expected value (default true).
+	UseUpper bool
+	// MinChange is the relative hysteresis: a new interval keeps the
+	// previous allocation unless it differs by more than this fraction
+	// (default 0.05), avoiding allocation churn.
+	MinChange float64
+}
+
+// DefaultConfig returns conventional planning parameters.
+func DefaultConfig() Config {
+	return Config{IntervalWindows: 12, Headroom: 0.10, UseUpper: true, MinChange: 0.05}
+}
+
+// Allocation is one scheduled reservation: Amount of the resource over the
+// window range [From, To).
+type Allocation struct {
+	From, To int
+	Amount   float64
+}
+
+// Schedule is a per-pair allocation timetable.
+type Schedule map[app.Pair][]Allocation
+
+// Plan builds a schedule from interval estimates. For each scheduling
+// interval the allocation covers the interval's peak estimated demand plus
+// headroom.
+func Plan(estimates map[app.Pair]estimator.Estimate, cfg Config) (Schedule, error) {
+	if cfg.IntervalWindows <= 0 {
+		return nil, fmt.Errorf("autoscale: IntervalWindows must be positive")
+	}
+	if cfg.Headroom < 0 {
+		return nil, fmt.Errorf("autoscale: negative headroom")
+	}
+	out := make(Schedule, len(estimates))
+	for p, est := range estimates {
+		series := est.Exp
+		if cfg.UseUpper && len(est.Up) == len(est.Exp) {
+			series = est.Up
+		}
+		out[p] = planSeries(series, cfg)
+	}
+	return out, nil
+}
+
+// PlanSeries builds the allocation timetable for a single estimated demand
+// series — the entry point for callers that bring estimates from any
+// source (e.g. a baseline forecaster).
+func PlanSeries(series []float64, cfg Config) ([]Allocation, error) {
+	if cfg.IntervalWindows <= 0 {
+		return nil, fmt.Errorf("autoscale: IntervalWindows must be positive")
+	}
+	return planSeries(series, cfg), nil
+}
+
+func planSeries(series []float64, cfg Config) []Allocation {
+	var out []Allocation
+	prev := math.NaN()
+	for from := 0; from < len(series); from += cfg.IntervalWindows {
+		to := from + cfg.IntervalWindows
+		if to > len(series) {
+			to = len(series)
+		}
+		peak := 0.0
+		for _, v := range series[from:to] {
+			if v > peak {
+				peak = v
+			}
+		}
+		amount := peak * (1 + cfg.Headroom)
+		// Hysteresis: keep the previous allocation for small changes.
+		if !math.IsNaN(prev) && math.Abs(amount-prev) <= cfg.MinChange*math.Max(prev, 1e-9) {
+			amount = prev
+		}
+		if len(out) > 0 && out[len(out)-1].Amount == amount {
+			out[len(out)-1].To = to
+		} else {
+			out = append(out, Allocation{From: from, To: to, Amount: amount})
+		}
+		prev = amount
+	}
+	return out
+}
+
+// AllocationAt returns the allocated amount for window w (0 beyond the
+// schedule).
+func AllocationAt(allocs []Allocation, w int) float64 {
+	for _, a := range allocs {
+		if w >= a.From && w < a.To {
+			return a.Amount
+		}
+	}
+	return 0
+}
+
+// Report scores a schedule against measured demand.
+type Report struct {
+	// ViolationFrac is the fraction of windows where demand exceeded the
+	// allocation (under-provisioning → SLO risk).
+	ViolationFrac float64
+	// ViolationDepth is the mean relative shortfall over violating
+	// windows.
+	ViolationDepth float64
+	// WasteFrac is the total over-allocation as a fraction of total
+	// demand (cost of head-room and estimation error).
+	WasteFrac float64
+	// Changes is the number of allocation changes (provisioning churn).
+	Changes int
+}
+
+// Assess compares one pair's allocations against the measured series.
+func Assess(allocs []Allocation, actual []float64) Report {
+	var rep Report
+	if len(actual) == 0 {
+		return rep
+	}
+	violations := 0
+	depth := 0.0
+	waste := 0.0
+	demand := 0.0
+	for w, d := range actual {
+		a := AllocationAt(allocs, w)
+		demand += d
+		if d > a {
+			violations++
+			if d > 0 {
+				depth += (d - a) / d
+			}
+		} else {
+			waste += a - d
+		}
+	}
+	rep.ViolationFrac = float64(violations) / float64(len(actual))
+	if violations > 0 {
+		rep.ViolationDepth = depth / float64(violations)
+	}
+	if demand > 0 {
+		rep.WasteFrac = waste / demand
+	}
+	rep.Changes = len(allocs) - 1
+	if rep.Changes < 0 {
+		rep.Changes = 0
+	}
+	return rep
+}
+
+// AssessSchedule aggregates Assess over every pair of a schedule, averaging
+// the fractions.
+func AssessSchedule(s Schedule, actual map[app.Pair][]float64) (Report, error) {
+	var agg Report
+	n := 0
+	for p, allocs := range s {
+		series, ok := actual[p]
+		if !ok {
+			return Report{}, fmt.Errorf("autoscale: no measurements for %s", p)
+		}
+		r := Assess(allocs, series)
+		agg.ViolationFrac += r.ViolationFrac
+		agg.ViolationDepth += r.ViolationDepth
+		agg.WasteFrac += r.WasteFrac
+		agg.Changes += r.Changes
+		n++
+	}
+	if n == 0 {
+		return agg, nil
+	}
+	agg.ViolationFrac /= float64(n)
+	agg.ViolationDepth /= float64(n)
+	agg.WasteFrac /= float64(n)
+	return agg, nil
+}

@@ -1,0 +1,157 @@
+package autoscale
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/app"
+	"repro/internal/estimator"
+)
+
+func TestPlanSeriesBasics(t *testing.T) {
+	series := []float64{10, 20, 30, 5, 5, 5}
+	cfg := Config{IntervalWindows: 3, Headroom: 0.10}
+	allocs, err := PlanSeries(series, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs) != 2 {
+		t.Fatalf("allocations = %v", allocs)
+	}
+	if math.Abs(allocs[0].Amount-33) > 1e-9 {
+		t.Errorf("first allocation = %v, want 33 (peak 30 + 10%%)", allocs[0].Amount)
+	}
+	if math.Abs(allocs[1].Amount-5.5) > 1e-9 {
+		t.Errorf("second allocation = %v, want 5.5", allocs[1].Amount)
+	}
+	if allocs[0].From != 0 || allocs[0].To != 3 || allocs[1].To != 6 {
+		t.Errorf("ranges = %v", allocs)
+	}
+}
+
+func TestPlanHysteresisMergesIntervals(t *testing.T) {
+	// Small fluctuations should not change the allocation.
+	series := []float64{100, 101, 99, 100, 102, 98}
+	cfg := Config{IntervalWindows: 2, Headroom: 0, MinChange: 0.05}
+	allocs, _ := PlanSeries(series, cfg)
+	if len(allocs) != 1 {
+		t.Fatalf("hysteresis should merge to one allocation, got %v", allocs)
+	}
+	if allocs[0].From != 0 || allocs[0].To != 6 {
+		t.Errorf("merged range = %v", allocs[0])
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := PlanSeries([]float64{1}, Config{}); err == nil {
+		t.Error("zero interval must fail")
+	}
+	if _, err := Plan(nil, Config{IntervalWindows: 2, Headroom: -1}); err == nil {
+		t.Error("negative headroom must fail")
+	}
+}
+
+func TestPlanUsesUpperBound(t *testing.T) {
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	est := map[app.Pair]estimator.Estimate{p: {
+		Exp: []float64{10, 10},
+		Up:  []float64{15, 15},
+		Low: []float64{8, 8},
+	}}
+	cfg := Config{IntervalWindows: 2, UseUpper: true}
+	s, err := Plan(est, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s[p][0].Amount; got != 15 {
+		t.Errorf("allocation = %v, want 15 (upper bound)", got)
+	}
+	cfg.UseUpper = false
+	s, _ = Plan(est, cfg)
+	if got := s[p][0].Amount; got != 10 {
+		t.Errorf("allocation = %v, want 10 (expected value)", got)
+	}
+}
+
+func TestAllocationAt(t *testing.T) {
+	allocs := []Allocation{{From: 0, To: 3, Amount: 5}, {From: 3, To: 6, Amount: 9}}
+	if AllocationAt(allocs, 2) != 5 || AllocationAt(allocs, 3) != 9 {
+		t.Error("AllocationAt boundaries wrong")
+	}
+	if AllocationAt(allocs, 10) != 0 {
+		t.Error("out-of-schedule should be 0")
+	}
+}
+
+func TestAssess(t *testing.T) {
+	allocs := []Allocation{{From: 0, To: 4, Amount: 10}}
+	actual := []float64{8, 12, 9, 20}
+	r := Assess(allocs, actual)
+	if r.ViolationFrac != 0.5 {
+		t.Errorf("ViolationFrac = %v, want 0.5", r.ViolationFrac)
+	}
+	// Shortfalls: (12-10)/12 and (20-10)/20 → mean ≈ 0.3333.
+	if math.Abs(r.ViolationDepth-((2.0/12+10.0/20)/2)) > 1e-9 {
+		t.Errorf("ViolationDepth = %v", r.ViolationDepth)
+	}
+	// Waste: (10-8) + (10-9) = 3 over demand 49.
+	if math.Abs(r.WasteFrac-3.0/49) > 1e-9 {
+		t.Errorf("WasteFrac = %v", r.WasteFrac)
+	}
+	if r.Changes != 0 {
+		t.Errorf("Changes = %d", r.Changes)
+	}
+	if got := Assess(nil, nil); got != (Report{}) {
+		t.Error("empty assessment should be zero")
+	}
+}
+
+func TestAssessSchedule(t *testing.T) {
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	q := app.Pair{Component: "B", Resource: app.CPU}
+	s := Schedule{
+		p: {{From: 0, To: 2, Amount: 10}},
+		q: {{From: 0, To: 2, Amount: 10}},
+	}
+	actual := map[app.Pair][]float64{
+		p: {5, 5},   // no violations
+		q: {20, 20}, // all violations
+	}
+	r, err := AssessSchedule(s, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ViolationFrac != 0.5 {
+		t.Errorf("mean ViolationFrac = %v", r.ViolationFrac)
+	}
+	delete(actual, q)
+	if _, err := AssessSchedule(s, actual); err == nil {
+		t.Error("missing measurements must fail")
+	}
+}
+
+// Property: with zero estimation error and any non-negative headroom, a
+// plan built from the demand itself never violates.
+func TestPerfectPlanNeverViolatesProperty(t *testing.T) {
+	f := func(raw []float64, h8 uint8) bool {
+		series := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				series = append(series, math.Abs(v))
+			}
+		}
+		if len(series) == 0 {
+			return true
+		}
+		cfg := Config{IntervalWindows: 3, Headroom: float64(h8) / 255}
+		allocs, err := PlanSeries(series, cfg)
+		if err != nil {
+			return false
+		}
+		return Assess(allocs, series).ViolationFrac == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/app"
+	"repro/internal/eval"
+)
+
+func TestSolveLinear(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, ok := solveLinear(a, b)
+	if !ok {
+		t.Fatal("solveLinear failed")
+	}
+	// 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("x = %v", x)
+	}
+	// Singular system.
+	if _, ok := solveLinear([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); ok {
+		t.Error("singular system should fail")
+	}
+}
+
+func TestSolveLinearNeedsPivot(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, ok := solveLinear(a, b)
+	if !ok || math.Abs(x[0]-3) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Errorf("x = %v ok=%v", x, ok)
+	}
+}
+
+func TestFitARRecoversCoefficients(t *testing.T) {
+	// Simulate AR(2): d_t = 0.5 d_{t-1} − 0.3 d_{t-2} + ε.
+	rng := rand.New(rand.NewSource(1))
+	d := make([]float64, 3000)
+	for t := 2; t < len(d); t++ {
+		d[t] = 0.5*d[t-1] - 0.3*d[t-2] + 0.1*rng.NormFloat64()
+	}
+	coef, err := fitAR(d, 2, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[1]-0.5) > 0.05 || math.Abs(coef[2]+0.3) > 0.05 {
+		t.Errorf("coef = %v, want [~0, 0.5, -0.3]", coef)
+	}
+}
+
+func TestARForecastsSeasonalSeries(t *testing.T) {
+	wpd := 24
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	series := make([]float64, wpd*5)
+	rng := rand.New(rand.NewSource(2))
+	for i := range series {
+		series[i] = 80 + 30*math.Sin(2*math.Pi*float64(i%wpd)/float64(wpd)) + rng.NormFloat64()
+	}
+	ar, err := TrainAR(map[app.Pair][]float64{p: series}, wpd, DefaultARConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := ar.Forecast(p, wpd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape := eval.MAPE(fc, series[:wpd])
+	t.Logf("AR forecast MAPE: %.2f%%", mape)
+	if mape > 8 {
+		t.Errorf("AR forecast MAPE %.2f%% too high for a clean seasonal series", mape)
+	}
+}
+
+func TestARDiskMonotone(t *testing.T) {
+	wpd := 24
+	p := app.Pair{Component: "DB", Resource: app.DiskUsage}
+	series := make([]float64, wpd*4)
+	for i := range series {
+		series[i] = 500 + 2.5*float64(i)
+	}
+	ar, err := TrainAR(map[app.Pair][]float64{p: series}, wpd, DefaultARConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := ar.Forecast(p, wpd)
+	if fc[0] < series[len(series)-1] {
+		t.Errorf("disk forecast %v below last observation %v", fc[0], series[len(series)-1])
+	}
+	growth := fc[len(fc)-1] - fc[0]
+	want := 2.5 * float64(wpd-1)
+	if math.Abs(growth-want) > 0.3*want {
+		t.Errorf("growth = %v, want ≈%v", growth, want)
+	}
+}
+
+func TestARValidation(t *testing.T) {
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	if _, err := TrainAR(map[app.Pair][]float64{p: make([]float64, 10)}, 24, DefaultARConfig()); err == nil {
+		t.Error("short series must fail")
+	}
+	if _, err := TrainAR(map[app.Pair][]float64{p: make([]float64, 100)}, 0, DefaultARConfig()); err == nil {
+		t.Error("zero period must fail")
+	}
+	ar, err := TrainAR(map[app.Pair][]float64{p: make([]float64, 100)}, 24, DefaultARConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.Forecast(app.Pair{Component: "ghost"}, 5); err == nil {
+		t.Error("unknown pair must fail")
+	}
+}
+
+// Property: for a perfectly periodic series the seasonal difference is zero
+// and the forecast reproduces the last season.
+func TestARPeriodicFixedPointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wpd := 12
+		pattern := make([]float64, wpd)
+		for i := range pattern {
+			pattern[i] = 50 + 40*rng.Float64()
+		}
+		series := make([]float64, wpd*4)
+		for i := range series {
+			series[i] = pattern[i%wpd]
+		}
+		p := app.Pair{Component: "A", Resource: app.CPU}
+		ar, err := TrainAR(map[app.Pair][]float64{p: series}, wpd, DefaultARConfig())
+		if err != nil {
+			return false
+		}
+		fc, err := ar.Forecast(p, wpd)
+		if err != nil {
+			return false
+		}
+		for i := range fc {
+			if math.Abs(fc[i]-pattern[i%wpd]) > 0.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

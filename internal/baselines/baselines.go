@@ -1,0 +1,189 @@
+// Package baselines implements the three comparison techniques of the
+// paper's §5.1:
+//
+//   - Resource-aware deep learning: a per-(component, resource) recurrent
+//     forecaster trained purely on historical utilization — the
+//     representative of prior time-series approaches. It cannot consider
+//     the API traffic a query specifies.
+//   - Simple scaling: scales every resource of every component by one
+//     global factor derived from the total request volume.
+//   - Component-aware scaling: uses distributed traces to learn a
+//     per-component invocation factor, but scales all resources of a
+//     component identically.
+//
+// All three share small conventions with the estimator so comparisons are
+// apples-to-apples: monotone counters (disk usage) are modelled as growth
+// and re-integrated from the last value observed in training.
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/trace"
+)
+
+// historyStats holds the per-pair statistics shared by the scaling
+// baselines.
+type historyStats struct {
+	meanUtil   float64 // mean utilization over training (level resources)
+	meanGrowth float64 // mean per-window growth (monotone counters)
+	base       float64 // last observed value (monotone counters)
+}
+
+func fitHistory(p app.Pair, series []float64) historyStats {
+	var st historyStats
+	if len(series) == 0 {
+		return st
+	}
+	if p.Resource == app.DiskUsage {
+		st.base = series[len(series)-1]
+		if len(series) > 1 {
+			st.meanGrowth = (series[len(series)-1] - series[0]) / float64(len(series)-1)
+		}
+		return st
+	}
+	sum := 0.0
+	for _, v := range series {
+		sum += v
+	}
+	st.meanUtil = sum / float64(len(series))
+	return st
+}
+
+// estimate produces the baseline series for one pair given its per-window
+// scaling factors.
+func (st historyStats) estimate(p app.Pair, factors []float64) []float64 {
+	out := make([]float64, len(factors))
+	if p.Resource == app.DiskUsage {
+		acc := st.base
+		for i, f := range factors {
+			acc += st.meanGrowth * f
+			out[i] = acc
+		}
+		return out
+	}
+	for i, f := range factors {
+		out[i] = st.meanUtil * f
+	}
+	return out
+}
+
+// SimpleScaling scales all resources in all components by the same factor:
+// the ratio of the query's total request rate to the mean total request
+// rate observed in training.
+type SimpleScaling struct {
+	stats    map[app.Pair]historyStats
+	meanRate float64
+}
+
+// TrainSimpleScaling fits the baseline from training utilization and the
+// training per-window total request counts.
+func TrainSimpleScaling(usage map[app.Pair][]float64, totalRequests []float64) (*SimpleScaling, error) {
+	if len(totalRequests) == 0 {
+		return nil, fmt.Errorf("baselines: no training traffic")
+	}
+	s := &SimpleScaling{stats: make(map[app.Pair]historyStats, len(usage))}
+	sum := 0.0
+	for _, v := range totalRequests {
+		sum += v
+	}
+	s.meanRate = sum / float64(len(totalRequests))
+	if s.meanRate <= 0 {
+		return nil, fmt.Errorf("baselines: training traffic is empty")
+	}
+	for p, series := range usage {
+		s.stats[p] = fitHistory(p, series)
+	}
+	return s, nil
+}
+
+// Estimate returns the per-window estimate for pair p given the query's
+// total request counts per window.
+func (s *SimpleScaling) Estimate(p app.Pair, queryTotals []float64) ([]float64, error) {
+	st, ok := s.stats[p]
+	if !ok {
+		return nil, fmt.Errorf("baselines: simple scaling has no history for %s", p)
+	}
+	factors := make([]float64, len(queryTotals))
+	for i, r := range queryTotals {
+		factors[i] = r / s.meanRate
+	}
+	return st.estimate(p, factors), nil
+}
+
+// ComponentAware scales each component by how many more or fewer
+// invocations it receives in the query relative to training, derived from
+// distributed traces — but applies the same factor to every resource of the
+// component (the paper's component-aware scaling baseline).
+type ComponentAware struct {
+	stats     map[app.Pair]historyStats
+	meanInvoc map[string]float64
+}
+
+// CountInvocations returns, per window, the number of span visits per
+// component across the window's trace batches.
+func CountInvocations(windows [][]trace.Batch) []map[string]float64 {
+	out := make([]map[string]float64, len(windows))
+	for w, batches := range windows {
+		m := make(map[string]float64)
+		for _, b := range batches {
+			if b.Trace.Root == nil {
+				continue
+			}
+			n := float64(b.Count)
+			b.Trace.Root.Walk(func(s *trace.Span, _ []string) {
+				m[s.Component] += n
+			})
+		}
+		out[w] = m
+	}
+	return out
+}
+
+// TrainComponentAware fits the baseline from training utilization and
+// training trace windows.
+func TrainComponentAware(usage map[app.Pair][]float64, windows [][]trace.Batch) (*ComponentAware, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("baselines: no training traces")
+	}
+	c := &ComponentAware{
+		stats:     make(map[app.Pair]historyStats, len(usage)),
+		meanInvoc: make(map[string]float64),
+	}
+	for p, series := range usage {
+		c.stats[p] = fitHistory(p, series)
+	}
+	counts := CountInvocations(windows)
+	totals := make(map[string]float64)
+	for _, m := range counts {
+		for comp, n := range m {
+			totals[comp] += n
+		}
+	}
+	for comp, n := range totals {
+		c.meanInvoc[comp] = n / float64(len(windows))
+	}
+	return c, nil
+}
+
+// Estimate returns the per-window estimate for pair p given the query's
+// trace windows (real traces for sanity checks, synthetic ones for
+// hypothetical traffic).
+func (c *ComponentAware) Estimate(p app.Pair, queryWindows [][]trace.Batch) ([]float64, error) {
+	st, ok := c.stats[p]
+	if !ok {
+		return nil, fmt.Errorf("baselines: component-aware scaling has no history for %s", p)
+	}
+	mean := c.meanInvoc[p.Component]
+	counts := CountInvocations(queryWindows)
+	factors := make([]float64, len(counts))
+	for i, m := range counts {
+		if mean <= 0 {
+			factors[i] = 0
+			continue
+		}
+		factors[i] = m[p.Component] / mean
+	}
+	return st.estimate(p, factors), nil
+}

@@ -1,0 +1,200 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/eval"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+func TestSimpleScalingFactors(t *testing.T) {
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	usage := map[app.Pair][]float64{p: {10, 20, 30}} // mean 20
+	totals := []float64{100, 200, 300}               // mean 200
+	s, err := TrainSimpleScaling(usage, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.Estimate(p, []float64{400, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 400/200 × 20 = 40; 100/200 × 20 = 10.
+	if math.Abs(est[0]-40) > 1e-9 || math.Abs(est[1]-10) > 1e-9 {
+		t.Errorf("Estimate = %v", est)
+	}
+	if _, err := s.Estimate(app.Pair{Component: "ghost"}, totals); err == nil {
+		t.Error("unknown pair must error")
+	}
+}
+
+func TestSimpleScalingValidation(t *testing.T) {
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	usage := map[app.Pair][]float64{p: {1}}
+	if _, err := TrainSimpleScaling(usage, nil); err == nil {
+		t.Error("empty traffic must fail")
+	}
+	if _, err := TrainSimpleScaling(usage, []float64{0, 0}); err == nil {
+		t.Error("zero traffic must fail")
+	}
+}
+
+func TestSimpleScalingDiskGrowth(t *testing.T) {
+	p := app.Pair{Component: "DB", Resource: app.DiskUsage}
+	// Disk grows 2 MiB/window, ends at 108.
+	usage := map[app.Pair][]float64{p: {100, 102, 104, 106, 108}}
+	totals := []float64{10, 10, 10, 10, 10}
+	s, err := TrainSimpleScaling(usage, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _ := s.Estimate(p, []float64{10, 10})
+	// Growth continues from the last observed value at factor 1.
+	if math.Abs(est[0]-110) > 1e-9 || math.Abs(est[1]-112) > 1e-9 {
+		t.Errorf("disk estimate = %v", est)
+	}
+	// Doubled traffic doubles the growth rate.
+	est2, _ := s.Estimate(p, []float64{20})
+	if math.Abs(est2[0]-112) > 1e-9 {
+		t.Errorf("scaled disk estimate = %v", est2)
+	}
+}
+
+func batchOf(component, op string, count int) trace.Batch {
+	return trace.Batch{
+		Trace: trace.Trace{API: "/x", Root: trace.NewSpan(component, op)},
+		Count: count,
+	}
+}
+
+func TestComponentAwareFactors(t *testing.T) {
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	q := app.Pair{Component: "B", Resource: app.CPU}
+	usage := map[app.Pair][]float64{p: {10, 10}, q: {40, 40}}
+	train := [][]trace.Batch{
+		{batchOf("A", "op", 100), batchOf("B", "op", 50)},
+		{batchOf("A", "op", 100), batchOf("B", "op", 50)},
+	}
+	c, err := TrainComponentAware(usage, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query: A gets 2× its mean invocations, B gets 0.
+	query := [][]trace.Batch{{batchOf("A", "op", 200)}}
+	estA, err := c.Estimate(p, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(estA[0]-20) > 1e-9 {
+		t.Errorf("A estimate = %v, want 20", estA[0])
+	}
+	estB, _ := c.Estimate(q, query)
+	if estB[0] != 0 {
+		t.Errorf("B estimate = %v, want 0", estB[0])
+	}
+	if _, err := c.Estimate(app.Pair{Component: "ghost"}, query); err == nil {
+		t.Error("unknown pair must error")
+	}
+	if _, err := TrainComponentAware(usage, nil); err == nil {
+		t.Error("no traces must fail")
+	}
+}
+
+func TestComponentAwareCountsSpans(t *testing.T) {
+	// Nested spans: one request visiting A→B twice counts B twice.
+	root := trace.NewSpan("A", "op")
+	root.Child("B", "op1")
+	root.Child("B", "op2")
+	counts := CountInvocations([][]trace.Batch{{{Trace: trace.Trace{API: "/x", Root: root}, Count: 3}}})
+	if counts[0]["A"] != 3 || counts[0]["B"] != 6 {
+		t.Errorf("counts = %v", counts[0])
+	}
+}
+
+func TestResourceAwareForecastsPeriodicity(t *testing.T) {
+	// Strongly periodic utilization: the forecaster must reproduce the
+	// daily pattern for the next day.
+	wpd := 24
+	days := 4
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	series := make([]float64, wpd*days)
+	for i := range series {
+		series[i] = 50 + 40*math.Sin(2*math.Pi*float64(i%wpd)/float64(wpd))
+	}
+	cfg := DefaultRAConfig()
+	cfg.Epochs = 40
+	cfg.ChunkLen = 24
+	r, err := TrainResourceAware(map[app.Pair][]float64{p: series}, wpd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := r.Forecast(p, wpd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape := eval.MAPE(fc, series[:wpd])
+	t.Logf("periodic forecast MAPE: %.2f%%", mape)
+	if mape > 15 {
+		t.Errorf("forecast MAPE %.2f%% too high for a perfectly periodic series", mape)
+	}
+}
+
+func TestResourceAwareIgnoresQueries(t *testing.T) {
+	// The forecast depends only on history: two different "queries" see
+	// the same forecast (this is the baseline's defining weakness).
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 4)
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	cfg := DefaultRAConfig()
+	cfg.Epochs = 4
+	r, err := TrainResourceAware(testutil.FocusPairs(run.Usage, p), testutil.ToyDay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Forecast(p, 10)
+	b, _ := r.Forecast(p, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("forecast must be deterministic")
+		}
+	}
+	if _, err := r.Forecast(app.Pair{Component: "ghost"}, 5); err == nil {
+		t.Error("unknown pair must error")
+	}
+}
+
+func TestResourceAwareValidation(t *testing.T) {
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	if _, err := TrainResourceAware(map[app.Pair][]float64{p: make([]float64, 10)}, 24, DefaultRAConfig()); err == nil {
+		t.Error("too-short series must fail")
+	}
+	if _, err := TrainResourceAware(map[app.Pair][]float64{p: make([]float64, 100)}, 0, DefaultRAConfig()); err == nil {
+		t.Error("zero windowsPerDay must fail")
+	}
+}
+
+func TestResourceAwareDiskForecastMonotone(t *testing.T) {
+	wpd := 24
+	p := app.Pair{Component: "DB", Resource: app.DiskUsage}
+	series := make([]float64, wpd*3)
+	for i := range series {
+		series[i] = 1000 + 3*float64(i)
+	}
+	cfg := DefaultRAConfig()
+	cfg.Epochs = 30
+	r, err := TrainResourceAware(map[app.Pair][]float64{p: series}, wpd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := r.Forecast(p, wpd)
+	if fc[0] < series[len(series)-1]-10 {
+		t.Errorf("disk forecast %v fell below last observation %v", fc[0], series[len(series)-1])
+	}
+	growth := fc[len(fc)-1] - fc[0]
+	want := 3 * float64(wpd-1)
+	if math.Abs(growth-want) > 0.5*want {
+		t.Errorf("disk growth forecast %v, want ≈%v", growth, want)
+	}
+}

@@ -1,0 +1,201 @@
+// Package core assembles DeepRest's end-to-end system (paper Figure 4):
+// the application learning phase over production telemetry, and the two
+// query modes —
+//
+//	Mode 1: hypothetical API traffic → trace synthesizer → feature
+//	        extractor → estimator → resource-allocation plan;
+//	Mode 2: real API traffic and traces → feature extractor → estimator →
+//	        expected utilization → application sanity check.
+//
+// The package wires together the feature extractor (internal/features), the
+// trace synthesizer (internal/synth), the multi-expert deep estimator
+// (internal/estimator), and the sanity checker (internal/anomaly). It is
+// the implementation behind the public deeprest package at the module root.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/anomaly"
+	"repro/internal/app"
+	"repro/internal/estimator"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options configures the application learning phase.
+type Options struct {
+	// Estimator carries the neural configuration; zero-value fields are
+	// filled from estimator.DefaultConfig.
+	Estimator estimator.Config
+	// Pairs optionally restricts learning to a subset of
+	// (component, resource) pairs; nil learns every pair the telemetry
+	// server recorded.
+	Pairs []app.Pair
+	// Anonymize, when true, hashes component, operation, and API names
+	// before they enter the model — the paper's privacy-preserving
+	// deployment mode for DeepRest-as-a-service.
+	Anonymize bool
+	// HashSalt salts the anonymisation.
+	HashSalt string
+	// SynthSeed drives trace synthesis for Mode-1 queries.
+	SynthSeed int64
+	// Log receives training progress lines.
+	Log io.Writer
+}
+
+// DefaultOptions returns Options with the default estimator configuration.
+func DefaultOptions() Options {
+	return Options{Estimator: estimator.DefaultConfig(), SynthSeed: 11}
+}
+
+// System is a learned DeepRest instance for one application.
+type System struct {
+	opts   Options
+	hasher *trace.Hasher
+	model  *estimator.Model
+	synth  *synth.Synthesizer
+}
+
+// Learn runs the application learning phase over windows [from, to) of the
+// telemetry server: it builds the invocation-path feature space, learns
+// Prob(path | API) for the trace synthesizer, and trains one DNN expert per
+// (component, resource) pair.
+func Learn(ts *telemetry.Server, from, to int, opts Options) (*System, error) {
+	windows, err := ts.Traces(from, to)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch traces: %w", err)
+	}
+	var usage map[app.Pair][]float64
+	if opts.Pairs == nil {
+		usage, err = ts.Metrics(from, to)
+		if err != nil {
+			return nil, fmt.Errorf("core: fetch metrics: %w", err)
+		}
+	} else {
+		usage = make(map[app.Pair][]float64, len(opts.Pairs))
+		for _, p := range opts.Pairs {
+			s, err := ts.Metric(p, from, to)
+			if err != nil {
+				return nil, fmt.Errorf("core: fetch metrics: %w", err)
+			}
+			usage[p] = s
+		}
+	}
+	return LearnFromData(windows, usage, opts)
+}
+
+// LearnFromData is Learn for callers that already hold the telemetry in
+// memory (tests, replay from files).
+func LearnFromData(windows [][]trace.Batch, usage map[app.Pair][]float64, opts Options) (*System, error) {
+	if opts.Estimator.Hidden == 0 {
+		opts.Estimator = estimator.DefaultConfig()
+	}
+	if opts.Log != nil && opts.Estimator.Log == nil {
+		opts.Estimator.Log = opts.Log
+	}
+	s := &System{opts: opts}
+	if opts.Anonymize {
+		s.hasher = trace.NewHasher(opts.HashSalt)
+		windows = anonymizeWindows(s.hasher, windows)
+	}
+	s.synth = synth.Learn(windows)
+	model, err := estimator.Train(windows, usage, opts.Estimator)
+	if err != nil {
+		return nil, fmt.Errorf("core: train estimator: %w", err)
+	}
+	s.model = model
+	return s, nil
+}
+
+func anonymizeWindows(h *trace.Hasher, windows [][]trace.Batch) [][]trace.Batch {
+	out := make([][]trace.Batch, len(windows))
+	for w, batches := range windows {
+		ab := make([]trace.Batch, len(batches))
+		for i, b := range batches {
+			ab[i] = trace.Batch{Trace: h.AnonymizeTrace(b.Trace), Count: b.Count}
+		}
+		out[w] = ab
+	}
+	return out
+}
+
+// Model exposes the trained estimator, e.g. for interpretation reports and
+// serialization.
+func (s *System) Model() *estimator.Model { return s.model }
+
+// Synthesizer exposes the learned trace synthesizer.
+func (s *System) Synthesizer() *synth.Synthesizer { return s.synth }
+
+// Pairs returns the estimation targets of the learned system.
+func (s *System) Pairs() []app.Pair { return s.model.Pairs }
+
+// EstimateTraffic is query Mode 1: given hypothetical API traffic, it
+// synthesizes traces from Prob(path | API) and estimates the resources
+// required to serve the traffic, per (component, resource) pair.
+func (s *System) EstimateTraffic(t *workload.Traffic) (map[app.Pair]estimator.Estimate, error) {
+	qt := t
+	if s.hasher != nil {
+		qt = hashTrafficAPIs(s.hasher, t)
+	}
+	windows, err := s.synth.Synthesize(qt, s.opts.SynthSeed)
+	if err != nil {
+		return nil, fmt.Errorf("core: synthesize traces: %w", err)
+	}
+	return s.model.Predict(windows)
+}
+
+func hashTrafficAPIs(h *trace.Hasher, t *workload.Traffic) *workload.Traffic {
+	out := &workload.Traffic{
+		Windows:       make([]map[string]int, len(t.Windows)),
+		WindowSeconds: t.WindowSeconds,
+		WindowsPerDay: t.WindowsPerDay,
+	}
+	seen := make(map[string]bool)
+	for w, m := range t.Windows {
+		hm := make(map[string]int, len(m))
+		for api, n := range m {
+			ha := h.Hash(api)
+			hm[ha] = n
+			seen[ha] = true
+		}
+		out.Windows[w] = hm
+	}
+	for a := range seen {
+		out.APIs = append(out.APIs, a)
+	}
+	return out
+}
+
+// ExpectedUtilization is the estimation half of query Mode 2: given the
+// real traces the application served, it returns the utilization DeepRest
+// expects per pair, with confidence intervals.
+func (s *System) ExpectedUtilization(windows [][]trace.Batch) (map[app.Pair]estimator.Estimate, error) {
+	if s.hasher != nil {
+		windows = anonymizeWindows(s.hasher, windows)
+	}
+	return s.model.Predict(windows)
+}
+
+// SanityCheck is query Mode 2 end-to-end: it estimates the expected
+// utilization for the served traces, compares the actual measurements
+// against the expected intervals, and returns the anomalous events. det may
+// be nil for default detection thresholds.
+func (s *System) SanityCheck(windows [][]trace.Batch, actual map[app.Pair][]float64, det *anomaly.Detector) ([]anomaly.Event, error) {
+	expected, err := s.ExpectedUtilization(windows)
+	if err != nil {
+		return nil, err
+	}
+	if det == nil {
+		det = anomaly.NewDetector()
+	}
+	return det.Detect(actual, expected)
+}
+
+// Save serializes the learned estimator. The synthesizer is rebuilt from
+// telemetry at load time via Learn; persisting raw trace distributions is
+// intentionally avoided in anonymized deployments.
+func (s *System) Save(w io.Writer) error { return s.model.Save(w) }

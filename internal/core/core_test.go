@@ -1,0 +1,303 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/app"
+	"repro/internal/estimator"
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/testutil"
+	"repro/internal/workload"
+)
+
+func testOptions() Options {
+	opts := DefaultOptions()
+	opts.Estimator.Hidden = 6
+	opts.Estimator.Epochs = 10
+	opts.Estimator.AttentionEpochs = 2
+	opts.Estimator.ChunkLen = 24
+	return opts
+}
+
+func TestLearnFromTelemetryServer(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 1)
+	ts := telemetry.NewServer(run.WindowSeconds)
+	ts.RecordRun(run)
+	opts := testOptions()
+	opts.Pairs = []app.Pair{
+		{Component: "Service", Resource: app.CPU},
+		{Component: "DB", Resource: app.WriteIOps},
+	}
+	sys, err := Learn(ts, 0, ts.NumWindows(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.Pairs()); got != 2 {
+		t.Fatalf("Pairs = %d, want 2", got)
+	}
+	if sys.Model() == nil || sys.Synthesizer() == nil {
+		t.Fatal("accessors must be non-nil")
+	}
+}
+
+func TestLearnBadRange(t *testing.T) {
+	ts := telemetry.NewServer(60)
+	if _, err := Learn(ts, 0, 5, DefaultOptions()); err == nil {
+		t.Fatal("out-of-range learn must fail")
+	}
+}
+
+func TestEstimateTrafficMode1(t *testing.T) {
+	cluster, _, run := testutil.ToyTelemetry(t, 3, 40, 2)
+	opts := testOptions()
+	p := app.Pair{Component: "DB", Resource: app.CPU}
+	sys, err := LearnFromData(run.Windows, testutil.FocusPairs(run.Usage, p), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := testutil.ToyProgram(1, 60, 55).Generate()
+	truth, err := cluster.Run(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sys.EstimateTraffic(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape := eval.MAPE(est[p].Exp, truth.Usage[p])
+	t.Logf("Mode-1 MAPE: %.2f%%", mape)
+	if mape > 25 {
+		t.Errorf("Mode-1 estimation MAPE %.2f%% too high", mape)
+	}
+}
+
+func TestSanityCheckMode2(t *testing.T) {
+	cluster, _, run := testutil.ToyTelemetry(t, 3, 40, 3)
+	opts := testOptions()
+	cpu := app.Pair{Component: "DB", Resource: app.CPU}
+	mem := app.Pair{Component: "DB", Resource: app.Memory}
+	sys, err := LearnFromData(run.Windows, testutil.FocusPairs(run.Usage, cpu, mem), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := testutil.ToyProgram(1, 40, 77).Generate()
+	from := cluster.Window() + 20
+	cluster.Inject(sim.Cryptojack{Component: "DB", FromWindow: from, ToWindow: from + 12, ExtraCPU: 60})
+	truth, err := cluster.Run(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := map[app.Pair][]float64{cpu: truth.Usage[cpu], mem: truth.Usage[mem]}
+	events, err := sys.SanityCheck(truth.Windows, actual, anomaly.NewDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("cryptojack not detected")
+	}
+	ev := events[0]
+	if ev.Component != "DB" {
+		t.Errorf("event component = %s", ev.Component)
+	}
+	if ev.From > 20 || ev.To < 28 {
+		t.Errorf("event [%d, %d) misses attack [20, 32)", ev.From, ev.To)
+	}
+}
+
+// TestSanityCheckCleanNoAlarms runs the Mode-2 check on benign traffic.
+func TestSanityCheckCleanNoAlarms(t *testing.T) {
+	cluster, _, run := testutil.ToyTelemetry(t, 3, 40, 6)
+	opts := testOptions()
+	cpu := app.Pair{Component: "Service", Resource: app.CPU}
+	sys, err := LearnFromData(run.Windows, testutil.FocusPairs(run.Usage, cpu), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := testutil.ToyProgram(1, 40, 88).Generate()
+	truth, err := cluster.Run(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := sys.SanityCheck(truth.Windows, map[app.Pair][]float64{cpu: truth.Usage[cpu]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("false alarms on benign traffic: %+v", events)
+	}
+}
+
+func TestAnonymizedLearning(t *testing.T) {
+	cluster, _, run := testutil.ToyTelemetry(t, 2, 30, 4)
+	opts := testOptions()
+	opts.Anonymize = true
+	opts.HashSalt = "secret"
+	p := app.Pair{Component: "DB", Resource: app.CPU}
+	sys, err := LearnFromData(run.Windows, testutil.FocusPairs(run.Usage, p), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No plaintext component names may appear in the feature space.
+	for _, path := range sys.Model().Space.Paths() {
+		if strings.Contains(path, "Gateway") || strings.Contains(path, "DB") {
+			t.Fatalf("plaintext name leaked into feature space: %q", path)
+		}
+	}
+	// Mode-1 queries still work: API names are hashed on the way in.
+	query := testutil.ToyProgram(1, 45, 66).Generate()
+	truth, err := cluster.Run(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sys.EstimateTraffic(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape := eval.MAPE(est[p].Exp, truth.Usage[p])
+	t.Logf("anonymized Mode-1 MAPE: %.2f%%", mape)
+	if mape > 25 {
+		t.Errorf("anonymized estimation degraded: %.2f%%", mape)
+	}
+}
+
+func TestSystemSaveLoad(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 5)
+	opts := testOptions()
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	sys, err := LearnFromData(run.Windows, testutil.FocusPairs(run.Usage, p), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := estimator.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sys.Model().Predict(run.Windows)
+	b, _ := m.Predict(run.Windows)
+	for i := range a[p].Exp {
+		if a[p].Exp[i] != b[p].Exp[i] {
+			t.Fatal("loaded model diverges")
+		}
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 20, 7)
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	// Zero-value estimator config must be replaced by defaults.
+	var opts Options
+	opts.Pairs = []app.Pair{p}
+	opts.Estimator.Epochs = 0
+	sys, err := LearnFromData(run.Windows, testutil.FocusPairs(run.Usage, p), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Model().Cfg.Hidden == 0 {
+		t.Error("default config not applied")
+	}
+}
+
+// TestLearnsThirdApplication is the generality check behind the paper's
+// "serve any hosted application" claim (§3): the same pipeline, untouched,
+// learns the media-microservices application.
+func TestLearnsThirdApplication(t *testing.T) {
+	spec := app.MediaMicroservices()
+	cluster, err := sim.NewCluster(spec, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workload.Uniform(2, workload.DaySpec{
+		Shape:   workload.TwoPeak{},
+		Mix:     app.MediaDefaultMix(),
+		PeakRPS: 30,
+	})
+	prog.WindowsPerDay = 48
+	prog.WindowSeconds = 60
+	traffic := prog.Generate()
+	run, err := cluster.Run(traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	review := app.Pair{Component: "ReviewMongoDB", Resource: app.WriteIOps}
+	stream := app.Pair{Component: "VideoStreamingService", Resource: app.CPU}
+	opts.Pairs = []app.Pair{review, stream}
+	sys, err := LearnFromData(run.Windows, map[app.Pair][]float64{
+		review: run.Usage[review],
+		stream: run.Usage[stream],
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Query an unseen 2x day and check both estimates track reality.
+	qp := prog
+	qp.Days = prog.Days[:1]
+	qp.Days[0].PeakRPS = 60
+	qp.Seed = 62
+	query := qp.Generate()
+	truth, err := cluster.Run(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sys.EstimateTraffic(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range opts.Pairs {
+		mape := eval.MAPE(est[p].Exp, truth.Usage[p])
+		t.Logf("%s: MAPE=%.2f%%", p, mape)
+		if mape > 30 {
+			t.Errorf("%s: MAPE %.2f%% too high on the third application", p, mape)
+		}
+	}
+}
+
+// TestAnonymizationIsLossless verifies the paper's privacy claim sharply:
+// hashing component/operation/API names is a pure renaming, so a model
+// trained on anonymized telemetry must predict *identically* to one trained
+// on plaintext telemetry (feature indices depend only on trace structure
+// and order, which hashing preserves).
+func TestAnonymizationIsLossless(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 71)
+	p := app.Pair{Component: "DB", Resource: app.CPU}
+	usage := testutil.FocusPairs(run.Usage, p)
+
+	plain := testOptions()
+	anon := testOptions()
+	anon.Anonymize = true
+	anon.HashSalt = "salt"
+
+	sysPlain, err := LearnFromData(run.Windows, usage, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysAnon, err := LearnFromData(run.Windows, usage, anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := testutil.ToyProgram(1, 45, 72).Generate()
+	ea, err := sysPlain.EstimateTraffic(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := sysAnon.EstimateTraffic(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ea[p].Exp {
+		if ea[p].Exp[i] != eb[p].Exp[i] {
+			t.Fatalf("window %d: plaintext %.12f vs anonymized %.12f — hashing must be lossless",
+				i, ea[p].Exp[i], eb[p].Exp[i])
+		}
+	}
+}

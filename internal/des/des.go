@@ -1,0 +1,345 @@
+// Package des is a request-level discrete-event simulator of the open
+// queueing network an app.Spec defines: requests arrive per API as Poisson
+// processes, sample an invocation-path template, and traverse it as
+// synchronous RPCs — each (component) is a FIFO single-server station whose
+// speed is its CPU capacity, and the parent span blocks while a child
+// executes, exactly like the span trees of the paper's Figure 3.
+//
+// It complements the analytic M/M/1 model in internal/sim two ways: it
+// produces full latency *distributions* (not just means and tail
+// approximations), and it empirically validates the analytic formulas — the
+// cross-check internal/des tests perform. It also emits spans with real
+// timings, the shape a production Jaeger would record.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/app"
+)
+
+// ServiceDist selects the service-time distribution of every station.
+type ServiceDist int
+
+// Service-time distributions.
+const (
+	// Exponential service: stations behave as M/M/1 (matches the
+	// analytic model in internal/sim).
+	Exponential ServiceDist = iota
+	// Deterministic service: stations behave as M/D/1.
+	Deterministic
+)
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Arrivals is the Poisson arrival rate per API, in requests/second.
+	Arrivals map[string]float64
+	// Duration is the simulated horizon in seconds.
+	Duration float64
+	// Warmup discards requests that finish before this time (seconds),
+	// letting queues reach steady state before measuring.
+	Warmup float64
+	// Service selects the service-time distribution.
+	Service ServiceDist
+	// Seed drives all randomness.
+	Seed int64
+	// MaxInFlight bounds simultaneously active requests as a safety
+	// valve for overloaded configurations (default 100000).
+	MaxInFlight int
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	// Latencies holds per-API end-to-end latency samples in
+	// milliseconds, sorted ascending.
+	Latencies map[string][]float64
+	// Utilization is each station's busy fraction over the horizon.
+	Utilization map[string]float64
+	// Completed counts measured (post-warmup) requests; Started counts
+	// all arrivals that entered the system.
+	Completed, Started int
+	// Shed counts arrivals dropped by the MaxInFlight safety valve.
+	Shed int
+}
+
+// MeanLatency returns the mean of an API's samples in milliseconds.
+func (r *Result) MeanLatency(api string) float64 {
+	s := r.Latencies[api]
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	t := 0.0
+	for _, v := range s {
+		t += v
+	}
+	return t / float64(len(s))
+}
+
+// Percentile returns the p-th percentile (0–100) of an API's samples.
+func (r *Result) Percentile(api string, p float64) float64 {
+	s := r.Latencies[api]
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	idx := int(p / 100 * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// visit is one station visit with its CPU work in mc-ms.
+type visit struct {
+	component string
+	workMcMs  float64
+}
+
+// request tracks one in-flight request.
+type request struct {
+	api     string
+	visits  []visit
+	idx     int
+	arrived float64
+}
+
+// station is a FIFO single-server queue.
+type station struct {
+	capacity float64 // mcores
+	queue    []*request
+	busy     bool
+	busyTime float64 // accumulated busy seconds
+}
+
+// event is a scheduled occurrence.
+type event struct {
+	at   float64
+	kind eventKind
+	api  string   // for arrivals
+	req  *request // for completions
+	comp string   // for completions
+	seq  int      // tie-breaker for determinism
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evComplete
+)
+
+// eventHeap is a min-heap on time (then sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// engine is the running state.
+type engine struct {
+	spec      *app.Spec
+	cfg       Config
+	rng       *rand.Rand
+	stations  map[string]*station
+	templates map[string][]desTemplate
+	events    eventHeap
+	seq       int
+	now       float64
+	inFlight  int
+	res       *Result
+}
+
+type desTemplate struct {
+	prob   float64
+	visits []visit
+}
+
+// Run simulates the spec under the configured arrivals and returns the
+// measured distributions.
+func Run(spec *app.Spec, cfg Config) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("des: invalid spec: %w", err)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("des: duration must be positive")
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Duration {
+		return nil, fmt.Errorf("des: warmup must be in [0, duration)")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 100000
+	}
+	s := &engine{
+		spec:      spec,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		stations:  make(map[string]*station, len(spec.Components)),
+		templates: make(map[string][]desTemplate, len(spec.APIs)),
+		res: &Result{
+			Latencies:   make(map[string][]float64),
+			Utilization: make(map[string]float64),
+		},
+	}
+	for _, c := range spec.Components {
+		if c.CPUCapacity <= 0 {
+			return nil, fmt.Errorf("des: component %q has no CPU capacity", c.Name)
+		}
+		s.stations[c.Name] = &station{capacity: c.CPUCapacity}
+	}
+	for _, a := range spec.APIs {
+		for _, t := range a.Templates {
+			var visits []visit
+			var rec func(n *app.PathNode)
+			rec = func(n *app.PathNode) {
+				visits = append(visits, visit{component: n.Component, workMcMs: n.Cost.CPUms})
+				for _, ch := range n.Children {
+					rec(ch)
+				}
+			}
+			rec(t.Root)
+			s.templates[a.Name] = append(s.templates[a.Name], desTemplate{prob: t.Prob, visits: visits})
+		}
+	}
+
+	// Schedule the first arrival per API.
+	apis := make([]string, 0, len(cfg.Arrivals))
+	for api := range cfg.Arrivals {
+		apis = append(apis, api)
+	}
+	sort.Strings(apis)
+	for _, api := range apis {
+		rate := cfg.Arrivals[api]
+		if rate <= 0 {
+			continue
+		}
+		if _, ok := s.templates[api]; !ok {
+			return nil, fmt.Errorf("des: unknown API %q", api)
+		}
+		s.push(&event{at: s.rng.ExpFloat64() / rate, kind: evArrival, api: api})
+	}
+
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.at > cfg.Duration {
+			break
+		}
+		s.now = ev.at
+		switch ev.kind {
+		case evArrival:
+			s.handleArrival(ev.api)
+		case evComplete:
+			s.handleComplete(ev.req, ev.comp)
+		}
+	}
+	for name, st := range s.stations {
+		s.res.Utilization[name] = st.busyTime / cfg.Duration
+	}
+	for api := range s.res.Latencies {
+		sort.Float64s(s.res.Latencies[api])
+	}
+	return s.res, nil
+}
+
+func (s *engine) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *engine) handleArrival(api string) {
+	// Next arrival of this API.
+	rate := s.cfg.Arrivals[api]
+	s.push(&event{at: s.now + s.rng.ExpFloat64()/rate, kind: evArrival, api: api})
+
+	if s.inFlight >= s.cfg.MaxInFlight {
+		s.res.Shed++
+		return
+	}
+	tpl := s.sampleTemplate(api)
+	req := &request{api: api, visits: tpl.visits, arrived: s.now}
+	s.inFlight++
+	s.res.Started++
+	s.enqueue(req)
+}
+
+// sampleTemplate draws an invocation template by probability.
+func (s *engine) sampleTemplate(api string) desTemplate {
+	tpls := s.templates[api]
+	u := s.rng.Float64()
+	acc := 0.0
+	for _, t := range tpls {
+		acc += t.prob
+		if u <= acc {
+			return t
+		}
+	}
+	return tpls[len(tpls)-1]
+}
+
+// enqueue places the request at its current visit's station, starting
+// service immediately if the server is idle.
+func (s *engine) enqueue(req *request) {
+	v := req.visits[req.idx]
+	st := s.stations[v.component]
+	if st.busy {
+		st.queue = append(st.queue, req)
+		return
+	}
+	s.startService(st, req, v.component)
+}
+
+func (s *engine) startService(st *station, req *request, comp string) {
+	st.busy = true
+	v := req.visits[req.idx]
+	// Service time in seconds: workMcMs mc-ms at capacity mcores → ms.
+	meanMs := v.workMcMs / st.capacity
+	var ms float64
+	if s.cfg.Service == Exponential {
+		ms = s.rng.ExpFloat64() * meanMs
+	} else {
+		ms = meanMs
+	}
+	st.busyTime += ms / 1000
+	s.push(&event{at: s.now + ms/1000, kind: evComplete, req: req, comp: comp})
+}
+
+func (s *engine) handleComplete(req *request, comp string) {
+	st := s.stations[comp]
+	st.busy = false
+	// Serve the next queued request at this station.
+	if len(st.queue) > 0 {
+		next := st.queue[0]
+		st.queue = st.queue[1:]
+		s.startService(st, next, comp)
+	}
+	// Advance the completing request.
+	req.idx++
+	if req.idx < len(req.visits) {
+		s.enqueue(req)
+		return
+	}
+	s.inFlight--
+	if s.now >= s.cfg.Warmup {
+		s.res.Completed++
+		s.res.Latencies[req.api] = append(s.res.Latencies[req.api], (s.now-req.arrived)*1000)
+	}
+}

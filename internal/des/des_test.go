@@ -1,0 +1,187 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+)
+
+// singleStation is a one-component, one-API spec with known queueing
+// parameters: service mean 10 ms (1000 mc-ms at 100 mcores → μ = 100/s).
+func singleStation() *app.Spec {
+	return &app.Spec{
+		Name: "mm1",
+		Components: []app.Component{
+			{Name: "S", CPUCapacity: 100},
+		},
+		APIs: []app.API{{
+			Name:      "/x",
+			Templates: []app.Template{{Prob: 1, Root: app.Node("S", "op", app.Cost{CPUms: 1000})}},
+		}},
+	}
+}
+
+func TestMM1MatchesClosedForm(t *testing.T) {
+	// M/M/1 at ρ = 0.5: mean sojourn = 1/(μ−λ) = 20 ms.
+	res, err := Run(singleStation(), Config{
+		Arrivals: map[string]float64{"/x": 50},
+		Duration: 400, Warmup: 40,
+		Service: Exponential, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed < 5000 {
+		t.Fatalf("too few samples: %d", res.Completed)
+	}
+	mean := res.MeanLatency("/x")
+	if math.Abs(mean-20) > 2 {
+		t.Errorf("M/M/1 mean sojourn = %.2f ms, want 20 ± 2", mean)
+	}
+	// Utilization ≈ ρ.
+	if u := res.Utilization["S"]; math.Abs(u-0.5) > 0.05 {
+		t.Errorf("utilization = %.3f, want ≈0.5", u)
+	}
+	// Sojourn is exponential(μ−λ): p95 = ln(20)/(μ−λ) ≈ 59.9 ms.
+	if p95 := res.Percentile("/x", 95); math.Abs(p95-59.9) > 8 {
+		t.Errorf("p95 = %.2f ms, want ≈59.9", p95)
+	}
+}
+
+func TestMD1WaitIsHalfOfMM1(t *testing.T) {
+	// M/D/1 at ρ = 0.5: wait = ρS/(2(1−ρ)) = 5 ms → sojourn 15 ms.
+	res, err := Run(singleStation(), Config{
+		Arrivals: map[string]float64{"/x": 50},
+		Duration: 400, Warmup: 40,
+		Service: Deterministic, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := res.MeanLatency("/x")
+	if math.Abs(mean-15) > 1.5 {
+		t.Errorf("M/D/1 mean sojourn = %.2f ms, want 15 ± 1.5", mean)
+	}
+}
+
+// TestAgreesWithAnalyticModel cross-validates the DES against the closed-form
+// network model in internal/sim on the Toy application.
+func TestAgreesWithAnalyticModel(t *testing.T) {
+	spec := app.Toy()
+	// Per-second rates keeping every station comfortably below
+	// saturation: the slowest is the DB at 1100/60 ≈ 18.3 ms per read.
+	arrivals := map[string]float64{"/read": 20, "/write": 8}
+
+	res, err := Run(spec, Config{
+		Arrivals: arrivals,
+		Duration: 600, Warmup: 60,
+		Service: Exponential, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	model, err := sim.NewLatencyModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := map[string]int{"/read": 20 * 60, "/write": 8 * 60}
+	loads, lats, err := model.Evaluate(reqs, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for api, want := range lats {
+		got := res.MeanLatency(api)
+		if math.Abs(got-want.MeanMs) > 0.2*want.MeanMs {
+			t.Errorf("%s: DES mean %.2f ms vs analytic %.2f ms (>20%% apart)", api, got, want.MeanMs)
+		}
+	}
+	for comp, want := range loads {
+		got := res.Utilization[comp]
+		if math.Abs(got-want.Utilization) > 0.07 {
+			t.Errorf("%s: DES utilization %.3f vs analytic %.3f", comp, got, want.Utilization)
+		}
+	}
+}
+
+func TestOverloadSheds(t *testing.T) {
+	res, err := Run(singleStation(), Config{
+		Arrivals: map[string]float64{"/x": 300}, // 3× capacity
+		Duration: 30, Warmup: 0,
+		Service: Exponential, Seed: 4, MaxInFlight: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Error("overload should shed arrivals at the in-flight cap")
+	}
+	if u := res.Utilization["S"]; u < 0.95 {
+		t.Errorf("overloaded utilization = %.3f, want ≈1", u)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	spec := singleStation()
+	if _, err := Run(spec, Config{Arrivals: map[string]float64{"/x": 1}, Duration: 0}); err == nil {
+		t.Error("zero duration must fail")
+	}
+	if _, err := Run(spec, Config{Arrivals: map[string]float64{"/x": 1}, Duration: 10, Warmup: 10}); err == nil {
+		t.Error("warmup ≥ duration must fail")
+	}
+	if _, err := Run(spec, Config{Arrivals: map[string]float64{"/nope": 1}, Duration: 10}); err == nil {
+		t.Error("unknown API must fail")
+	}
+	noCap := &app.Spec{
+		Name:       "nocap",
+		Components: []app.Component{{Name: "S"}},
+		APIs: []app.API{{
+			Name:      "/x",
+			Templates: []app.Template{{Prob: 1, Root: app.Node("S", "op", app.Cost{CPUms: 1})}},
+		}},
+	}
+	if _, err := Run(noCap, Config{Arrivals: map[string]float64{"/x": 1}, Duration: 10}); err == nil {
+		t.Error("zero capacity must fail")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{
+		Arrivals: map[string]float64{"/x": 40},
+		Duration: 60, Warmup: 5,
+		Service: Exponential, Seed: 9,
+	}
+	a, err := Run(singleStation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(singleStation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.MeanLatency("/x") != b.MeanLatency("/x") {
+		t.Error("same seed must reproduce the run exactly")
+	}
+}
+
+func TestPercentilesMonotone(t *testing.T) {
+	res, err := Run(singleStation(), Config{
+		Arrivals: map[string]float64{"/x": 60},
+		Duration: 120, Warmup: 10,
+		Service: Exponential, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50 := res.Percentile("/x", 50)
+	p95 := res.Percentile("/x", 95)
+	p99 := res.Percentile("/x", 99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("percentiles not monotone: %v %v %v", p50, p95, p99)
+	}
+	if math.IsNaN(res.Percentile("/missing", 50)) == false {
+		t.Error("missing API percentile must be NaN")
+	}
+}

@@ -1,0 +1,153 @@
+// Package estimator implements DeepRest's API-aware deep resource estimator
+// (paper §4.2–§4.3): a swarm of per-(component, resource) DNN experts, each
+// a GRU with a learnable API-aware input mask, a cross-component attention
+// mechanism over the other experts' hidden states, and a quantile-regression
+// head that outputs the expected utilization together with the lower and
+// upper limits of a δ-confidence interval.
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/app"
+	"repro/internal/nn/ad"
+	"repro/internal/nn/layers"
+)
+
+// Expert is the dedicated estimator F^{c,r} for one resource r of one
+// component c.
+type Expert struct {
+	// Pair identifies the estimation target.
+	Pair app.Pair
+	// InDim is the feature-space dimensionality, Hidden the GRU width.
+	InDim, Hidden int
+	// Mask is the API-aware input mask (Equation 1).
+	Mask *layers.APIMask
+	// Cell is the recurrent core (Equation 2).
+	Cell *layers.GRUCell
+	// Attn holds the cross-component attention weights α (Equation 3).
+	Attn *layers.Attention
+	// Head is the fully connected output layer V applied to a_t ∥ h_t
+	// (Equation 4), emitting (expected, lower, upper).
+	Head *layers.Dense
+	// Bypass is a linear skip connection from the masked input to the
+	// output. The GRU's tanh-bounded hidden state cannot represent
+	// utilizations beyond the training range, so without the bypass the
+	// model could not extrapolate to the paper's "3× more users than
+	// ever" queries; the bypass carries the (locally linear) traffic →
+	// utilization component while the recurrent path models queuing,
+	// caches, and temporal effects. Disable via Config.LinearBypass for
+	// the ablation study.
+	Bypass *layers.Dense
+	// UseMask and UseAttention mirror the training configuration so a
+	// loaded model predicts exactly as trained.
+	UseMask, UseAttention, UseBypass bool
+}
+
+// newExpert builds an expert for pair with the given dimensions and peers.
+func newExpert(pair app.Pair, inDim, hidden int, peers []string, cfg Config, rng *rand.Rand) *Expert {
+	name := pair.String()
+	return &Expert{
+		Pair:   pair,
+		InDim:  inDim,
+		Hidden: hidden,
+		Mask:   layers.NewAPIMask(name, inDim),
+		Cell:   layers.NewGRUCell(name, inDim, hidden, rng),
+		Attn:   layers.NewAttention(name, peers),
+		Head:   layers.NewDense(name+".V", 2*hidden, 3, rng),
+		Bypass: layers.NewDense(name+".S", inDim, 3, rng),
+
+		UseMask:      cfg.UseMask,
+		UseAttention: cfg.UseAttention,
+		UseBypass:    cfg.LinearBypass,
+	}
+}
+
+// Params returns every trainable parameter of the expert.
+func (e *Expert) Params() []*ad.Param {
+	var out []*ad.Param
+	out = append(out, e.Mask.Params()...)
+	out = append(out, e.Cell.Params()...)
+	out = append(out, e.Attn.Params()...)
+	out = append(out, e.Head.Params()...)
+	out = append(out, e.Bypass.Params()...)
+	return out
+}
+
+// NumParams returns the total scalar parameter count.
+func (e *Expert) NumParams() int {
+	n := 0
+	for _, p := range e.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// maskedInput places x on the tape and applies the API-aware mask.
+func (e *Expert) maskedInput(t *ad.Tape, x []float64) *ad.Value {
+	in := t.Const(x)
+	if e.UseMask {
+		return e.Mask.Apply(t, in)
+	}
+	return in
+}
+
+// stepOutput computes the output triple at one time step from the masked
+// input, the new hidden state, and the attention context.
+func (e *Expert) stepOutput(t *ad.Tape, xt, h, attn *ad.Value) *ad.Value {
+	out := e.Head.Apply(t, t.Concat(attn, h))
+	if e.UseBypass {
+		out = t.Add(out, e.Bypass.Apply(t, xt))
+	}
+	return out
+}
+
+// HiddenStates runs the recurrence over a scaled feature series and returns
+// the hidden-state trajectory [T][Hidden]. Gradients are not tracked; this
+// feeds the detached peer states consumed by other experts' attention.
+func (e *Expert) HiddenStates(x [][]float64) [][]float64 {
+	t := ad.NewTape()
+	h := t.Const(make([]float64, e.Hidden))
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		xt := e.maskedInput(t, row)
+		h = e.Cell.Step(t, xt, h)
+		cp := make([]float64, e.Hidden)
+		copy(cp, h.Data)
+		out[i] = cp
+		// The tape only exists to run the forward math; trim it so
+		// long series do not accumulate dead nodes.
+		t.Reset()
+	}
+	return out
+}
+
+// Forward runs the full forward pass over a scaled feature series and
+// returns the (expected, lower, upper) triple per step, in scaled target
+// units. peerHidden[t] holds the detached hidden states of the peer experts
+// at step t, aligned with e.Attn.Peers; nil runs with a zero attention
+// context (used for attention-free models and for occlusion probes).
+func (e *Expert) Forward(x [][]float64, peerHidden [][][]float64) ([][3]float64, error) {
+	if peerHidden != nil && len(peerHidden) != len(x) {
+		return nil, fmt.Errorf("estimator: expert %s: %d peer-state steps for %d inputs", e.Pair, len(peerHidden), len(x))
+	}
+	t := ad.NewTape()
+	h := t.Const(make([]float64, e.Hidden))
+	zeroAttn := make([]float64, e.Hidden)
+	out := make([][3]float64, len(x))
+	for i, row := range x {
+		xt := e.maskedInput(t, row)
+		h = e.Cell.Step(t, xt, h)
+		var attn *ad.Value
+		if e.UseAttention && len(e.Attn.Peers) > 0 && peerHidden != nil {
+			attn = e.Attn.Apply(t, peerHidden[i])
+		} else {
+			attn = t.Const(zeroAttn)
+		}
+		y := e.stepOutput(t, xt, h, attn)
+		out[i] = [3]float64{y.Data[0], y.Data[1], y.Data[2]}
+		t.Reset()
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package estimator
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/testutil"
+)
+
+func newTestExpert(cfg Config, inDim int, peers []string) *Expert {
+	rng := rand.New(rand.NewSource(1))
+	return newExpert(app.Pair{Component: "C", Resource: app.CPU}, inDim, cfg.Hidden, peers, cfg, rng)
+}
+
+func seriesOf(dim, steps int) [][]float64 {
+	x := make([][]float64, steps)
+	for t := range x {
+		x[t] = make([]float64, dim)
+		for j := range x[t] {
+			x[t][j] = float64((t+j)%5) / 5
+		}
+	}
+	return x
+}
+
+func TestExpertHiddenStatesShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 3
+	e := newTestExpert(cfg, 4, nil)
+	hs := e.HiddenStates(seriesOf(4, 10))
+	if len(hs) != 10 {
+		t.Fatalf("steps = %d", len(hs))
+	}
+	for _, h := range hs {
+		if len(h) != 3 {
+			t.Fatalf("hidden width = %d", len(h))
+		}
+	}
+	// Deterministic.
+	hs2 := e.HiddenStates(seriesOf(4, 10))
+	for i := range hs {
+		for j := range hs[i] {
+			if hs[i][j] != hs2[i][j] {
+				t.Fatal("HiddenStates not deterministic")
+			}
+		}
+	}
+}
+
+func TestExpertForwardZeroAttentionFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 3
+	e := newTestExpert(cfg, 4, []string{"peer"})
+	// nil peer states run with a zero attention context.
+	out, err := e.Forward(seriesOf(4, 6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+}
+
+func TestExpertForwardPeerMismatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 3
+	e := newTestExpert(cfg, 4, []string{"peer"})
+	peers := make([][][]float64, 2) // wrong step count for 6 inputs
+	if _, err := e.Forward(seriesOf(4, 6), peers); err == nil {
+		t.Fatal("mismatched peer states must fail")
+	}
+}
+
+func TestExpertMaskGatesInput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 2
+	e := newTestExpert(cfg, 3, nil)
+	// Drive the mask hard closed: outputs must stop depending on the
+	// input scale through the bypass.
+	for i := range e.Mask.M.Data {
+		e.Mask.M.Data[i] = -50 // σ ≈ 0
+	}
+	a, err := e.Forward([][]float64{{1, 1, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Forward([][]float64{{100, 100, 100}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a[0][0] - b[0][0]; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("closed mask must block input influence: %v vs %v", a[0][0], b[0][0])
+	}
+}
+
+func TestExpertNumParams(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 4
+	e := newTestExpert(cfg, 10, []string{"a", "b"})
+	// mask 10 + GRU 3·(4·10+4·4+4) + attention 2 + head (3·8+3) + bypass (3·10+3).
+	want := 10 + 3*(40+16+4) + 2 + 27 + 33
+	if got := e.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage must fail to load")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream must fail to load")
+	}
+}
+
+func TestTargetScaleDeltaRoundTrip(t *testing.T) {
+	p := app.Pair{Component: "DB", Resource: app.DiskUsage}
+	series := []float64{100, 104, 110, 110, 123}
+	ts := fitTargetScale(p, series)
+	if ts.Kind != kindDelta {
+		t.Fatal("disk usage must be delta-kind")
+	}
+	if ts.Base != 123 {
+		t.Errorf("Base = %v, want last observation", ts.Base)
+	}
+	// Max delta is 13 → scale 13.
+	if ts.Scale != 13 {
+		t.Errorf("Scale = %v, want 13", ts.Scale)
+	}
+	scaled := ts.scaled(series)
+	if scaled[0] != 0 || scaled[1] != 4.0/13 {
+		t.Errorf("scaled = %v", scaled)
+	}
+}
+
+func TestTargetScaleLevel(t *testing.T) {
+	p := app.Pair{Component: "C", Resource: app.CPU}
+	ts := fitTargetScale(p, []float64{2, 8, 4})
+	if ts.Kind != kindLevel || ts.Scale != 8 {
+		t.Errorf("level scale = %+v", ts)
+	}
+	// All-zero series must not divide by zero.
+	ts0 := fitTargetScale(p, []float64{0, 0})
+	if ts0.Scale != 1 {
+		t.Errorf("zero-series scale = %v, want 1", ts0.Scale)
+	}
+}
+
+func TestOrderedRepairsCrossing(t *testing.T) {
+	e, l, u := ordered([3]float64{5, 7, 2})
+	if l > e || u < e {
+		t.Errorf("ordered = (%v, %v, %v)", e, l, u)
+	}
+	if e != 5 || l != 5 || u != 5 {
+		t.Errorf("crossing repair = (%v, %v, %v), want all clamped to 5", e, l, u)
+	}
+}
+
+func TestModelSummaryAndReports(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 12)
+	usage := testutil.FocusPairs(run.Usage,
+		app.Pair{Component: "Service", Resource: app.CPU},
+		app.Pair{Component: "DB", Resource: app.DiskUsage},
+	)
+	cfg := testConfig()
+	cfg.Epochs = 3
+	cfg.AttentionEpochs = 1
+	m, err := Train(run.Windows, usage, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	m.Summary(&buf)
+	out := buf.String()
+	for _, want := range []string{"2 experts", "Service/cpu", "DB/disk_usage", "growth", "mask"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("Summary missing %q:\n%s", want, out)
+		}
+	}
+	top := m.TopFeatures(app.Pair{Component: "Service", Resource: app.CPU}, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopFeatures = %d entries", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Weight > top[i-1].Weight {
+			t.Fatal("TopFeatures not sorted by weight")
+		}
+	}
+	pairs := []app.Pair{{Component: "Z", Resource: app.CPU}, {Component: "A", Resource: app.Memory}, {Component: "A", Resource: app.CPU}}
+	SortPairs(pairs)
+	if pairs[0].Component != "A" || pairs[0].Resource != app.CPU || pairs[2].Component != "Z" {
+		t.Errorf("SortPairs = %v", pairs)
+	}
+}

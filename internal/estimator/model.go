@@ -1,0 +1,660 @@
+package estimator
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/features"
+	"repro/internal/nn/ad"
+	"repro/internal/nn/loss"
+	"repro/internal/nn/opt"
+	"repro/internal/trace"
+)
+
+// Config controls model architecture and training. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Hidden is the GRU width. The paper uses 128 on a real testbed; on
+	// the simulated substrate a small recurrent state (default 4)
+	// reproduces the evaluation shape best — wider GRUs have enough
+	// capacity to memorise the diurnal *shape* of the training traffic
+	// instead of the per-API footprints, which mis-extrapolates when a
+	// query changes the API composition (see DESIGN.md).
+	Hidden int
+	// Delta is the confidence level δ of the estimated interval
+	// (paper: 0.90).
+	Delta float64
+	// Epochs is the number of phase-A epochs (attention disabled).
+	Epochs int
+	// AttentionEpochs is the number of phase-B epochs fine-tuning with
+	// cross-component attention over detached peer hidden states.
+	AttentionEpochs int
+	// ChunkLen is the truncated-BPTT segment length in windows.
+	ChunkLen int
+	// LR is the learning rate.
+	LR float64
+	// Optimizer selects "adam" (default) or "sgd" (the paper's choice;
+	// slower to converge at equal epochs).
+	Optimizer string
+	// Momentum applies to the sgd optimizer.
+	Momentum float64
+	// ClipNorm bounds the per-step global gradient norm.
+	ClipNorm float64
+	// Seed drives parameter initialisation and chunk shuffling.
+	Seed int64
+	// UseMask enables the API-aware mask (ablation: false freezes the
+	// gate fully open).
+	UseMask bool
+	// UseAttention enables the cross-component attention mechanism.
+	UseAttention bool
+	// LinearBypass enables the linear input→output skip connection that
+	// lets the bounded recurrent state extrapolate to unseen scales.
+	LinearBypass bool
+	// MaskL1 penalises open mask gates (λ·Σ σ(m)), pressuring each
+	// expert to admit only the invocation paths that actually explain
+	// its resource. Different APIs share the diurnal shape, so without
+	// sparsity pressure the credit for a resource spreads across
+	// correlated paths and mis-extrapolates when a query changes the
+	// composition.
+	MaskL1 float64
+	// BypassL1 penalises the linear bypass weights (λ·Σ|S|), for the
+	// same attribution reason.
+	BypassL1 float64
+	// LRSchedule selects the learning-rate schedule: "" or "constant"
+	// holds LR (the default — it reproduces the paper's evaluation shape
+	// best at full scale), "cosine" anneals to LR/10 over the training
+	// run, "step" halves the rate every third of the run. The annealed
+	// schedules include a short linear warmup and converge more robustly
+	// on very short runs.
+	LRSchedule string
+	// Parallelism bounds concurrent expert training; 0 means GOMAXPROCS.
+	Parallelism int
+	// Log, when non-nil, receives one line per epoch phase.
+	Log io.Writer
+}
+
+// DefaultConfig returns the configuration used by the experiment drivers.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:          4,
+		Delta:           0.90,
+		Epochs:          30,
+		AttentionEpochs: 6,
+		ChunkLen:        64,
+		LR:              0.01,
+		Optimizer:       "adam",
+		ClipNorm:        5,
+		Seed:            1,
+		UseMask:         true,
+		UseAttention:    true,
+		LinearBypass:    true,
+		MaskL1:          0.002,
+		BypassL1:        0.0005,
+	}
+}
+
+// targetKind distinguishes level series (CPU, memory, IOps, throughput)
+// from monotone counters (disk usage), which are modelled as per-window
+// deltas and re-integrated at prediction time.
+type targetKind int
+
+const (
+	kindLevel targetKind = iota
+	kindDelta
+)
+
+// TargetScale maps a raw utilization series into the unit scale the expert
+// is trained on and back.
+type TargetScale struct {
+	// Kind selects level or delta modelling.
+	Kind targetKind
+	// Scale divides the (possibly differenced) series; always positive.
+	Scale float64
+	// Base is the value to resume a monotone counter from at query time
+	// (the last observed training value).
+	Base float64
+}
+
+func fitTargetScale(p app.Pair, series []float64) *TargetScale {
+	ts := &TargetScale{Kind: kindLevel, Scale: 1}
+	if p.Resource == app.DiskUsage {
+		ts.Kind = kindDelta
+		if len(series) > 0 {
+			ts.Base = series[len(series)-1]
+		}
+	}
+	tr := ts.transform(series)
+	max := 0.0
+	for _, v := range tr {
+		if v > max {
+			max = v
+		} else if -v > max {
+			max = -v
+		}
+	}
+	if max > 0 {
+		ts.Scale = max
+	}
+	return ts
+}
+
+// transform differences delta-kind series; level series pass through.
+func (ts *TargetScale) transform(series []float64) []float64 {
+	if ts.Kind == kindLevel {
+		out := make([]float64, len(series))
+		copy(out, series)
+		return out
+	}
+	out := make([]float64, len(series))
+	for i := range series {
+		if i == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = series[i] - series[i-1]
+	}
+	return out
+}
+
+// scaled returns the training targets in unit scale.
+func (ts *TargetScale) scaled(series []float64) []float64 {
+	out := ts.transform(series)
+	for i := range out {
+		out[i] /= ts.Scale
+	}
+	return out
+}
+
+// Estimate is a descaled prediction for one (component, resource) pair.
+type Estimate struct {
+	// Exp is the expected utilization per window.
+	Exp []float64
+	// Low and Up bound the δ-confidence interval per window.
+	Low, Up []float64
+}
+
+// Model is a trained DeepRest instance for one application.
+type Model struct {
+	// Cfg is the training configuration.
+	Cfg Config
+	// Space is the invocation-path feature space built during
+	// application learning.
+	Space *features.Space
+	// FeatScaler normalises feature counts.
+	FeatScaler *features.Scaler
+	// Pairs lists the estimation targets in training order.
+	Pairs []app.Pair
+	// Experts holds one expert per pair.
+	Experts map[app.Pair]*Expert
+	// TargetScales holds the per-pair descaling information.
+	TargetScales map[app.Pair]*TargetScale
+}
+
+// Train learns a DeepRest model from application-learning telemetry: the
+// windows of trace batches and the aligned utilization series per pair.
+func Train(windows [][]trace.Batch, usage map[app.Pair][]float64, cfg Config) (*Model, error) {
+	return TrainWarm(windows, usage, cfg, nil)
+}
+
+// buildModel constructs the feature space, scalers, and freshly initialised
+// experts, returning the scaled inputs and targets ready for training.
+func buildModel(windows [][]trace.Batch, usage map[app.Pair][]float64, cfg Config) (*Model, [][]float64, map[app.Pair][]float64, error) {
+	if len(windows) == 0 {
+		return nil, nil, nil, fmt.Errorf("estimator: no learning windows")
+	}
+	if len(usage) == 0 {
+		return nil, nil, nil, fmt.Errorf("estimator: no utilization series")
+	}
+	if cfg.Hidden <= 0 || cfg.ChunkLen <= 0 || cfg.Epochs < 0 {
+		return nil, nil, nil, fmt.Errorf("estimator: invalid config: hidden=%d chunk=%d epochs=%d", cfg.Hidden, cfg.ChunkLen, cfg.Epochs)
+	}
+	space := features.NewSpace(windows)
+	if space.Dim() == 0 {
+		return nil, nil, nil, fmt.Errorf("estimator: learning windows contain no traces")
+	}
+	raw := features.Matrix(space.ExtractSeries(windows))
+	scaler := features.FitScaler(raw)
+	x := scaler.Apply(raw)
+
+	pairs := make([]app.Pair, 0, len(usage))
+	for p, series := range usage {
+		if len(series) != len(windows) {
+			return nil, nil, nil, fmt.Errorf("estimator: %s has %d samples for %d windows", p, len(series), len(windows))
+		}
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Component != pairs[j].Component {
+			return pairs[i].Component < pairs[j].Component
+		}
+		return pairs[i].Resource < pairs[j].Resource
+	})
+
+	m := &Model{
+		Cfg:          cfg,
+		Space:        space,
+		FeatScaler:   scaler,
+		Pairs:        pairs,
+		Experts:      make(map[app.Pair]*Expert, len(pairs)),
+		TargetScales: make(map[app.Pair]*TargetScale, len(pairs)),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	peerNames := make(map[app.Pair][]string, len(pairs))
+	for _, p := range pairs {
+		var peers []string
+		for _, q := range pairs {
+			if q != p {
+				peers = append(peers, q.String())
+			}
+		}
+		peerNames[p] = peers
+	}
+	targets := make(map[app.Pair][]float64, len(pairs))
+	for _, p := range pairs {
+		m.TargetScales[p] = fitTargetScale(p, usage[p])
+		targets[p] = m.TargetScales[p].scaled(usage[p])
+		m.Experts[p] = newExpert(p, space.Dim(), cfg.Hidden, peerNames[p], cfg, rng)
+	}
+
+	return m, x, targets, nil
+}
+
+// trainAll runs the two training phases over a freshly built (or
+// warm-started) model.
+func (m *Model) trainAll(x [][]float64, targets map[app.Pair][]float64, cfg Config) error {
+	quant := loss.Quantiles(cfg.Delta)
+	q := quant[:]
+
+	// Phase A: train every expert independently with attention disabled.
+	logf(cfg.Log, "phase A: training %d experts (%d epochs, dim=%d, hidden=%d)",
+		len(m.Pairs), cfg.Epochs, m.Space.Dim(), cfg.Hidden)
+	err := m.forEachExpert(func(p app.Pair) error {
+		return trainExpert(m.Experts[p], x, targets[p], nil, cfg, cfg.Epochs, q, cfg.Seed+int64(indexOf(m.Pairs, p)))
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase B: learn the cross-component attention weights over detached
+	// peer hidden states. Only the attention weights α and the output
+	// head V train here; the recurrent trunks stay frozen, so every
+	// expert's hidden trajectory — and therefore every peer state — is
+	// exactly what inference will see. (Fine-tuning the trunks here
+	// would invalidate the peer states the attention was fitted to.)
+	if cfg.UseAttention && cfg.AttentionEpochs > 0 && len(m.Pairs) > 1 {
+		logf(cfg.Log, "phase B: attention (%d epochs over frozen trunks)", cfg.AttentionEpochs)
+		hidden, err := m.allHiddenStates(x)
+		if err != nil {
+			return err
+		}
+		err = m.forEachExpert(func(p app.Pair) error {
+			peerStates := gatherPeers(m.Pairs, p, hidden)
+			return trainExpertHead(m.Experts[p], x, targets[p], peerStates, cfg, cfg.AttentionEpochs, q, cfg.Seed+1000+int64(indexOf(m.Pairs, p)))
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func indexOf(pairs []app.Pair, p app.Pair) int {
+	for i, q := range pairs {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+func logf(w io.Writer, format string, args ...interface{}) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// forEachExpert runs fn for every pair with bounded parallelism.
+func (m *Model) forEachExpert(fn func(p app.Pair) error) error {
+	par := m.Cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, p := range m.Pairs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p app.Pair) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(p); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// allHiddenStates computes every expert's hidden trajectory in parallel,
+// keyed by pair string.
+func (m *Model) allHiddenStates(x [][]float64) (map[string][][]float64, error) {
+	out := make(map[string][][]float64, len(m.Pairs))
+	var mu sync.Mutex
+	err := m.forEachExpert(func(p app.Pair) error {
+		hs := m.Experts[p].HiddenStates(x)
+		mu.Lock()
+		out[p.String()] = hs
+		mu.Unlock()
+		return nil
+	})
+	return out, err
+}
+
+// gatherPeers assembles, per time step, the peer hidden states of expert p
+// in the order of its attention peer list.
+func gatherPeers(pairs []app.Pair, p app.Pair, hidden map[string][][]float64) [][][]float64 {
+	var peerKeys []string
+	for _, q := range pairs {
+		if q != p {
+			peerKeys = append(peerKeys, q.String())
+		}
+	}
+	if len(peerKeys) == 0 {
+		return nil
+	}
+	steps := len(hidden[peerKeys[0]])
+	out := make([][][]float64, steps)
+	for t := 0; t < steps; t++ {
+		rows := make([][]float64, len(peerKeys))
+		for k, key := range peerKeys {
+			rows[k] = hidden[key][t]
+		}
+		out[t] = rows
+	}
+	return out
+}
+
+// trainExpert runs truncated-BPTT training of one expert for the given
+// number of epochs. peerStates enables the attention term; nil trains with
+// a zero context.
+func trainExpert(e *Expert, x [][]float64, target []float64, peerStates [][][]float64, cfg Config, epochs int, q []float64, seed int64) error {
+	if len(x) != len(target) {
+		return fmt.Errorf("estimator: %s: %d inputs vs %d targets", e.Pair, len(x), len(target))
+	}
+	params := e.Params()
+	var optimizer opt.Optimizer
+	switch cfg.Optimizer {
+	case "", "adam":
+		a := opt.NewAdam(params, cfg.LR)
+		a.ClipNorm = cfg.ClipNorm
+		optimizer = a
+	case "sgd":
+		s := opt.NewSGD(params, cfg.LR)
+		s.Momentum = cfg.Momentum
+		s.ClipNorm = cfg.ClipNorm
+		optimizer = s
+	default:
+		return fmt.Errorf("estimator: unknown optimizer %q", cfg.Optimizer)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	nChunks := (len(x) + cfg.ChunkLen - 1) / cfg.ChunkLen
+	optimizer, err2 := scheduledOptimizer(optimizer, cfg, epochs*nChunks)
+	if err2 != nil {
+		return err2
+	}
+	order := make([]int, nChunks)
+	for i := range order {
+		order[i] = i
+	}
+	tape := ad.NewTape()
+	zeroAttn := make([]float64, e.Hidden)
+	useAttn := peerStates != nil && e.UseAttention && len(e.Attn.Peers) > 0
+
+	for ep := 0; ep < epochs; ep++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ci := range order {
+			from := ci * cfg.ChunkLen
+			to := from + cfg.ChunkLen
+			if to > len(x) {
+				to = len(x)
+			}
+			tape.Reset()
+			h := tape.Const(make([]float64, e.Hidden))
+			var losses []*ad.Value
+			for t := from; t < to; t++ {
+				xt := e.maskedInput(tape, x[t])
+				h = e.Cell.Step(tape, xt, h)
+				var attn *ad.Value
+				if useAttn {
+					attn = e.Attn.Apply(tape, peerStates[t])
+				} else {
+					attn = tape.Const(zeroAttn)
+				}
+				y := e.stepOutput(tape, xt, h, attn)
+				tgt := []float64{target[t], target[t], target[t]}
+				losses = append(losses, tape.Pinball(y, tgt, q))
+			}
+			total := tape.SumScalars(losses...)
+			mean := tape.ScaleConst(total, 1/float64(to-from))
+			tape.Backward(mean)
+			e.addRegularizationGrads(cfg)
+			optimizer.Step()
+		}
+	}
+	return nil
+}
+
+// trainExpertHead runs phase B for one expert: with the recurrent trunk,
+// mask, and bypass frozen, it fits only the attention weights α and the
+// output head V against the (now fixed) own and peer hidden states.
+func trainExpertHead(e *Expert, x [][]float64, target []float64, peerStates [][][]float64, cfg Config, epochs int, q []float64, seed int64) error {
+	if !e.UseAttention || len(e.Attn.Peers) == 0 || peerStates == nil {
+		return nil
+	}
+	// Precompute the frozen parts per step: own hidden state and the
+	// bypass contribution.
+	own := e.HiddenStates(x)
+	bypass := make([][]float64, len(x))
+	if e.UseBypass {
+		t := ad.NewTape()
+		for i, row := range x {
+			xt := e.maskedInput(t, row)
+			out := e.Bypass.Apply(t, xt)
+			bypass[i] = append([]float64(nil), out.Data...)
+			t.Reset()
+		}
+	}
+
+	params := append(e.Head.Params(), e.Attn.Params()...)
+	a := opt.NewAdam(params, cfg.LR)
+	a.ClipNorm = cfg.ClipNorm
+
+	rng := rand.New(rand.NewSource(seed))
+	nChunks := (len(x) + cfg.ChunkLen - 1) / cfg.ChunkLen
+	order := make([]int, nChunks)
+	for i := range order {
+		order[i] = i
+	}
+	tape := ad.NewTape()
+	for ep := 0; ep < epochs; ep++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ci := range order {
+			from := ci * cfg.ChunkLen
+			to := from + cfg.ChunkLen
+			if to > len(x) {
+				to = len(x)
+			}
+			tape.Reset()
+			var losses []*ad.Value
+			for t := from; t < to; t++ {
+				h := tape.Const(own[t])
+				attn := e.Attn.Apply(tape, peerStates[t])
+				y := e.Head.Apply(tape, tape.Concat(attn, h))
+				if e.UseBypass {
+					y = tape.Add(y, tape.Const(bypass[t]))
+				}
+				tgt := []float64{target[t], target[t], target[t]}
+				losses = append(losses, tape.Pinball(y, tgt, q))
+			}
+			total := tape.SumScalars(losses...)
+			mean := tape.ScaleConst(total, 1/float64(to-from))
+			tape.Backward(mean)
+			a.Step()
+		}
+	}
+	return nil
+}
+
+// scheduledOptimizer wraps the optimizer with the configured learning-rate
+// schedule; totalSteps sizes annealing horizons.
+func scheduledOptimizer(o opt.Optimizer, cfg Config, totalSteps int) (opt.Optimizer, error) {
+	if totalSteps < 1 {
+		totalSteps = 1
+	}
+	warm := totalSteps / 20
+	switch cfg.LRSchedule {
+	case "", "constant":
+		return o, nil
+	case "cosine":
+		return opt.WithSchedule(o, opt.Warmup{Steps: warm, Inner: opt.Cosine{Base: cfg.LR, Min: cfg.LR / 10, Period: totalSteps}}), nil
+	case "step":
+		return opt.WithSchedule(o, opt.Warmup{Steps: warm, Inner: opt.StepDecay{Base: cfg.LR, Factor: 0.5, Every: (totalSteps + 2) / 3}}), nil
+	default:
+		return nil, fmt.Errorf("estimator: unknown LR schedule %q", cfg.LRSchedule)
+	}
+}
+
+// addRegularizationGrads adds the L1 attribution penalties' gradients on
+// top of the loss gradients accumulated by backprop.
+func (e *Expert) addRegularizationGrads(cfg Config) {
+	if cfg.MaskL1 > 0 && e.UseMask {
+		m := e.Mask.M
+		for i, v := range m.Data {
+			s := sigmoid(v)
+			m.Grad[i] += cfg.MaskL1 * s * (1 - s)
+		}
+	}
+	if cfg.BypassL1 > 0 && e.UseBypass {
+		w := e.Bypass.W
+		for i, v := range w.Data {
+			switch {
+			case v > 0:
+				w.Grad[i] += cfg.BypassL1
+			case v < 0:
+				w.Grad[i] -= cfg.BypassL1
+			}
+		}
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Predict estimates the utilization of every pair for the given windows of
+// (real or synthetic) trace batches. The returned estimates are in raw
+// resource units; monotone counters resume from their TargetScale base.
+func (m *Model) Predict(windows [][]trace.Batch) (map[app.Pair]Estimate, error) {
+	raw := features.Matrix(m.Space.ExtractSeries(windows))
+	x := m.FeatScaler.Apply(raw)
+	return m.predictScaledInput(x)
+}
+
+func (m *Model) predictScaledInput(x [][]float64) (map[app.Pair]Estimate, error) {
+	var hidden map[string][][]float64
+	if m.Cfg.UseAttention && len(m.Pairs) > 1 {
+		var err error
+		hidden, err = m.allHiddenStates(x)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(map[app.Pair]Estimate, len(m.Pairs))
+	var mu sync.Mutex
+	err := m.forEachExpert(func(p app.Pair) error {
+		var peers [][][]float64
+		if hidden != nil {
+			peers = gatherPeers(m.Pairs, p, hidden)
+		}
+		triples, err := m.Experts[p].Forward(x, peers)
+		if err != nil {
+			return err
+		}
+		est := m.descale(p, triples)
+		mu.Lock()
+		out[p] = est
+		mu.Unlock()
+		return nil
+	})
+	return out, err
+}
+
+// descale converts scaled (exp, low, up) triples into raw resource units,
+// re-integrating delta-kind targets and repairing any quantile crossing.
+func (m *Model) descale(p app.Pair, triples [][3]float64) Estimate {
+	ts := m.TargetScales[p]
+	n := len(triples)
+	est := Estimate{
+		Exp: make([]float64, n),
+		Low: make([]float64, n),
+		Up:  make([]float64, n),
+	}
+	if ts.Kind == kindDelta {
+		accE, accL, accU := ts.Base, ts.Base, ts.Base
+		for i, tr := range triples {
+			e, l, u := ordered(tr)
+			accE += e * ts.Scale
+			accL += l * ts.Scale
+			accU += u * ts.Scale
+			est.Exp[i], est.Low[i], est.Up[i] = accE, accL, accU
+		}
+		return est
+	}
+	for i, tr := range triples {
+		e, l, u := ordered(tr)
+		est.Exp[i] = e * ts.Scale
+		est.Low[i] = l * ts.Scale
+		est.Up[i] = u * ts.Scale
+		if est.Exp[i] < 0 {
+			est.Exp[i] = 0
+		}
+		if est.Low[i] < 0 {
+			est.Low[i] = 0
+		}
+		if est.Up[i] < 0 {
+			est.Up[i] = 0
+		}
+	}
+	return est
+}
+
+// ordered repairs quantile crossing: low ≤ exp ≤ up.
+func ordered(tr [3]float64) (exp, low, up float64) {
+	exp, low, up = tr[0], tr[1], tr[2]
+	if low > exp {
+		low = exp
+	}
+	if up < exp {
+		up = exp
+	}
+	return exp, low, up
+}

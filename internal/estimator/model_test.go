@@ -1,0 +1,332 @@
+package estimator
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/eval"
+	"repro/internal/synth"
+	"repro/internal/testutil"
+)
+
+// testConfig returns a training configuration small enough for unit tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Hidden = 12
+	cfg.Epochs = 8
+	cfg.AttentionEpochs = 2
+	cfg.ChunkLen = 24
+	return cfg
+}
+
+// TestTrainPredictEndToEnd trains on 3 toy days and checks that prediction
+// of a 2×-scaled unseen day tracks the ground truth closely — the core
+// claim C1 at unit-test scale.
+func TestTrainPredictEndToEnd(t *testing.T) {
+	cluster, _, run := testutil.ToyTelemetry(t, 3, 40, 1)
+
+	m, err := Train(run.Windows, run.Usage, testConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	// Query: one unseen day at 2× users. Ground truth: continue the same
+	// cluster.
+	qprog := testutil.ToyProgram(1, 80, 99)
+	qtraffic := qprog.Generate()
+	truth, err := cluster.Run(qtraffic)
+	if err != nil {
+		t.Fatalf("query Run: %v", err)
+	}
+
+	// Hypothetical-mode prediction via synthetic traces.
+	syn := synth.Learn(run.Windows)
+	synthetic, err := syn.Synthesize(qtraffic, 5)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	est, err := m.Predict(synthetic)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+
+	checks := []struct {
+		pair    app.Pair
+		maxMAPE float64
+	}{
+		{app.Pair{Component: "Service", Resource: app.CPU}, 20},
+		{app.Pair{Component: "DB", Resource: app.CPU}, 20},
+		{app.Pair{Component: "DB", Resource: app.WriteIOps}, 25},
+		{app.Pair{Component: "Gateway", Resource: app.CPU}, 20},
+		{app.Pair{Component: "DB", Resource: app.DiskUsage}, 15},
+	}
+	for _, c := range checks {
+		e, ok := est[c.pair]
+		if !ok {
+			t.Fatalf("no estimate for %s", c.pair)
+		}
+		got := eval.MAPE(e.Exp, truth.Usage[c.pair])
+		t.Logf("%s: MAPE=%.2f%%", c.pair, got)
+		if got > c.maxMAPE {
+			t.Errorf("%s: MAPE %.2f%% exceeds %.2f%%", c.pair, got, c.maxMAPE)
+		}
+	}
+}
+
+// TestIntervalOrdering asserts low ≤ exp ≤ up everywhere.
+func TestIntervalOrdering(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 2)
+	m, err := Train(run.Windows, run.Usage, testConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	est, err := m.Predict(run.Windows)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	for p, e := range est {
+		for i := range e.Exp {
+			if e.Low[i] > e.Exp[i]+1e-9 || e.Up[i] < e.Exp[i]-1e-9 {
+				t.Fatalf("%s window %d: interval [%g, %g] does not bracket %g", p, i, e.Low[i], e.Up[i], e.Exp[i])
+			}
+		}
+	}
+}
+
+// TestIntervalCoverage asserts the δ=0.9 interval covers most in-sample
+// measurements for a representative resource.
+func TestIntervalCoverage(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 3, 40, 3)
+	m, err := Train(run.Windows, run.Usage, testConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	est, err := m.Predict(run.Windows)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	e := est[p]
+	truth := run.Usage[p]
+	covered := 0
+	for i, y := range truth {
+		if y >= e.Low[i] && y <= e.Up[i] {
+			covered++
+		}
+	}
+	frac := float64(covered) / float64(len(truth))
+	t.Logf("coverage: %.2f", frac)
+	if frac < 0.6 {
+		t.Errorf("interval coverage %.2f too low for δ=0.9", frac)
+	}
+}
+
+// TestSaveLoadRoundTrip checks that a serialized model predicts identically
+// after loading.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 4)
+	usage := testutil.FocusPairs(run.Usage,
+		app.Pair{Component: "Service", Resource: app.CPU},
+		app.Pair{Component: "DB", Resource: app.WriteIOps},
+		app.Pair{Component: "DB", Resource: app.DiskUsage},
+	)
+	cfg := testConfig()
+	cfg.Epochs = 3
+	cfg.AttentionEpochs = 1
+	m, err := Train(run.Windows, usage, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	a, err := m.Predict(run.Windows)
+	if err != nil {
+		t.Fatalf("Predict(a): %v", err)
+	}
+	b, err := m2.Predict(run.Windows)
+	if err != nil {
+		t.Fatalf("Predict(b): %v", err)
+	}
+	for p, ea := range a {
+		eb, ok := b[p]
+		if !ok {
+			t.Fatalf("loaded model lost pair %s", p)
+		}
+		for i := range ea.Exp {
+			if diff := ea.Exp[i] - eb.Exp[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s window %d: %.12f vs %.12f after round trip", p, i, ea.Exp[i], eb.Exp[i])
+			}
+		}
+	}
+}
+
+// TestTrainValidation exercises the error paths of Train.
+func TestTrainValidation(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 20, 5)
+	cfg := testConfig()
+
+	if _, err := Train(nil, run.Usage, cfg); err == nil {
+		t.Error("Train with no windows should fail")
+	}
+	if _, err := Train(run.Windows, nil, cfg); err == nil {
+		t.Error("Train with no usage should fail")
+	}
+	bad := map[app.Pair][]float64{
+		{Component: "Service", Resource: app.CPU}: make([]float64, 3),
+	}
+	if _, err := Train(run.Windows, bad, cfg); err == nil {
+		t.Error("Train with misaligned series should fail")
+	}
+	badCfg := cfg
+	badCfg.Hidden = 0
+	if _, err := Train(run.Windows, run.Usage, badCfg); err == nil {
+		t.Error("Train with zero hidden should fail")
+	}
+	badOpt := cfg
+	badOpt.Optimizer = "lbfgs"
+	usage := testutil.FocusPairs(run.Usage, app.Pair{Component: "Service", Resource: app.CPU})
+	if _, err := Train(run.Windows, usage, badOpt); err == nil {
+		t.Error("Train with unknown optimizer should fail")
+	}
+}
+
+// TestMaskInterpretation checks that the learned API-aware mask attributes
+// the DB's write IOps to the /write API, not /read (the Figure 22 claim at
+// unit scale).
+func TestMaskInterpretation(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 3, 40, 6)
+	usage := testutil.FocusPairs(run.Usage,
+		app.Pair{Component: "DB", Resource: app.WriteIOps},
+	)
+	cfg := testConfig()
+	cfg.Epochs = 12
+	m, err := Train(run.Windows, usage, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	infl, err := m.APIInfluence(app.Pair{Component: "DB", Resource: app.WriteIOps}, run.Windows)
+	if err != nil {
+		t.Fatalf("APIInfluence: %v", err)
+	}
+	if len(infl) == 0 {
+		t.Fatal("no API influence computed")
+	}
+	write := infl["Gateway:write"]
+	read := infl["Gateway:read"]
+	t.Logf("influence write=%.3f read=%.3f", write, read)
+	if write <= read {
+		t.Errorf("write influence (%.3f) should exceed read influence (%.3f) for DB write IOps", write, read)
+	}
+}
+
+// TestTrainLogOutput checks the progress log plumbing.
+func TestTrainLogOutput(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 20, 7)
+	usage := testutil.FocusPairs(run.Usage, app.Pair{Component: "Service", Resource: app.CPU})
+	cfg := testConfig()
+	cfg.Epochs = 1
+	cfg.AttentionEpochs = 0
+	var buf bytes.Buffer
+	cfg.Log = &buf
+	if _, err := Train(run.Windows, usage, cfg); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("expected training log output")
+	}
+}
+
+// TestPredictRealTraces checks sanity-check mode: predicting on the real
+// traces of the training period reproduces the training utilization.
+func TestPredictRealTraces(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 3, 40, 8)
+	p := app.Pair{Component: "DB", Resource: app.CPU}
+	usage := testutil.FocusPairs(run.Usage, p)
+	m, err := Train(run.Windows, usage, testConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	est, err := m.Predict(run.Windows)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	mape := eval.MAPE(est[p].Exp, usage[p])
+	t.Logf("in-sample MAPE: %.2f%%", mape)
+	if mape > 15 {
+		t.Errorf("in-sample MAPE %.2f%% too high", mape)
+	}
+}
+
+// TestVariableDurationQueries exercises the paper's §4.2 claim that queries
+// may have any duration: the same trained model estimates a 30-minute, a
+// 1-day, and a 3-day query without retraining.
+func TestVariableDurationQueries(t *testing.T) {
+	cluster, _, run := testutil.ToyTelemetry(t, 3, 40, 9)
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	m, err := Train(run.Windows, testutil.FocusPairs(run.Usage, p), testConfig())
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	for _, days := range []float64{0.25, 1, 3} {
+		n := int(days * float64(testutil.ToyDay))
+		prog := testutil.ToyProgram(3, 40, 100+int64(days*10))
+		traffic := prog.Generate().Slice(0, n)
+		truth, err := cluster.Run(traffic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := m.Predict(truth.Windows)
+		if err != nil {
+			t.Fatalf("Predict(%v days): %v", days, err)
+		}
+		if len(est[p].Exp) != n {
+			t.Fatalf("%v days: estimate length %d, want %d", days, len(est[p].Exp), n)
+		}
+		mape := eval.MAPE(est[p].Exp, truth.Usage[p])
+		t.Logf("%v-day query: MAPE=%.2f%%", days, mape)
+		if mape > 20 {
+			t.Errorf("%v-day query MAPE %.2f%% too high", days, mape)
+		}
+	}
+}
+
+// TestLRSchedules trains under each learning-rate schedule and checks all
+// reach a usable in-sample fit (and that unknown names are rejected).
+func TestLRSchedules(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 13)
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	usage := testutil.FocusPairs(run.Usage, p)
+	for _, sched := range []string{"", "constant", "cosine", "step"} {
+		cfg := testConfig()
+		cfg.LRSchedule = sched
+		m, err := Train(run.Windows, usage, cfg)
+		if err != nil {
+			t.Fatalf("schedule %q: %v", sched, err)
+		}
+		est, err := m.Predict(run.Windows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mape := eval.MAPE(est[p].Exp, usage[p])
+		t.Logf("schedule %q: in-sample MAPE=%.2f%%", sched, mape)
+		// Constant LR can stall on short runs (that is why cosine is
+		// the default); only the annealed schedules carry a bound.
+		if sched == "cosine" || sched == "step" {
+			if mape > 15 {
+				t.Errorf("schedule %q: MAPE %.2f%% too high", sched, mape)
+			}
+		}
+	}
+	cfg := testConfig()
+	cfg.LRSchedule = "bogus"
+	if _, err := Train(run.Windows, usage, cfg); err == nil {
+		t.Error("unknown schedule must fail")
+	}
+}

@@ -1,0 +1,128 @@
+package estimator
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/features"
+	"repro/internal/nn/loss"
+	"repro/internal/trace"
+)
+
+// This file implements the §6 extensions the paper sketches: transfer
+// learning (warm-starting new experts from trained ones, motivated by the
+// Figure-21 observation that experts for similar components converge to
+// similar parameters) and adaptation to concept drift (continuing training
+// on fresh telemetry).
+
+// WarmStart is a hook invoked for every freshly initialised expert before
+// training begins, letting callers seed parameters from a trained model.
+type WarmStart func(pair app.Pair, e *Expert) error
+
+// TrainWarm is Train with a warm-start hook. A nil hook is plain Train.
+func TrainWarm(windows [][]trace.Batch, usage map[app.Pair][]float64, cfg Config, warm WarmStart) (*Model, error) {
+	m, x, targets, err := buildModel(windows, usage, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if warm != nil {
+		for _, p := range m.Pairs {
+			if err := warm(p, m.Experts[p]); err != nil {
+				return nil, fmt.Errorf("estimator: warm start %s: %w", p, err)
+			}
+		}
+	}
+	if err := m.trainAll(x, targets, cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FromExpert returns a WarmStart that copies the source expert's recurrent
+// core, mask, head, and bypass into every new expert. Dimensions must
+// match (same feature space and hidden width).
+func FromExpert(src *Model, srcPair app.Pair) WarmStart {
+	return func(_ app.Pair, e *Expert) error {
+		se, ok := src.Experts[srcPair]
+		if !ok {
+			return fmt.Errorf("source model has no expert for %s", srcPair)
+		}
+		return copyExpertParams(se, e)
+	}
+}
+
+func copyExpertParams(src, dst *Expert) error {
+	if src.InDim != dst.InDim || src.Hidden != dst.Hidden {
+		return fmt.Errorf("shape mismatch: source %dx%d, target %dx%d",
+			src.InDim, src.Hidden, dst.InDim, dst.Hidden)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range dp {
+		// The attention weight vectors may differ in peer count; skip
+		// any parameter whose size differs (attention is relearned).
+		if len(sp[i].Data) != len(dp[i].Data) {
+			continue
+		}
+		copy(dp[i].Data, sp[i].Data)
+	}
+	return nil
+}
+
+// Update adapts the model to fresh telemetry (concept drift, §6): it
+// extracts features with the existing space and scalers and continues
+// training every expert for the given number of epochs. Invocation paths
+// unseen during the original learning phase are reported so the caller can
+// decide when drift warrants a full re-learn.
+func (m *Model) Update(windows [][]trace.Batch, usage map[app.Pair][]float64, epochs int) (unknownPaths float64, err error) {
+	if epochs <= 0 {
+		return 0, fmt.Errorf("estimator: Update epochs must be positive")
+	}
+	series := m.Space.ExtractSeries(windows)
+	for _, v := range series {
+		unknownPaths += v.Unknown
+	}
+	raw := features.Matrix(series)
+	x := m.FeatScaler.Apply(raw)
+
+	targets := make(map[app.Pair][]float64, len(m.Pairs))
+	for _, p := range m.Pairs {
+		s, ok := usage[p]
+		if !ok {
+			return unknownPaths, fmt.Errorf("estimator: Update missing series for %s", p)
+		}
+		if len(s) != len(windows) {
+			return unknownPaths, fmt.Errorf("estimator: Update %s has %d samples for %d windows", p, len(s), len(windows))
+		}
+		ts := m.TargetScales[p]
+		targets[p] = ts.scaled(s)
+		if ts.Kind == kindDelta {
+			// Resume the monotone counter from the fresh data.
+			ts.Base = s[len(s)-1]
+		}
+	}
+
+	cfg := m.Cfg
+	quant := loss.Quantiles(cfg.Delta)
+	q := quant[:]
+	err = m.forEachExpert(func(p app.Pair) error {
+		return trainExpert(m.Experts[p], x, targets[p], nil, cfg, epochs, q, cfg.Seed+7777+int64(indexOf(m.Pairs, p)))
+	})
+	if err != nil {
+		return unknownPaths, err
+	}
+	// Refresh the attention stage against the updated trunks.
+	if cfg.UseAttention && cfg.AttentionEpochs > 0 && len(m.Pairs) > 1 {
+		hidden, err := m.allHiddenStates(x)
+		if err != nil {
+			return unknownPaths, err
+		}
+		err = m.forEachExpert(func(p app.Pair) error {
+			peers := gatherPeers(m.Pairs, p, hidden)
+			return trainExpertHead(m.Experts[p], x, targets[p], peers, cfg, cfg.AttentionEpochs, q, cfg.Seed+8888+int64(indexOf(m.Pairs, p)))
+		})
+		if err != nil {
+			return unknownPaths, err
+		}
+	}
+	return unknownPaths, nil
+}

@@ -1,0 +1,183 @@
+package estimator
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/eval"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+// TestTransferAcceleratesConvergence reproduces the §6 transfer-learning
+// claim at unit scale: warm-starting from a well-trained expert lets a
+// heavily budget-constrained training run reach an accuracy that cold
+// initialisation cannot.
+func TestTransferAcceleratesConvergence(t *testing.T) {
+	p := app.Pair{Component: "DB", Resource: app.CPU}
+
+	// Source: well-trained on 3 days.
+	_, _, srcRun := testutil.ToyTelemetry(t, 3, 40, 31)
+	srcCfg := testConfig()
+	srcCfg.Epochs = 20
+	src, err := Train(srcRun.Windows, testutil.FocusPairs(srcRun.Usage, p), srcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Target: a different deployment of the same application (fresh
+	// seed), with a tiny training budget.
+	_, _, tgtRun := testutil.ToyTelemetry(t, 1, 40, 32)
+	tinyCfg := testConfig()
+	tinyCfg.Epochs = 1
+	tinyCfg.AttentionEpochs = 0
+	usage := testutil.FocusPairs(tgtRun.Usage, p)
+
+	cold, err := Train(tgtRun.Windows, usage, tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := TrainWarm(tgtRun.Windows, usage, tinyCfg, FromExpert(src, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldEst, err := cold.Predict(tgtRun.Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmEst, err := warm.Predict(tgtRun.Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldMAPE := eval.MAPE(coldEst[p].Exp, tgtRun.Usage[p])
+	warmMAPE := eval.MAPE(warmEst[p].Exp, tgtRun.Usage[p])
+	t.Logf("1-epoch budget: cold=%.2f%% warm=%.2f%%", coldMAPE, warmMAPE)
+	if warmMAPE >= coldMAPE {
+		t.Errorf("warm start (%.2f%%) should beat cold start (%.2f%%) under a tiny budget", warmMAPE, coldMAPE)
+	}
+	if warmMAPE > 25 {
+		t.Errorf("warm start MAPE %.2f%% too high", warmMAPE)
+	}
+}
+
+func TestTransferShapeMismatch(t *testing.T) {
+	p := app.Pair{Component: "DB", Resource: app.CPU}
+	_, _, run := testutil.ToyTelemetry(t, 1, 30, 33)
+	cfgA := testConfig()
+	cfgA.Epochs = 1
+	src, err := Train(run.Windows, testutil.FocusPairs(run.Usage, p), cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfgA
+	cfgB.Hidden = cfgA.Hidden * 2
+	if _, err := TrainWarm(run.Windows, testutil.FocusPairs(run.Usage, p), cfgB, FromExpert(src, p)); err == nil {
+		t.Error("hidden-width mismatch must fail")
+	}
+	if _, err := TrainWarm(run.Windows, testutil.FocusPairs(run.Usage, p), cfgA,
+		FromExpert(src, app.Pair{Component: "ghost", Resource: app.CPU})); err == nil {
+		t.Error("unknown source pair must fail")
+	}
+}
+
+// TestUpdateAdaptsToDrift reproduces the §6 concept-drift scenario: the
+// application's per-request cost changes (a new version ships), the stale
+// model mis-estimates, and Update over one day of fresh telemetry repairs
+// it.
+func TestUpdateAdaptsToDrift(t *testing.T) {
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+
+	_, _, oldRun := testutil.ToyTelemetry(t, 3, 40, 34)
+	cfg := testConfig()
+	m, err := Train(oldRun.Windows, testutil.FocusPairs(oldRun.Usage, p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The new version consumes 1.6x the CPU per request: replay the
+	// telemetry with inflated demand above the base load.
+	drift := func(run []float64) []float64 {
+		out := make([]float64, len(run))
+		for i, v := range run {
+			base := 5.0 // Service base CPU in the toy spec
+			out[i] = base + (v-base)*1.6
+		}
+		return out
+	}
+	_, _, newRun := testutil.ToyTelemetry(t, 1, 40, 35)
+	newUsage := map[app.Pair][]float64{p: drift(newRun.Usage[p])}
+
+	est, err := m.Predict(newRun.Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eval.MAPE(est[p].Exp, newUsage[p])
+
+	unknown, err := m.Update(newRun.Windows, newUsage, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unknown != 0 {
+		t.Errorf("unexpected unknown paths: %v", unknown)
+	}
+	est, err = m.Predict(newRun.Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := eval.MAPE(est[p].Exp, newUsage[p])
+	t.Logf("drift MAPE before=%.2f%% after=%.2f%%", before, after)
+	if after >= before {
+		t.Errorf("Update did not adapt: %.2f%% -> %.2f%%", before, after)
+	}
+	if after > 12 {
+		t.Errorf("post-update MAPE %.2f%% too high", after)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	_, _, run := testutil.ToyTelemetry(t, 1, 30, 36)
+	cfg := testConfig()
+	cfg.Epochs = 1
+	m, err := Train(run.Windows, testutil.FocusPairs(run.Usage, p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Update(run.Windows, testutil.FocusPairs(run.Usage, p), 0); err == nil {
+		t.Error("zero epochs must fail")
+	}
+	if _, err := m.Update(run.Windows, map[app.Pair][]float64{}, 1); err == nil {
+		t.Error("missing series must fail")
+	}
+	short := map[app.Pair][]float64{p: {1, 2, 3}}
+	if _, err := m.Update(run.Windows, short, 1); err == nil {
+		t.Error("misaligned series must fail")
+	}
+}
+
+// TestUpdateReportsUnknownPaths: topology drift (a new component) surfaces
+// through the unknown-path counter.
+func TestUpdateReportsUnknownPaths(t *testing.T) {
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	_, _, run := testutil.ToyTelemetry(t, 1, 30, 37)
+	cfg := testConfig()
+	cfg.Epochs = 1
+	cfg.AttentionEpochs = 0
+	m, err := Train(run.Windows, testutil.FocusPairs(run.Usage, p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graft a novel component onto one window's traces.
+	windows := make([][]trace.Batch, len(run.Windows))
+	copy(windows, run.Windows)
+	novel := trace.Trace{API: "/v2", Root: trace.NewSpan("BrandNewService", "op")}
+	windows[0] = append(append([]trace.Batch{}, windows[0]...), trace.Batch{Trace: novel, Count: 7})
+	unknown, err := m.Update(windows, testutil.FocusPairs(run.Usage, p), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unknown != 7 {
+		t.Errorf("unknown paths = %v, want 7", unknown)
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/sim"
+)
+
+// provisionWith is a test helper: lab provisioning with an explicit
+// estimator config.
+func provisionWith(l *Lab, cfg estimator.Config) error {
+	cluster, err := sim.NewCluster(l.Spec, l.clusterSeed)
+	if err != nil {
+		return err
+	}
+	l.LearnTraffic = l.learnProgram().Generate()
+	l.LearnRun, err = cluster.Run(l.LearnTraffic)
+	if err != nil {
+		return err
+	}
+	usage := make(map[app.Pair][]float64, len(l.Pairs))
+	for _, p := range l.Pairs {
+		usage[p] = l.LearnRun.Usage[p]
+	}
+	opts := core.DefaultOptions()
+	opts.Estimator = cfg
+	l.System, err = core.LearnFromData(l.LearnRun.Windows, usage, opts)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	l.RA, err = baselines.TrainResourceAware(usage, l.WPD, l.P.raConfig())
+	if err != nil {
+		return err
+	}
+	l.Simple, err = baselines.TrainSimpleScaling(usage, l.LearnTraffic.TotalSeries())
+	if err != nil {
+		return err
+	}
+	l.CompAware, err = baselines.TrainComponentAware(usage, l.LearnRun.Windows)
+	return err
+}

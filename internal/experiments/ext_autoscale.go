@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/autoscale"
+	"repro/internal/estimator"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ExtAutoscale is an extension experiment beyond the paper's figures,
+// quantifying its §2 claim that DeepRest "can assist in schedule-based
+// autoscaling": resources are reserved ahead of time, one decision per
+// hour-scale interval, from each method's estimate of an unseen 2× day.
+// The score is the trade-off every operator cares about — windows where
+// demand exceeds the reservation (SLO risk) versus over-reservation
+// (cost) — plus provisioning churn.
+func (r *Runner) ExtAutoscale() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	w := r.P.Out
+	q := l.queryDay(workload.TwoPeak{}, l.Mix, l.PeakRPS*2, r.P.Seed+600)
+	ev, err := l.Evaluate(q)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := autoscale.DefaultConfig()
+	cfg.IntervalWindows = l.WPD / 8 // 3-hour reservations
+
+	pairs := cpuPairs(fig14Components...)
+	fmt.Fprintf(w, "schedule-based autoscaling for an unseen 2x day (%d-window reservations, %.0f%% headroom)\n",
+		cfg.IntervalWindows, cfg.Headroom*100)
+	fmt.Fprintf(w, "  %-18s %14s %14s %10s\n", "plan source", "violations", "waste", "changes")
+
+	metrics := map[string]float64{}
+	for _, m := range Methods {
+		agg := autoscale.Report{}
+		for _, p := range pairs {
+			var allocs []autoscale.Allocation
+			if m == MethodDeepRest {
+				// DeepRest plans against its upper confidence
+				// bound; point forecasters have no interval.
+				sched, err := autoscale.Plan(map[app.Pair]estimator.Estimate{p: ev.Estimates[p]}, cfg)
+				if err != nil {
+					return Result{}, err
+				}
+				allocs = sched[p]
+			} else {
+				var err error
+				allocs, err = autoscale.PlanSeries(ev.Series[m][p], cfg)
+				if err != nil {
+					return Result{}, err
+				}
+			}
+			rep := autoscale.Assess(allocs, ev.Actual[p])
+			agg.ViolationFrac += rep.ViolationFrac / float64(len(pairs))
+			agg.WasteFrac += rep.WasteFrac / float64(len(pairs))
+			agg.Changes += rep.Changes
+		}
+		fmt.Fprintf(w, "  %-18s %13.1f%% %13.1f%% %10d\n",
+			m, 100*agg.ViolationFrac, 100*agg.WasteFrac, agg.Changes)
+		metrics["violations_"+shortName(m)] = 100 * agg.ViolationFrac
+		metrics["waste_"+shortName(m)] = 100 * agg.WasteFrac
+	}
+
+	// An oracle planner (perfect demand knowledge) bounds the achievable
+	// waste at this scheduling granularity.
+	oracle := autoscale.Report{}
+	for _, p := range pairs {
+		allocs, err := autoscale.PlanSeries(ev.Actual[p], cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		rep := autoscale.Assess(allocs, ev.Actual[p])
+		oracle.ViolationFrac += rep.ViolationFrac / float64(len(pairs))
+		oracle.WasteFrac += rep.WasteFrac / float64(len(pairs))
+	}
+	fmt.Fprintf(w, "  %-18s %13.1f%% %13.1f%%\n", "oracle", 100*oracle.ViolationFrac, 100*oracle.WasteFrac)
+	metrics["violations_oracle"] = 100 * oracle.ViolationFrac
+	metrics["waste_oracle"] = 100 * oracle.WasteFrac
+
+	// User-visible consequence: feed each plan's reservations into the
+	// queueing model as the planned components' capacities (sized at a
+	// 50% utilization target, the standard rule) and count windows where
+	// a planned station's queueing delay exceeds twice its service time
+	// (ρ > 2/3) or saturates — the point where user latency degrades.
+	fmt.Fprintf(w, "  queueing SLO check (per-station wait <= 2x service) under each plan's reservations:\n")
+	for _, m := range Methods {
+		count, err := latencyViolations(l, ev, pairs, func(p app.Pair, wdw int) float64 {
+			const utilTarget = 0.5
+			if m == MethodDeepRest {
+				sched, err := autoscale.Plan(map[app.Pair]estimator.Estimate{p: ev.Estimates[p]}, cfg)
+				if err != nil {
+					return 0
+				}
+				return autoscale.AllocationAt(sched[p], wdw) / utilTarget
+			}
+			allocs, err := autoscale.PlanSeries(ev.Series[m][p], cfg)
+			if err != nil {
+				return 0
+			}
+			return autoscale.AllocationAt(allocs, wdw) / utilTarget
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		frac := 100 * float64(count) / float64(ev.Query.NumWindows())
+		fmt.Fprintf(w, "    %-18s %5.1f%% of windows violate\n", m, frac)
+		metrics["slo_violations_"+shortName(m)] = frac
+	}
+	return Result{ID: "autoscale", Metrics: metrics}, nil
+}
+
+// latencyViolations counts query windows in which any *planned* station,
+// provisioned with the allocation-derived capacity, queues requests for
+// more than twice its service time (ρ > 2/3) or saturates.
+func latencyViolations(l *Lab, ev *Evaluation, pairs []app.Pair, capAt func(p app.Pair, w int) float64) (int, error) {
+	model, err := sim.NewLatencyModel(l.Spec)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for wdw, reqs := range ev.Query.Windows {
+		for _, p := range pairs {
+			if c := capAt(p, wdw); c > 0 {
+				if err := model.SetCapacity(p.Component, c); err != nil {
+					return 0, err
+				}
+			}
+		}
+		loads, _, err := model.Evaluate(reqs, l.WindowSec)
+		if err != nil {
+			return 0, err
+		}
+		for _, p := range pairs {
+			ld := loads[p.Component]
+			if ld.Utilization >= 1 || ld.WaitMs > 2*ld.ServiceMs {
+				count++
+				break
+			}
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/baselines"
+	"repro/internal/eval"
+	"repro/internal/features"
+	"repro/internal/workload"
+)
+
+// ExtShallow probes the paper's §3 motivation for deep models: with
+// shallow learning over the same trace features, some resources fit best
+// with a linear function and others with a polynomial one, so the
+// application owner faces per-resource model selection. That burden
+// reproduces here. An honest caveat also emerges: on this simulated
+// substrate — whose cost model is closer to affine than a real testbed —
+// closed-form ridge regression over the right features is competitive with
+// the recurrent estimator on point MAPE. What the shallow models still
+// lack is everything the paper's use cases need beyond a point estimate:
+// calibrated confidence intervals (sanity checks), temporal state (caches,
+// queuing memory), and the per-expert structure behind Figures 21–22.
+func (r *Runner) ExtShallow() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	w := r.P.Out
+
+	// Shared design matrices: the same invocation-path features the
+	// estimator consumes, raw-scaled.
+	space := features.NewSpace(l.LearnRun.Windows)
+	scaler := features.FitScaler(features.Matrix(space.ExtractSeries(l.LearnRun.Windows)))
+	xTrain := scaler.Apply(features.Matrix(space.ExtractSeries(l.LearnRun.Windows)))
+
+	query := l.queryDay(workload.TwoPeak{}, l.Mix, l.PeakRPS*3, r.P.Seed+620)
+	ev, err := l.Evaluate(query)
+	if err != nil {
+		return Result{}, err
+	}
+	xQuery := scaler.Apply(features.Matrix(space.ExtractSeries(ev.Synthetic)))
+
+	pairs := []app.Pair{
+		{Component: "FrontendNGINX", Resource: app.CPU},
+		{Component: "ComposePostService", Resource: app.CPU},
+		{Component: "UserTimelineService", Resource: app.CPU},
+		{Component: "PostStorageMongoDB", Resource: app.CPU},
+		{Component: "PostStorageMongoDB", Resource: app.WriteIOps},
+		{Component: "PostStorageMongoDB", Resource: app.Memory},
+	}
+	fmt.Fprintln(w, "shallow model selection vs DeepRest (unseen 3x-scale query)")
+	fmt.Fprintf(w, "  %-34s %10s %10s %12s %10s\n", "pair", "linear", "polynomial", "best shallow", "DeepRest")
+
+	metrics := map[string]float64{}
+	linWins, polyWins := 0, 0
+	deepBeatsBest := 0
+	cfg := baselines.DefaultShallowConfig()
+	for _, p := range pairs {
+		yTrain := l.LearnRun.Usage[p]
+		lin, err := baselines.TrainShallow(baselines.ShallowLinear, xTrain, yTrain, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		poly, err := baselines.TrainShallow(baselines.ShallowPolynomial, xTrain, yTrain, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		linErr := eval.MAPE(lin.Predict(xQuery), ev.Actual[p])
+		polyErr := eval.MAPE(poly.Predict(xQuery), ev.Actual[p])
+		deepErr := eval.MAPE(ev.Series[MethodDeepRest][p], ev.Actual[p])
+		best := linErr
+		bestName := "linear"
+		if polyErr < best {
+			best, bestName = polyErr, "polynomial"
+			polyWins++
+		} else {
+			linWins++
+		}
+		if deepErr < best {
+			deepBeatsBest++
+		}
+		fmt.Fprintf(w, "  %-34s %9.1f%% %9.1f%% %12s %9.1f%%\n", p, linErr, polyErr, bestName, deepErr)
+		key := shortPairKey(p)
+		metrics[key+"_linear"] = linErr
+		metrics[key+"_poly"] = polyErr
+		metrics[key+"_deeprest"] = deepErr
+	}
+	fmt.Fprintf(w, "  winning shallow class differs by resource: linear %d, polynomial %d (the §3 model-selection burden)\n", linWins, polyWins)
+	fmt.Fprintf(w, "  DeepRest beats the per-resource best shallow model on %d/%d pairs\n", deepBeatsBest, len(pairs))
+	fmt.Fprintln(w, "  note: on this near-affine simulated substrate, well-featured ridge regression is a")
+	fmt.Fprintln(w, "  strong point estimator; the shallow models provide no confidence intervals, so the")
+	fmt.Fprintln(w, "  paper's sanity-check use case remains out of their reach (see EXPERIMENTS.md).")
+	metrics["linear_wins"] = float64(linWins)
+	metrics["poly_wins"] = float64(polyWins)
+	metrics["deep_beats_best"] = float64(deepBeatsBest)
+	metrics["pairs"] = float64(len(pairs))
+	return Result{ID: "shallow", Metrics: metrics}, nil
+}
+
+func shortPairKey(p app.Pair) string {
+	return p.Component + "_" + p.Resource.String()
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/app"
+	"repro/internal/eval"
+	"repro/internal/workload"
+)
+
+// pairComposeCPU and pairPostIOps are the two resources the paper's
+// qualitative analysis (Figures 10, 11, 18) focuses on.
+var (
+	pairComposeCPU = app.Pair{Component: "ComposePostService", Resource: app.CPU}
+	pairPostIOps   = app.Pair{Component: "PostStorageMongoDB", Resource: app.WriteIOps}
+)
+
+// qualitative prints, for one evaluated query, the actual series and every
+// method's estimate for the two focus pairs, and returns the per-method
+// MAPEs keyed "<pair>/<method>".
+func qualitative(r *Runner, ev *Evaluation, title string) map[string]float64 {
+	w := r.P.Out
+	metrics := map[string]float64{}
+	total := ev.Query.TotalSeries()
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  query total traffic  %s  (%s req/window)\n", eval.Sparkline(total, 64), eval.SeriesSummary(total))
+	for _, p := range []app.Pair{pairComposeCPU, pairPostIOps} {
+		fmt.Fprintf(w, "  -- %s (%s) --\n", p, p.Resource.Unit())
+		fmt.Fprintf(w, "    %-17s %s  (%s)\n", "actual", eval.Sparkline(ev.Actual[p], 64), eval.SeriesSummary(ev.Actual[p]))
+		for _, m := range Methods {
+			s := ev.Series[m][p]
+			mape := eval.MAPE(s, ev.Actual[p])
+			fmt.Fprintf(w, "    %-17s %s  (%s) MAPE=%.1f%%\n", m, eval.Sparkline(s, 64), eval.SeriesSummary(s), mape)
+			metrics[metricKey(p, m)] = mape
+		}
+	}
+	return metrics
+}
+
+func metricKey(p app.Pair, method string) string {
+	return fmt.Sprintf("%s_%s_mape", p.Resource, shortName(method))
+}
+
+func shortName(method string) string {
+	switch method {
+	case MethodDeepRest:
+		return "deeprest"
+	case MethodResourceAware:
+		return "resrc_aware"
+	case MethodSimpleScaling:
+		return "simple"
+	case MethodComponentAware:
+		return "comp_aware"
+	case MethodSeasonalAR:
+		return "seasonal_ar"
+	default:
+		return method
+	}
+}
+
+// Fig10 evaluates the /composePost-dominated query: the additional traffic
+// drives both ComposePostService CPU and PostStorageMongoDB write IOps, so
+// every traffic-aware method captures the burst while resrc-aware DL —
+// blind to the query — misses it (paper Figure 10).
+func (r *Runner) Fig10() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	q := l.queryDay(workload.TwoPeak{}, composeDominatedMix(), l.PeakRPS*2, r.P.Seed+430)
+	ev, err := l.Evaluate(q)
+	if err != nil {
+		return Result{}, err
+	}
+	metrics := qualitative(r, ev, "query: /composePost-dominated, 2x volume")
+	return Result{ID: "fig10", Metrics: metrics}, nil
+}
+
+// Fig11 evaluates the /readTimeline-dominated query: similar total volume
+// to Figure 10, but /readTimeline does not invoke ComposePostService and
+// performs no writes on PostStorageMongoDB — so simple scaling wrongly
+// scales the CPU and the IOps, component-aware scaling wrongly scales the
+// IOps (it sees the component busy but not which resource), and DeepRest
+// correctly expects low utilization (paper Figure 11).
+func (r *Runner) Fig11() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	q := l.queryDay(workload.TwoPeak{}, readDominatedMix(), l.PeakRPS*2, r.P.Seed+440)
+	ev, err := l.Evaluate(q)
+	if err != nil {
+		return Result{}, err
+	}
+	metrics := qualitative(r, ev, "query: /readTimeline-dominated, 2x volume")
+
+	// The diagnostic over/under-estimation ratios the paper's
+	// discussion calls out.
+	for _, m := range []string{MethodSimpleScaling, MethodComponentAware, MethodDeepRest} {
+		est := meanOf(ev.Series[m][pairPostIOps])
+		act := meanOf(ev.Actual[pairPostIOps])
+		ratio := math.Inf(1)
+		if act > 0 {
+			ratio = est / act
+		}
+		metrics["iops_ratio_"+shortName(m)] = ratio
+		fmt.Fprintf(r.P.Out, "  write-IOps mean(est)/mean(actual) [%s] = %.2f\n", m, ratio)
+	}
+	return Result{ID: "fig11", Metrics: metrics}, nil
+}
+
+func meanOf(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// fig12Components are the four heatmap columns of the paper's Figure 12.
+var fig12Components = []string{"FrontendNGINX", "ComposePostService", "UserTimelineService", "PostStorageMongoDB"}
+
+// Fig12 renders the estimation-quality heatmaps: four components × five
+// resource types × four algorithms, averaging MAPE over the three scenario
+// queries (paper Figure 12).
+func (r *Runner) Fig12() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	queries := []*workload.Traffic{
+		l.queryDay(workload.TwoPeak{}, composeDominatedMix(), l.PeakRPS*2, r.P.Seed+450),
+		l.queryDay(workload.TwoPeak{}, readDominatedMix(), l.PeakRPS*2, r.P.Seed+451),
+		l.queryDay(workload.Flat{}, l.Mix, l.PeakRPS, r.P.Seed+452),
+	}
+	evs, err := l.evaluateAll(queries)
+	if err != nil {
+		return Result{}, err
+	}
+
+	metrics := map[string]float64{}
+	heatmaps := make(map[string]*eval.Heatmap, len(Methods))
+	for _, m := range Methods {
+		errs := make(map[app.Pair]float64)
+		for _, c := range fig12Components {
+			comp, _ := l.Spec.Component(c)
+			for _, res := range app.AllResources {
+				if res.StatefulOnly() && !comp.Stateful {
+					errs[app.Pair{Component: c, Resource: res}] = math.NaN()
+					continue
+				}
+				p := app.Pair{Component: c, Resource: res}
+				sum := 0.0
+				for _, ev := range evs {
+					sum += eval.MAPE(ev.Series[m][p], ev.Actual[p])
+				}
+				errs[p] = sum / float64(len(evs))
+			}
+		}
+		h := eval.NewHeatmap(m, fig12Components, errs)
+		heatmaps[m] = h
+		fmt.Fprintln(r.P.Out, h.Render())
+		metrics["mean_mape_"+shortName(m)] = h.MeanMAPE()
+	}
+
+	// CPU and memory row ranges, matching the paper's §5.2 summary
+	// numbers (CPU: DeepRest 7.86–11.19% vs baselines up to 123%).
+	for _, m := range Methods {
+		lo, hi := rowRange(heatmaps[m], app.CPU)
+		metrics["cpu_mape_min_"+shortName(m)] = lo
+		metrics["cpu_mape_max_"+shortName(m)] = hi
+		fmt.Fprintf(r.P.Out, "  CPU MAPE range [%s]: %.2f%% .. %.2f%%\n", m, lo, hi)
+	}
+	return Result{ID: "fig12", Metrics: metrics}, nil
+}
+
+func rowRange(h *eval.Heatmap, res app.Resource) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, c := range h.Components {
+		v, ok := h.Cells[app.Pair{Component: c, Resource: res}]
+		if !ok || math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// Fig18 shows the 2-peak→flat shape change on the two focus resources: the
+// resrc-aware forecaster still predicts two peaks (it only knows history),
+// while the traffic-aware methods follow the flat query — with DeepRest
+// closest in magnitude (paper Figure 18).
+func (r *Runner) Fig18() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	q := l.queryDay(workload.Flat{}, l.Mix, l.PeakRPS, r.P.Seed+460)
+	ev, err := l.Evaluate(q)
+	if err != nil {
+		return Result{}, err
+	}
+	metrics := qualitative(r, ev, "query: flat shape at learning-phase volume (2-peak/day -> flat)")
+
+	// Peakiness diagnostic: ratio of max to mean. Actual (flat) should be
+	// near 1; the history-bound forecaster stays peaky.
+	for _, m := range []string{MethodDeepRest, MethodResourceAware} {
+		s := ev.Series[m][pairComposeCPU]
+		metrics["peakiness_"+shortName(m)] = maxOf(s) / (meanOf(s) + 1e-9)
+	}
+	metrics["peakiness_actual"] = maxOf(ev.Actual[pairComposeCPU]) / (meanOf(ev.Actual[pairComposeCPU]) + 1e-9)
+	fmt.Fprintf(r.P.Out, "  peakiness (max/mean of ComposePostService CPU): actual=%.2f deeprest=%.2f resrc-aware=%.2f\n",
+		metrics["peakiness_actual"], metrics["peakiness_deeprest"], metrics["peakiness_resrc_aware"])
+	return Result{ID: "fig18", Metrics: metrics}, nil
+}

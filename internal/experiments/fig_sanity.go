@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/anomaly"
+	"repro/internal/app"
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The sanity-check experiments reuse the paper's July 2021 timeline: the
+// application learning phase covers 07/06–07/12 and the checking phase
+// 07/13–07/21 (9 days). Day indices below are relative to 07/13.
+var checkDates = []string{"07/13", "07/14", "07/15", "07/16", "07/17", "07/18", "07/19", "07/20", "07/21"}
+
+// checkDays builds the 9-day checking-phase traffic: mostly the learned
+// two-peak days, plus benign-but-novel days that violate historical
+// patterns without violating the traffic→resource causality — a constantly
+// high 07/14 and a single-peak 07/16 (and 07/19's shape for fig19).
+func (l *Lab) checkDays(day6Shape workload.Shape) []workload.DaySpec {
+	days := make([]workload.DaySpec, 9)
+	for i := range days {
+		days[i] = workload.DaySpec{Shape: workload.TwoPeak{}, Mix: l.Mix, PeakRPS: l.PeakRPS}
+	}
+	days[1].Shape = workload.High{}    // 07/14: constantly high utilization — benign
+	days[3].Shape = workload.OnePeak{} // 07/16: only one peak hour — benign
+	days[6].Shape = day6Shape          // 07/19: shape for the attack day
+	return days
+}
+
+// windowLabel renders a checking-phase window index as "MM/DD hh:mm".
+func windowLabel(wpd int) func(int) string {
+	return func(w int) string {
+		day := w / wpd
+		if day >= len(checkDates) {
+			day = len(checkDates) - 1
+		}
+		frac := float64(w%wpd) / float64(wpd)
+		h := int(frac * 24)
+		m := int(frac*24*60) % 60
+		return fmt.Sprintf("%s %02d:%02d", checkDates[day], h, m)
+	}
+}
+
+// daysOfEvents maps detected events to the set of checking-phase day
+// indices they touch.
+func daysOfEvents(events []anomaly.Event, wpd int) []int {
+	set := map[int]bool{}
+	for _, e := range events {
+		for d := e.From / wpd; d <= (e.To-1)/wpd; d++ {
+			set[d] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// baselineSuspiciousDays runs the history-only detection the paper compares
+// against: a day is suspicious when the actual utilization deviates from
+// the resrc-aware DL forecast by a large margin for a sustained share of
+// the day. Because the forecast only knows the historical two-peak
+// pattern, benign-but-novel days get flagged.
+func baselineSuspiciousDays(l *Lab, pairs []app.Pair, actual map[app.Pair][]float64, horizon int) ([]int, error) {
+	wpd := l.WPD
+	days := horizon / wpd
+	flagged := map[int]bool{}
+	for _, p := range pairs {
+		// The paper's manual-inspection narrative reasons over CPU
+		// utilization shapes; mirror that.
+		if p.Resource != app.CPU {
+			continue
+		}
+		fc, err := l.RA.Forecast(p, horizon)
+		if err != nil {
+			return nil, err
+		}
+		// Normalise deviations by the forecast's own diurnal
+		// amplitude: the monitor asks "does today deviate from the
+		// expected daily pattern", so the pattern's swing — not its
+		// absolute level — is the natural scale.
+		scale := maxOf(fc) - minOf(fc)
+		if scale < 1 {
+			scale = 1
+		}
+		for d := 0; d < days; d++ {
+			bad, extreme, run := 0, 0, 0
+			for w := d * wpd; w < (d+1)*wpd; w++ {
+				dev := abs(actual[p][w] - fc[w])
+				if dev > 0.6*scale {
+					bad++
+				}
+				// A short but extreme burst (e.g. the ransomware
+				// spike) also makes the day suspicious.
+				if dev > 2.5*scale {
+					run++
+					if run > extreme {
+						extreme = run
+					}
+				} else {
+					run = 0
+				}
+			}
+			if float64(bad) > 0.32*float64(wpd) || extreme >= 3 {
+				flagged[d] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(flagged))
+	for d := range flagged {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// sanityRun executes a sanity-check scenario: it replays the checking
+// traffic with the given attacks, runs DeepRest's Mode-2 check on the
+// served traces, and contrasts with the history-only baseline.
+func (r *Runner) sanityRun(id string, day6Shape workload.Shape, attacks []sim.Attack, attackDays map[int]bool, focus []app.Pair) (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	w := r.P.Out
+	wpd := l.WPD
+
+	check := l.program(l.checkDays(day6Shape), r.P.Seed+560).Generate()
+	truth, err := l.GroundTruth(check, attacks...)
+	if err != nil {
+		return Result{}, err
+	}
+	actual := make(map[app.Pair][]float64, len(focus))
+	for _, p := range focus {
+		actual[p] = truth.Usage[p]
+	}
+
+	events, err := l.System.SanityCheck(truth.Windows, actual, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	label := windowLabel(wpd)
+	fmt.Fprintf(w, "checking phase %s–%s (%d windows/day)\n", checkDates[0], checkDates[len(checkDates)-1], wpd)
+	cpu := app.Pair{Component: "PostStorageMongoDB", Resource: app.CPU}
+	fmt.Fprintf(w, "  actual %-26s %s\n", cpu, eval.Sparkline(actual[cpu], 81))
+	if tp, ok := actual[app.Pair{Component: "PostStorageMongoDB", Resource: app.WriteTput}]; ok {
+		fmt.Fprintf(w, "  actual %-26s %s\n", app.Pair{Component: "PostStorageMongoDB", Resource: app.WriteTput}, eval.Sparkline(tp, 81))
+	}
+	fmt.Fprintf(w, "  DeepRest alerts (%d):\n", len(events))
+	for _, e := range events {
+		fmt.Fprintln(w, indent(e.Format(label), "    "))
+	}
+	drDays := daysOfEvents(events, wpd)
+	blDays, err := baselineSuspiciousDays(l, focus, actual, check.NumWindows())
+	if err != nil {
+		return Result{}, err
+	}
+	sesdDays, err := sesdSuspiciousDays(l, focus, actual)
+	if err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(w, "  DeepRest-suspicious days: %s\n", dayList(drDays))
+	fmt.Fprintf(w, "  resrc-aware-DL-suspicious days: %s\n", dayList(blDays))
+	fmt.Fprintf(w, "  seasonal-ESD-suspicious days: %s\n", dayList(sesdDays))
+
+	metrics := map[string]float64{
+		"deeprest_alert_days": float64(len(drDays)),
+		"baseline_alert_days": float64(len(blDays)),
+		"sesd_alert_days":     float64(len(sesdDays)),
+	}
+	metrics["deeprest_true_positives"], metrics["deeprest_false_positives"] = confusion(drDays, attackDays)
+	metrics["baseline_true_positives"], metrics["baseline_false_positives"] = confusion(blDays, attackDays)
+	metrics["sesd_true_positives"], metrics["sesd_false_positives"] = confusion(sesdDays, attackDays)
+	fmt.Fprintf(w, "  attack days: %s\n", dayList(keys(attackDays)))
+	fmt.Fprintf(w, "  DeepRest: %d true / %d false alarms; resrc-aware DL: %d true / %d false; Seasonal ESD: %d true / %d false\n",
+		int(metrics["deeprest_true_positives"]), int(metrics["deeprest_false_positives"]),
+		int(metrics["baseline_true_positives"]), int(metrics["baseline_false_positives"]),
+		int(metrics["sesd_true_positives"]), int(metrics["sesd_false_positives"]))
+	return Result{ID: id, Metrics: metrics}, nil
+}
+
+// sesdSuspiciousDays runs the Seasonal-ESD metric detector (related work
+// [34]) over the checking phase, calibrated on the learning phase — another
+// history-only reference point that cannot justify novel-but-benign days.
+func sesdSuspiciousDays(l *Lab, pairs []app.Pair, actual map[app.Pair][]float64) ([]int, error) {
+	det := anomaly.NewSeasonalESD(l.WPD)
+	flaggedDays := map[int]bool{}
+	for _, p := range pairs {
+		if p.Resource != app.CPU {
+			continue
+		}
+		flagged, err := det.Detect(l.LearnRun.Usage[p], actual[p])
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range anomaly.SuspiciousDays(flagged, l.WPD, l.WPD/12) {
+			flaggedDays[d] = true
+		}
+	}
+	out := make([]int, 0, len(flaggedDays))
+	for d := range flaggedDays {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func confusion(flagged []int, attackDays map[int]bool) (tp, fp float64) {
+	for _, d := range flagged {
+		if attackDays[d] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	return tp, fp
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func dayList(days []int) string {
+	if len(days) == 0 {
+		return "(none)"
+	}
+	s := ""
+	for i, d := range days {
+		if i > 0 {
+			s += ", "
+		}
+		if d < len(checkDates) {
+			s += checkDates[d]
+		} else {
+			s += fmt.Sprintf("day%d", d)
+		}
+	}
+	return s
+}
+
+func indent(s, prefix string) string {
+	out := prefix
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += prefix
+		}
+	}
+	return out
+}
+
+// Fig19 launches a ransomware attack on PostStorageMongoDB at midday of
+// 07/19: the malware reads stored posts, encrypts them, and writes them
+// back. Manual inspection (and resrc-aware DL) would also suspect the
+// benign 07/14 (constantly high) and 07/16 (one peak) — DeepRest justifies
+// those via the API traffic and alerts only on the attack (paper
+// Figure 19).
+func (r *Runner) Fig19() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	wpd := l.WPD
+	from := 6*wpd + wpd/2        // 07/19 ~12:00
+	to := 6*wpd + wpd/2 + wpd/16 // ~90 minutes
+	if to <= from {
+		to = from + 2
+	}
+	attack := sim.Ransomware{
+		Component:     "PostStorageMongoDB",
+		FromWindow:    from,
+		ToWindow:      to,
+		ExtraCPU:      90,
+		ExtraWriteOps: 400,
+		ExtraWriteKiB: 800,
+		ShedComponent: "FrontendNGINX",
+		ShedFraction:  0.2,
+	}
+	focus := []app.Pair{
+		{Component: "PostStorageMongoDB", Resource: app.CPU},
+		{Component: "PostStorageMongoDB", Resource: app.Memory},
+		{Component: "PostStorageMongoDB", Resource: app.WriteIOps},
+		{Component: "PostStorageMongoDB", Resource: app.WriteTput},
+		{Component: "FrontendNGINX", Resource: app.CPU},
+	}
+	return r.sanityRun("fig19", workload.OnePeak{}, []sim.Attack{attack}, map[int]bool{6: true}, focus)
+}
+
+// Fig20 installs a cryptomining process in PostStorageMongoDB from 07/18
+// onwards: sustained CPU theft that the API traffic cannot justify, while
+// the benign novel days before it must not alert (paper Figure 20).
+func (r *Runner) Fig20() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	wpd := l.WPD
+	attack := sim.Cryptojack{
+		Component:  "PostStorageMongoDB",
+		FromWindow: 5 * wpd, // 07/18 00:00 onwards
+		ToWindow:   1 << 30,
+		ExtraCPU:   70,
+	}
+	focus := []app.Pair{
+		{Component: "PostStorageMongoDB", Resource: app.CPU},
+		{Component: "PostStorageMongoDB", Resource: app.Memory},
+	}
+	attackDays := map[int]bool{5: true, 6: true, 7: true, 8: true}
+	return r.sanityRun("fig20", workload.TwoPeak{}, []sim.Attack{attack}, attackDays, focus)
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/eval"
+	"repro/internal/workload"
+)
+
+// fig14Components are the four CPU-allocation targets of Figures 14–16.
+var fig14Components = []string{"FrontendNGINX", "ComposePostService", "UserTimelineService", "PostStorageMongoDB"}
+
+// Fig14 estimates CPU utilization for query traffic with unseen scales of
+// application users (1×, 2×, 3×), repeating each scale with minor
+// variations and reporting the worst case (paper Figure 14).
+func (r *Runner) Fig14() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	rows := cpuPairs(fig14Components...)
+	metrics := map[string]float64{}
+	for i, scale := range []float64{1, 2, 3} {
+		queries := l.scenarioQueries(workload.TwoPeak{}, l.Mix, l.PeakRPS*scale, r.P.Reps, r.P.Seed+470+int64(i)*97)
+		evs, err := l.evaluateAll(queries)
+		if err != nil {
+			return Result{}, err
+		}
+		worst := mapeTable(r.P.Out, fmt.Sprintf("unseen scale %.0fx (worst of %d reps, CPU MAPE)", scale, r.P.Reps), rows, evs)
+		for _, m := range Methods {
+			mean := 0.0
+			for _, p := range rows {
+				mean += worst[m][p]
+			}
+			metrics[fmt.Sprintf("scale%d_%s", int(scale), shortName(m))] = mean / float64(len(rows))
+		}
+		metrics[fmt.Sprintf("scale%d_deeprest_wins", int(scale))] = float64(winsFor(MethodDeepRest, worst, rows))
+	}
+	return Result{ID: "fig14", Metrics: metrics}, nil
+}
+
+// Fig15 estimates CPU utilization for query traffic with API compositions
+// that were (left) or were not (right) observed during application learning
+// (paper Figure 15).
+func (r *Runner) Fig15() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	rows := cpuPairs(fig14Components...)
+	metrics := map[string]float64{}
+	settings := []struct {
+		key string
+		mix workload.Mix
+	}{
+		{"seen", l.Mix},
+		{"unseen", unseenCompositionMix()},
+	}
+	for i, s := range settings {
+		queries := l.scenarioQueries(workload.TwoPeak{}, s.mix, l.PeakRPS, r.P.Reps, r.P.Seed+490+int64(i)*91)
+		evs, err := l.evaluateAll(queries)
+		if err != nil {
+			return Result{}, err
+		}
+		worst := mapeTable(r.P.Out, fmt.Sprintf("%s API composition (worst of %d reps, CPU MAPE)", s.key, r.P.Reps), rows, evs)
+		for _, m := range Methods {
+			mean := 0.0
+			for _, p := range rows {
+				mean += worst[m][p]
+			}
+			metrics[fmt.Sprintf("%s_%s", s.key, shortName(m))] = mean / float64(len(rows))
+		}
+		metrics[s.key+"_deeprest_wins"] = float64(winsFor(MethodDeepRest, worst, rows))
+	}
+	return Result{ID: "fig15", Metrics: metrics}, nil
+}
+
+// Fig16 estimates CPU utilization under unseen traffic shapes, in both
+// directions: a model learned on 2-peak/day traffic queried with flat
+// traffic, and a model learned on flat traffic queried with 2-peak/day
+// traffic (paper Figure 16).
+func (r *Runner) Fig16() (Result, error) {
+	rows := cpuPairs(fig14Components...)
+	metrics := map[string]float64{}
+
+	type direction struct {
+		key   string
+		lab   func() (*Lab, error)
+		shape workload.Shape
+	}
+	dirs := []direction{
+		{"2peak_to_flat", r.Social, workload.Flat{}},
+		{"flat_to_2peak", r.SocialFlat, workload.TwoPeak{}},
+	}
+	for i, d := range dirs {
+		l, err := d.lab()
+		if err != nil {
+			return Result{}, err
+		}
+		queries := l.scenarioQueries(d.shape, l.Mix, l.PeakRPS, r.P.Reps, r.P.Seed+510+int64(i)*83)
+		evs, err := l.evaluateAll(queries)
+		if err != nil {
+			return Result{}, err
+		}
+		worst := mapeTable(r.P.Out, fmt.Sprintf("%s (worst of %d reps, CPU MAPE)", d.key, r.P.Reps), rows, evs)
+		for _, m := range Methods {
+			mean := 0.0
+			for _, p := range rows {
+				mean += worst[m][p]
+			}
+			metrics[fmt.Sprintf("%s_%s", d.key, shortName(m))] = mean / float64(len(rows))
+		}
+		metrics[d.key+"_deeprest_wins"] = float64(winsFor(MethodDeepRest, worst, rows))
+	}
+	return Result{ID: "fig16", Metrics: metrics}, nil
+}
+
+// Fig17 queries the hotel-reservation system with 3× more users than ever
+// and reports the CPU estimation of the FrontendService: DeepRest stays
+// accurate while the scaling baselines drift — small per-request errors are
+// magnified at large scales, and scaling the idle baseline with traffic
+// systematically overestimates (paper Figure 17).
+func (r *Runner) Fig17() (Result, error) {
+	l, err := r.Hotel()
+	if err != nil {
+		return Result{}, err
+	}
+	w := r.P.Out
+	p := app.Pair{Component: "FrontendService", Resource: app.CPU}
+	q := l.queryDay(workload.TwoPeak{}, l.Mix, l.PeakRPS*3, r.P.Seed+530)
+	ev, err := l.Evaluate(q)
+	if err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(w, "hotel reservation, 3x users, %s\n", p)
+	fmt.Fprintf(w, "  %-17s %s  (%s)\n", "actual", eval.Sparkline(ev.Actual[p], 64), eval.SeriesSummary(ev.Actual[p]))
+	metrics := map[string]float64{}
+	for _, m := range Methods {
+		s := ev.Series[m][p]
+		mape := eval.MAPE(s, ev.Actual[p])
+		fmt.Fprintf(w, "  %-17s %s  (%s) MAPE=%.1f%%\n", m, eval.Sparkline(s, 64), eval.SeriesSummary(s), mape)
+		metrics["mape_"+shortName(m)] = mape
+		metrics["mean_ratio_"+shortName(m)] = meanOf(s) / meanOf(ev.Actual[p])
+	}
+	// Absolute percentage error distribution for DeepRest (Figure 17b).
+	ape := make([]float64, len(ev.Actual[p]))
+	for i := range ape {
+		den := ev.Actual[p][i]
+		if den < 1 {
+			den = 1
+		}
+		ape[i] = 100 * abs(ev.Series[MethodDeepRest][p][i]-ev.Actual[p][i]) / den
+	}
+	fmt.Fprintf(w, "  DeepRest abs %% error over the day: %s (%s)\n", eval.Sparkline(ape, 64), eval.SeriesSummary(ape))
+	return Result{ID: "fig17", Metrics: metrics}, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/workload"
+)
+
+// Fig9 prints the 7-day application-learning API traffic of the social
+// network: per-window request series of the three headline APIs with two
+// peak hours per day (paper Figure 9).
+func (r *Runner) Fig9() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	w := r.P.Out
+	t := l.LearnTraffic
+	fmt.Fprintf(w, "learning traffic: %d days x %d windows/day, window=%.0fs, total requests=%d\n",
+		l.LearnDays, t.WindowsPerDay, t.WindowSeconds, t.TotalRequests())
+	for _, api := range []string{"/composePost", "/readTimeline", "/uploadMedia"} {
+		s := t.Series(api)
+		fmt.Fprintf(w, "  %-16s %s  (%s req/window)\n", api, eval.Sparkline(s, 84), eval.SeriesSummary(s))
+	}
+	total := t.TotalSeries()
+	fmt.Fprintf(w, "  %-16s %s  (%s req/window)\n", "total", eval.Sparkline(total, 84), eval.SeriesSummary(total))
+
+	// Verify the two-peak structure of each day: every day's
+	// autocorrelation with the first day should be high.
+	peaks := countDailyPeaks(total, t.WindowsPerDay)
+	fmt.Fprintf(w, "  detected peaks per day: %v\n", peaks)
+	mean := 0.0
+	for _, p := range peaks {
+		mean += float64(p)
+	}
+	mean /= float64(len(peaks))
+	return Result{ID: "fig9", Metrics: map[string]float64{
+		"total_requests":      float64(t.TotalRequests()),
+		"mean_peaks_per_day":  mean,
+		"windows_per_day":     float64(t.WindowsPerDay),
+		"learning_days":       float64(l.LearnDays),
+		"peak_window_total":   maxOf(total),
+		"trough_window_total": minOf(total),
+	}}, nil
+}
+
+// countDailyPeaks finds local maxima above 70% of the day's max, merged
+// within a quarter-day.
+func countDailyPeaks(total []float64, wpd int) []int {
+	days := len(total) / wpd
+	out := make([]int, days)
+	for d := 0; d < days; d++ {
+		day := total[d*wpd : (d+1)*wpd]
+		max := maxOf(day)
+		count := 0
+		last := -wpd
+		for i := 1; i < len(day)-1; i++ {
+			if day[i] >= 0.7*max && day[i] >= day[i-1] && day[i] >= day[i+1] && i-last > wpd/6 {
+				count++
+				last = i
+			}
+		}
+		out[d] = count
+	}
+	return out
+}
+
+func maxOf(s []float64) float64 {
+	m := s[0]
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minOf(s []float64) float64 {
+	m := s[0]
+	for _, v := range s {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Fig13 prints example one-day query traffic for the three business
+// scenarios: unseen user scales (1×/2×/3×), an unseen API composition, and
+// an unseen (flat) traffic shape (paper Figure 13).
+func (r *Runner) Fig13() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	w := r.P.Out
+	metrics := map[string]float64{}
+
+	fmt.Fprintln(w, "(a) unseen scales of application users")
+	base := 0.0
+	for i, scale := range []float64{1, 2, 3} {
+		q := l.queryDay(workload.TwoPeak{}, l.Mix, l.PeakRPS*scale, r.P.Seed+400+int64(i))
+		total := q.TotalSeries()
+		fmt.Fprintf(w, "  %.0fx users  %s  (%s)\n", scale, eval.Sparkline(total, 64), eval.SeriesSummary(total))
+		if i == 0 {
+			base = float64(q.TotalRequests())
+		}
+		metrics[fmt.Sprintf("scale_%dx_volume_ratio", int(scale))] = float64(q.TotalRequests()) / base
+	}
+
+	fmt.Fprintln(w, "(b) unseen API composition (10% compose / 85% readTimeline / 5% uploadMedia)")
+	qc := l.queryDay(workload.TwoPeak{}, unseenCompositionMix(), l.PeakRPS, r.P.Seed+410)
+	for _, api := range []string{"/composePost", "/readTimeline", "/uploadMedia"} {
+		s := qc.Series(api)
+		fmt.Fprintf(w, "  %-16s %s  (%s)\n", api, eval.Sparkline(s, 64), eval.SeriesSummary(s))
+	}
+	metrics["composition_read_share"] = sumOf(qc.Series("/readTimeline")) / float64(qc.TotalRequests())
+
+	fmt.Fprintln(w, "(c) unseen traffic shape (flat)")
+	qf := l.queryDay(workload.Flat{}, l.Mix, l.PeakRPS, r.P.Seed+420)
+	total := qf.TotalSeries()
+	fmt.Fprintf(w, "  %-16s %s  (%s)\n", "total", eval.Sparkline(total, 64), eval.SeriesSummary(total))
+	metrics["flat_peak_to_trough"] = maxOf(total) / (minOf(total) + 1)
+
+	return Result{ID: "fig13", Metrics: metrics}, nil
+}
+
+func sumOf(s []float64) float64 {
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Table1 measures the trace synthesizer's quality: for each of the six
+// query settings of the paper's Table 1, the synthetic traces are compared
+// in feature space against the ground-truth traces captured by actually
+// running the query, expecting >90% overlap (paper Table 1).
+func (r *Runner) Table1() (Result, error) {
+	l, err := r.Social()
+	if err != nil {
+		return Result{}, err
+	}
+	type setting struct {
+		key   string
+		label string
+		lab   *Lab
+		query *workload.Traffic
+	}
+	var settings []setting
+	for i, scale := range []float64{1, 2, 3} {
+		settings = append(settings, setting{
+			key:   fmt.Sprintf("scale_%dx", int(scale)),
+			label: fmt.Sprintf("Unseen Scale %.0fx", scale),
+			lab:   l,
+			query: l.queryDay(workload.TwoPeak{}, l.Mix, l.PeakRPS*scale, r.P.Seed+540+int64(i)),
+		})
+	}
+	settings = append(settings, setting{
+		key:   "composition",
+		label: "Unseen API Composition",
+		lab:   l,
+		query: l.queryDay(workload.TwoPeak{}, unseenCompositionMix(), l.PeakRPS, r.P.Seed+545),
+	})
+	settings = append(settings, setting{
+		key:   "shape_2peak_to_flat",
+		label: "Unseen Shape 2-peak/day -> flat",
+		lab:   l,
+		query: l.queryDay(workload.Flat{}, l.Mix, l.PeakRPS, r.P.Seed+546),
+	})
+	flat, err := r.SocialFlat()
+	if err != nil {
+		return Result{}, err
+	}
+	settings = append(settings, setting{
+		key:   "shape_flat_to_2peak",
+		label: "Unseen Shape flat -> 2-peak/day",
+		lab:   flat,
+		query: flat.queryDay(workload.TwoPeak{}, flat.Mix, flat.PeakRPS, r.P.Seed+547),
+	})
+
+	w := r.P.Out
+	fmt.Fprintf(w, "%-36s %s\n", "Query Scenario", "Synthesis Quality (%)")
+	metrics := map[string]float64{}
+	min := 100.0
+	for _, s := range settings {
+		ev, err := s.lab.Evaluate(s.query)
+		if err != nil {
+			return Result{}, err
+		}
+		acc := s.lab.SynthAccuracy(ev)
+		fmt.Fprintf(w, "%-36s %.2f\n", s.label, acc)
+		metrics[s.key] = acc
+		if acc < min {
+			min = acc
+		}
+	}
+	metrics["min_accuracy"] = min
+	return Result{ID: "table1", Metrics: metrics}, nil
+}

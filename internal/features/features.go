@@ -1,0 +1,235 @@
+// Package features implements DeepRest's distributed-tracing feature
+// extractor (paper §4.1, Algorithms 1 and 2).
+//
+// Traces are unstructured trees of spans whose size varies with request
+// payloads, so they cannot be fed to a neural network directly. The
+// extractor turns them into fixed-width count vectors: the feature space has
+// one dimension per distinct root-to-node invocation path observed during
+// application learning, and the feature vector of a scrape window counts how
+// many times each path was exercised by the window's traces. The intuition
+// is that the utilization of a resource in a component is a function of how
+// many times the component is triggered, conditioned on the business logic —
+// which the invocation path encodes.
+package features
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Space is the path-to-feature map M of Algorithm 1. It is immutable once
+// built: querying a window never adds dimensions, so vectors extracted at
+// query time always align with the vectors the model was trained on.
+type Space struct {
+	index map[string]int
+	paths []string
+}
+
+// NewSpace constructs the feature space from the batches collected during
+// the application learning phase (Algorithm 1). Every root-to-node path
+// prefix across all traces becomes one dimension, numbered in first-seen
+// order exactly as in the paper's pseudo-code.
+func NewSpace(windows [][]trace.Batch) *Space {
+	s := &Space{index: make(map[string]int)}
+	for _, w := range windows {
+		for _, b := range w {
+			s.addTrace(b.Trace)
+		}
+	}
+	return s
+}
+
+// NewSpaceFromTraces constructs the feature space from individual traces.
+func NewSpaceFromTraces(traces []trace.Trace) *Space {
+	s := &Space{index: make(map[string]int)}
+	for _, t := range traces {
+		s.addTrace(t)
+	}
+	return s
+}
+
+func (s *Space) addTrace(t trace.Trace) {
+	if t.Root == nil {
+		return
+	}
+	t.Root.Walk(func(_ *trace.Span, path []string) {
+		key := trace.PathKey(path)
+		if _, ok := s.index[key]; !ok {
+			s.index[key] = len(s.index)
+			s.paths = append(s.paths, key)
+		}
+	})
+}
+
+// RestoreSpace rebuilds a Space from a saved path list (dimension i gets
+// paths[i]), the inverse of Paths. Used when loading serialized models.
+func RestoreSpace(paths []string) *Space {
+	s := &Space{index: make(map[string]int, len(paths))}
+	for i, p := range paths {
+		s.index[p] = i
+		s.paths = append(s.paths, p)
+	}
+	return s
+}
+
+// Dim returns the dimensionality of the feature space.
+func (s *Space) Dim() int { return len(s.index) }
+
+// Index returns the feature index of a path key and whether it is known.
+func (s *Space) Index(key string) (int, bool) {
+	i, ok := s.index[key]
+	return i, ok
+}
+
+// Path returns the path key of feature dimension i.
+func (s *Space) Path(i int) string { return s.paths[i] }
+
+// Paths returns all path keys ordered by feature index.
+func (s *Space) Paths() []string {
+	out := make([]string, len(s.paths))
+	copy(out, s.paths)
+	return out
+}
+
+// Extract transforms one window of trace batches into its feature vector
+// (Algorithm 2): for every span in every trace, the count of the span's
+// root-to-node path is incremented by the batch multiplicity. Paths never
+// seen during application learning are counted in the Unknown tally instead
+// of silently dropped, so callers can detect topology drift.
+func (s *Space) Extract(window []trace.Batch) Vector {
+	v := Vector{Counts: make([]float64, s.Dim())}
+	for _, b := range window {
+		if b.Trace.Root == nil {
+			continue
+		}
+		n := float64(b.Count)
+		b.Trace.Root.Walk(func(_ *trace.Span, path []string) {
+			if i, ok := s.index[trace.PathKey(path)]; ok {
+				v.Counts[i] += n
+			} else {
+				v.Unknown += n
+			}
+		})
+	}
+	return v
+}
+
+// ExtractSeries transforms a sequence of windows into the time-series of
+// feature vectors {x_1, ..., x_T} consumed by the resource estimator.
+func (s *Space) ExtractSeries(windows [][]trace.Batch) []Vector {
+	out := make([]Vector, len(windows))
+	for t, w := range windows {
+		out[t] = s.Extract(w)
+	}
+	return out
+}
+
+// Vector is the feature vector x_t of one scrape window.
+type Vector struct {
+	// Counts holds, per feature-space dimension, the number of times the
+	// corresponding invocation path was exercised in the window.
+	Counts []float64
+	// Unknown counts span visits whose path was never seen during
+	// application learning. A persistently non-zero value means the
+	// application topology changed and the model should be re-learned.
+	Unknown float64
+}
+
+// Matrix stacks a feature-vector series into a dense [T][D] matrix, the
+// layout expected by the neural estimator.
+func Matrix(series []Vector) [][]float64 {
+	out := make([][]float64, len(series))
+	for t, v := range series {
+		row := make([]float64, len(v.Counts))
+		copy(row, v.Counts)
+		out[t] = row
+	}
+	return out
+}
+
+// Scaler normalises feature matrices so that every dimension has comparable
+// magnitude. DeepRest scales counts by the per-dimension maximum observed
+// during application learning (no shift), so that a query with, say, 3× the
+// traffic maps to values around 3.0 — preserving the extrapolation signal
+// rather than clipping it.
+type Scaler struct {
+	// Max holds the per-dimension maxima; dimensions never observed
+	// non-zero use 1 to avoid division by zero.
+	Max []float64
+}
+
+// FitScaler computes per-dimension maxima over a training matrix.
+func FitScaler(m [][]float64) *Scaler {
+	if len(m) == 0 {
+		return &Scaler{}
+	}
+	max := make([]float64, len(m[0]))
+	for _, row := range m {
+		for i, v := range row {
+			if v > max[i] {
+				max[i] = v
+			}
+		}
+	}
+	for i, v := range max {
+		if v <= 0 {
+			max[i] = 1
+		}
+	}
+	return &Scaler{Max: max}
+}
+
+// Apply returns a newly allocated scaled copy of m.
+func (s *Scaler) Apply(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for t, row := range m {
+		r := make([]float64, len(row))
+		for i, v := range row {
+			r[i] = v / s.Max[i]
+		}
+		out[t] = r
+	}
+	return out
+}
+
+// ApplyRow scales a single feature row in place.
+func (s *Scaler) ApplyRow(row []float64) {
+	for i := range row {
+		row[i] /= s.Max[i]
+	}
+}
+
+// TopPaths returns the n feature paths with the largest total count across
+// the series, useful for debugging which invocation paths dominate a
+// workload.
+func TopPaths(s *Space, series []Vector, n int) []string {
+	type pc struct {
+		path  string
+		count float64
+	}
+	totals := make([]pc, s.Dim())
+	for i := range totals {
+		totals[i].path = s.Path(i)
+	}
+	for _, v := range series {
+		for i, c := range v.Counts {
+			totals[i].count += c
+		}
+	}
+	sort.Slice(totals, func(i, j int) bool {
+		if totals[i].count != totals[j].count {
+			return totals[i].count > totals[j].count
+		}
+		return totals[i].path < totals[j].path
+	})
+	if n > len(totals) {
+		n = len(totals)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf("%s (%.0f)", totals[i].path, totals[i].count)
+	}
+	return out
+}

@@ -1,0 +1,436 @@
+// Package ad is a small reverse-mode automatic differentiation engine
+// operating on dense float64 vectors and matrices. It is the substrate the
+// DeepRest estimator's GRU experts are built on — the stdlib-only stand-in
+// for the paper's PyTorch.
+//
+// Usage follows the define-by-run tape model: a Tape records operations as
+// they execute; Backward replays them in reverse, accumulating gradients.
+// Model parameters live in Param objects whose gradients persist across
+// tape rebuilds until an optimizer consumes and zeroes them, which is what
+// makes truncated backpropagation-through-time (and gradient accumulation)
+// straightforward.
+package ad
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable tensor: data plus accumulated gradient. Vectors use
+// Cols == 1.
+type Param struct {
+	// Name identifies the parameter in serialized models and debugging
+	// output.
+	Name string
+	// Rows and Cols give the logical shape; len(Data) == Rows*Cols.
+	Rows, Cols int
+	// Data is the row-major parameter value.
+	Data []float64
+	// Grad is the accumulated gradient, same layout as Data.
+	Grad []float64
+}
+
+// NewParam allocates a zero-initialised parameter.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name,
+		Rows: rows, Cols: cols,
+		Data: make([]float64, rows*cols),
+		Grad: make([]float64, rows*cols),
+	}
+}
+
+// NewParamInit allocates a parameter with Glorot-uniform initialisation.
+func NewParamInit(name string, rows, cols int, rng *rand.Rand) *Param {
+	p := NewParam(name, rows, cols)
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range p.Data {
+		p.Data[i] = (2*rng.Float64() - 1) * scale
+	}
+	return p
+}
+
+// Size returns the number of scalar elements.
+func (p *Param) Size() int { return len(p.Data) }
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Value is a node in the computation graph: the result of one operation (or
+// a leaf). Shapes: vectors are Rows×1; matrices Rows×Cols.
+type Value struct {
+	// Data holds the node's value, row-major.
+	Data []float64
+	// Grad holds ∂loss/∂node after Backward.
+	Grad []float64
+	// Rows and Cols give the logical shape.
+	Rows, Cols int
+
+	back func()
+}
+
+// Len returns the number of scalar elements.
+func (v *Value) Len() int { return len(v.Data) }
+
+// Scalar returns the single element of a 1×1 value.
+func (v *Value) Scalar() float64 {
+	if len(v.Data) != 1 {
+		panic(fmt.Sprintf("ad: Scalar on value of length %d", len(v.Data)))
+	}
+	return v.Data[0]
+}
+
+// Tape records operations for reverse-mode differentiation. A Tape is not
+// safe for concurrent use; build one tape per goroutine.
+type Tape struct {
+	nodes []*Value
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded operations so the tape can be reused for the
+// next forward pass without reallocating the tape itself.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// NumNodes returns the number of recorded graph nodes.
+func (t *Tape) NumNodes() int { return len(t.nodes) }
+
+func (t *Tape) record(v *Value) *Value {
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+func newValue(rows, cols int) *Value {
+	n := rows * cols
+	return &Value{
+		Data: make([]float64, n),
+		Grad: make([]float64, n),
+		Rows: rows, Cols: cols,
+	}
+}
+
+// Const introduces an input vector as a leaf. Gradients flowing into it are
+// accumulated but never used; the caller's slice is not aliased.
+func (t *Tape) Const(data []float64) *Value {
+	v := newValue(len(data), 1)
+	copy(v.Data, data)
+	return t.record(v)
+}
+
+// Use introduces a parameter into the graph. The returned Value aliases the
+// parameter's Data and Grad, so Backward accumulates directly into the
+// parameter.
+func (t *Tape) Use(p *Param) *Value {
+	v := &Value{Data: p.Data, Grad: p.Grad, Rows: p.Rows, Cols: p.Cols}
+	return t.record(v)
+}
+
+// MatVec computes y = W·x for a Rows×Cols matrix value and a Cols-vector.
+func (t *Tape) MatVec(w, x *Value) *Value {
+	if w.Cols != x.Rows || x.Cols != 1 {
+		panic(fmt.Sprintf("ad: MatVec shape mismatch: %dx%d · %dx%d", w.Rows, w.Cols, x.Rows, x.Cols))
+	}
+	out := newValue(w.Rows, 1)
+	for i := 0; i < w.Rows; i++ {
+		row := w.Data[i*w.Cols : (i+1)*w.Cols]
+		s := 0.0
+		for j, r := range row {
+			s += r * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	out.back = func() {
+		for i := 0; i < w.Rows; i++ {
+			g := out.Grad[i]
+			if g == 0 {
+				continue
+			}
+			wrow := w.Data[i*w.Cols : (i+1)*w.Cols]
+			grow := w.Grad[i*w.Cols : (i+1)*w.Cols]
+			for j := range wrow {
+				grow[j] += g * x.Data[j]
+				x.Grad[j] += g * wrow[j]
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// Add computes a + b element-wise; shapes must match.
+func (t *Tape) Add(a, b *Value) *Value {
+	checkSameShape("Add", a, b)
+	out := newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	out.back = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+			b.Grad[i] += g
+		}
+	}
+	return t.record(out)
+}
+
+// Sub computes a - b element-wise; shapes must match.
+func (t *Tape) Sub(a, b *Value) *Value {
+	checkSameShape("Sub", a, b)
+	out := newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	out.back = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += g
+			b.Grad[i] -= g
+		}
+	}
+	return t.record(out)
+}
+
+// Mul computes the Hadamard product a ⊙ b; shapes must match.
+func (t *Tape) Mul(a, b *Value) *Value {
+	checkSameShape("Mul", a, b)
+	out := newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	out.back = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += g * b.Data[i]
+			b.Grad[i] += g * a.Data[i]
+		}
+	}
+	return t.record(out)
+}
+
+// ScaleConst computes s·a for a compile-time constant s.
+func (t *Tape) ScaleConst(a *Value, s float64) *Value {
+	out := newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = s * a.Data[i]
+	}
+	out.back = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] += s * g
+		}
+	}
+	return t.record(out)
+}
+
+// OneMinus computes 1 - a element-wise (the GRU's (1 - z) gate complement).
+func (t *Tape) OneMinus(a *Value) *Value {
+	out := newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = 1 - a.Data[i]
+	}
+	out.back = func() {
+		for i, g := range out.Grad {
+			a.Grad[i] -= g
+		}
+	}
+	return t.record(out)
+}
+
+// Sigmoid applies the logistic function element-wise.
+func (t *Tape) Sigmoid(a *Value) *Value {
+	out := newValue(a.Rows, a.Cols)
+	for i, x := range a.Data {
+		out.Data[i] = stableSigmoid(x)
+	}
+	out.back = func() {
+		for i, g := range out.Grad {
+			s := out.Data[i]
+			a.Grad[i] += g * s * (1 - s)
+		}
+	}
+	return t.record(out)
+}
+
+// Tanh applies the hyperbolic tangent element-wise.
+func (t *Tape) Tanh(a *Value) *Value {
+	out := newValue(a.Rows, a.Cols)
+	for i, x := range a.Data {
+		out.Data[i] = math.Tanh(x)
+	}
+	out.back = func() {
+		for i, g := range out.Grad {
+			th := out.Data[i]
+			a.Grad[i] += g * (1 - th*th)
+		}
+	}
+	return t.record(out)
+}
+
+// ReLU applies max(0, x) element-wise.
+func (t *Tape) ReLU(a *Value) *Value {
+	out := newValue(a.Rows, a.Cols)
+	for i, x := range a.Data {
+		if x > 0 {
+			out.Data[i] = x
+		}
+	}
+	out.back = func() {
+		for i, g := range out.Grad {
+			if a.Data[i] > 0 {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// Concat stacks vectors a and b into one vector (the paper's a_t ∥ h_t).
+func (t *Tape) Concat(a, b *Value) *Value {
+	if a.Cols != 1 || b.Cols != 1 {
+		panic("ad: Concat requires vectors")
+	}
+	out := newValue(a.Rows+b.Rows, 1)
+	copy(out.Data, a.Data)
+	copy(out.Data[a.Rows:], b.Data)
+	out.back = func() {
+		for i := 0; i < a.Rows; i++ {
+			a.Grad[i] += out.Grad[i]
+		}
+		for i := 0; i < b.Rows; i++ {
+			b.Grad[i] += out.Grad[a.Rows+i]
+		}
+	}
+	return t.record(out)
+}
+
+// WeightedSumConst computes Σ_k alpha[k] · rows[k] for constant row vectors
+// (the cross-component attention over detached peer hidden states). alpha is
+// a K-vector; all rows must share one length.
+func (t *Tape) WeightedSumConst(alpha *Value, rows [][]float64) *Value {
+	if alpha.Cols != 1 || alpha.Rows != len(rows) {
+		panic(fmt.Sprintf("ad: WeightedSumConst wants %d weights, got %d", len(rows), alpha.Rows))
+	}
+	if len(rows) == 0 {
+		panic("ad: WeightedSumConst with no rows")
+	}
+	h := len(rows[0])
+	out := newValue(h, 1)
+	for k, row := range rows {
+		a := alpha.Data[k]
+		for i, x := range row {
+			out.Data[i] += a * x
+		}
+	}
+	out.back = func() {
+		for k, row := range rows {
+			s := 0.0
+			for i, x := range row {
+				s += out.Grad[i] * x
+			}
+			alpha.Grad[k] += s
+		}
+	}
+	return t.record(out)
+}
+
+// Pinball computes the quantile-regression (pinball) loss of the paper's
+// Equation 5/6: Σ_k Q(Δ_k | q_k) with Δ_k = target_k − pred_k, where
+// Q(Δ|δ) = δΔ for Δ ≥ 0 and (δ−1)Δ otherwise. This is the standard
+// orientation under which minimisation drives pred_k to the q_k-th quantile
+// of the target distribution (with Δ = pred − target the heads would
+// converge to the mirrored (1−q) quantiles). pred and target have length
+// len(q); the result is a scalar.
+func (t *Tape) Pinball(pred *Value, target []float64, q []float64) *Value {
+	if pred.Len() != len(q) || len(target) != len(q) {
+		panic(fmt.Sprintf("ad: Pinball wants %d predictions and targets, got %d/%d", len(q), pred.Len(), len(target)))
+	}
+	out := newValue(1, 1)
+	for k, d := range q {
+		delta := target[k] - pred.Data[k]
+		if delta >= 0 {
+			out.Data[0] += d * delta
+		} else {
+			out.Data[0] += (d - 1) * delta
+		}
+	}
+	out.back = func() {
+		g := out.Grad[0]
+		for k, d := range q {
+			delta := target[k] - pred.Data[k]
+			if delta >= 0 {
+				pred.Grad[k] -= g * d
+			} else {
+				pred.Grad[k] -= g * (d - 1)
+			}
+		}
+	}
+	return t.record(out)
+}
+
+// SquaredError computes Σ_k (pred_k − target_k)² as a scalar.
+func (t *Tape) SquaredError(pred *Value, target []float64) *Value {
+	if pred.Len() != len(target) {
+		panic(fmt.Sprintf("ad: SquaredError length mismatch %d vs %d", pred.Len(), len(target)))
+	}
+	out := newValue(1, 1)
+	for k, y := range target {
+		d := pred.Data[k] - y
+		out.Data[0] += d * d
+	}
+	out.back = func() {
+		g := out.Grad[0]
+		for k, y := range target {
+			pred.Grad[k] += g * 2 * (pred.Data[k] - y)
+		}
+	}
+	return t.record(out)
+}
+
+// SumScalars adds scalar values into one scalar.
+func (t *Tape) SumScalars(vs ...*Value) *Value {
+	out := newValue(1, 1)
+	for _, v := range vs {
+		if v.Len() != 1 {
+			panic("ad: SumScalars requires scalar operands")
+		}
+		out.Data[0] += v.Data[0]
+	}
+	out.back = func() {
+		g := out.Grad[0]
+		for _, v := range vs {
+			v.Grad[0] += g
+		}
+	}
+	return t.record(out)
+}
+
+// Backward runs reverse-mode accumulation from the scalar root, seeding its
+// gradient with 1.
+func (t *Tape) Backward(root *Value) {
+	if root.Len() != 1 {
+		panic("ad: Backward root must be scalar")
+	}
+	root.Grad[0] += 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		if t.nodes[i].back != nil {
+			t.nodes[i].back()
+		}
+	}
+}
+
+func checkSameShape(op string, a, b *Value) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("ad: %s shape mismatch: %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func stableSigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}

@@ -1,0 +1,275 @@
+package ad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// numericGrad estimates dLoss/dParam[i] by central differences.
+func numericGrad(p *Param, i int, loss func() float64) float64 {
+	const h = 1e-6
+	orig := p.Data[i]
+	p.Data[i] = orig + h
+	up := loss()
+	p.Data[i] = orig - h
+	down := loss()
+	p.Data[i] = orig
+	return (up - down) / (2 * h)
+}
+
+// checkGrads compares analytic gradients against numeric ones for every
+// element of every parameter.
+func checkGrads(t *testing.T, params []*Param, build func(tp *Tape) *Value) {
+	t.Helper()
+	tape := NewTape()
+	root := build(tape)
+	tape.Backward(root)
+	loss := func() float64 {
+		tp := NewTape()
+		return build(tp).Scalar()
+	}
+	for _, p := range params {
+		for i := range p.Data {
+			want := numericGrad(p, i, loss)
+			got := p.Grad[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("param %s[%d]: analytic %.8f vs numeric %.8f", p.Name, i, got, want)
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+func TestMatVecGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := NewParamInit("W", 3, 4, rng)
+	x := NewParamInit("x", 4, 1, rng)
+	checkGrads(t, []*Param{w, x}, func(tp *Tape) *Value {
+		y := tp.MatVec(tp.Use(w), tp.Use(x))
+		return tp.SquaredError(y, []float64{0.1, -0.2, 0.3})
+	})
+}
+
+func TestElementwiseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewParamInit("a", 5, 1, rng)
+	b := NewParamInit("b", 5, 1, rng)
+	checkGrads(t, []*Param{a, b}, func(tp *Tape) *Value {
+		av, bv := tp.Use(a), tp.Use(b)
+		sum := tp.Add(av, bv)
+		prod := tp.Mul(sum, tp.OneMinus(bv))
+		sub := tp.Sub(prod, av)
+		scaled := tp.ScaleConst(sub, 0.7)
+		return tp.SquaredError(scaled, []float64{0.1, 0.2, 0.3, -0.1, 0})
+	})
+}
+
+func TestActivationGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewParamInit("a", 6, 1, rng)
+	checkGrads(t, []*Param{a}, func(tp *Tape) *Value {
+		v := tp.Use(a)
+		s := tp.Sigmoid(v)
+		th := tp.Tanh(v)
+		r := tp.ReLU(v)
+		mixed := tp.Add(tp.Mul(s, th), r)
+		return tp.SquaredError(mixed, []float64{0.3, -0.1, 0.2, 0.5, -0.4, 0})
+	})
+}
+
+func TestConcatGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewParamInit("a", 3, 1, rng)
+	b := NewParamInit("b", 2, 1, rng)
+	checkGrads(t, []*Param{a, b}, func(tp *Tape) *Value {
+		c := tp.Concat(tp.Use(a), tp.Use(b))
+		return tp.SquaredError(c, []float64{1, 2, 3, 4, 5})
+	})
+}
+
+func TestWeightedSumConstGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	alpha := NewParamInit("alpha", 3, 1, rng)
+	rows := [][]float64{{1, 2}, {0.5, -1}, {-0.3, 0.8}}
+	checkGrads(t, []*Param{alpha}, func(tp *Tape) *Value {
+		v := tp.WeightedSumConst(tp.Use(alpha), rows)
+		return tp.SquaredError(v, []float64{0.2, -0.5})
+	})
+}
+
+func TestPinballGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := NewParamInit("p", 3, 1, rng)
+	// Targets chosen away from the predictions so the kink is not hit.
+	checkGrads(t, []*Param{p}, func(tp *Tape) *Value {
+		return tp.Pinball(tp.Use(p), []float64{5, 5, 5}, []float64{0.5, 0.05, 0.95})
+	})
+}
+
+func TestPinballValue(t *testing.T) {
+	tape := NewTape()
+	pred := tape.Const([]float64{2})
+	// target 5, q 0.9: Δ = 3 ≥ 0 → 0.9*3 = 2.7
+	l := tape.Pinball(pred, []float64{5}, []float64{0.9})
+	if math.Abs(l.Scalar()-2.7) > 1e-12 {
+		t.Errorf("pinball(2; 5, 0.9) = %v, want 2.7", l.Scalar())
+	}
+	tape2 := NewTape()
+	pred2 := tape2.Const([]float64{7})
+	// Δ = -2 < 0 → (0.9-1)*(-2) = 0.2
+	l2 := tape2.Pinball(pred2, []float64{5}, []float64{0.9})
+	if math.Abs(l2.Scalar()-0.2) > 1e-12 {
+		t.Errorf("pinball(7; 5, 0.9) = %v, want 0.2", l2.Scalar())
+	}
+}
+
+// TestPinballQuantileConvergence asserts the fixed point of pinball descent
+// is the q-th quantile: optimising a constant against uniform samples must
+// land near the target quantile.
+func TestPinballQuantileConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = rng.Float64() // uniform(0,1): q-quantile = q
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		p := NewParam("c", 1, 1)
+		p.Data[0] = 0.5
+		lr := 0.01
+		for epoch := 0; epoch < 60; epoch++ {
+			for _, y := range samples {
+				tape := NewTape()
+				l := tape.Pinball(tape.Use(p), []float64{y}, []float64{q})
+				tape.Backward(l)
+				p.Data[0] -= lr * p.Grad[0]
+				p.ZeroGrad()
+			}
+			lr *= 0.93
+		}
+		if math.Abs(p.Data[0]-q) > 0.05 {
+			t.Errorf("q=%.1f: converged to %.3f, want ≈%.3f", q, p.Data[0], q)
+		}
+	}
+}
+
+func TestSumScalars(t *testing.T) {
+	tape := NewTape()
+	a := tape.Const([]float64{1.5})
+	b := tape.Const([]float64{-0.5})
+	c := tape.Const([]float64{2})
+	s := tape.SumScalars(a, b, c)
+	if s.Scalar() != 3 {
+		t.Fatalf("SumScalars = %v, want 3", s.Scalar())
+	}
+	tape.Backward(s)
+	for _, v := range []*Value{a, b, c} {
+		if v.Grad[0] != 1 {
+			t.Errorf("grad = %v, want 1", v.Grad[0])
+		}
+	}
+}
+
+func TestUseAliasesParam(t *testing.T) {
+	p := NewParam("p", 2, 1)
+	p.Data[0], p.Data[1] = 1, 2
+	tape := NewTape()
+	v := tape.Use(p)
+	l := tape.SquaredError(v, []float64{0, 0})
+	tape.Backward(l)
+	if p.Grad[0] != 2 || p.Grad[1] != 4 {
+		t.Fatalf("gradient not accumulated into param: %v", p.Grad)
+	}
+	// A second pass accumulates rather than overwrites.
+	tape2 := NewTape()
+	l2 := tape2.SquaredError(tape2.Use(p), []float64{0, 0})
+	tape2.Backward(l2)
+	if p.Grad[0] != 4 || p.Grad[1] != 8 {
+		t.Fatalf("gradient should accumulate across passes: %v", p.Grad)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched shapes should panic")
+		}
+	}()
+	tape := NewTape()
+	tape.Add(tape.Const([]float64{1, 2}), tape.Const([]float64{1}))
+}
+
+func TestBackwardNonScalarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on a non-scalar should panic")
+		}
+	}()
+	tape := NewTape()
+	tape.Backward(tape.Const([]float64{1, 2}))
+}
+
+func TestTapeReset(t *testing.T) {
+	tape := NewTape()
+	tape.Const([]float64{1})
+	tape.Const([]float64{2})
+	if tape.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", tape.NumNodes())
+	}
+	tape.Reset()
+	if tape.NumNodes() != 0 {
+		t.Fatalf("NumNodes after Reset = %d, want 0", tape.NumNodes())
+	}
+}
+
+// Property: sigmoid output is always in (0,1) and tanh in (-1,1), for any
+// finite input.
+func TestActivationRangeProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		tape := NewTape()
+		v := tape.Const([]float64{x})
+		s := tape.Sigmoid(v).Scalar()
+		th := tape.Tanh(v).Scalar()
+		return s >= 0 && s <= 1 && th >= -1 && th <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any vectors a and b of equal length, Add then Sub returns a.
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]float64, len(raw))
+		b := make([]float64, len(raw))
+		for i, v := range raw {
+			// Clamp to a range where a+b cannot overflow — float
+			// round-trip identity only holds in finite arithmetic.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				v = 1
+			}
+			a[i] = v
+			b[i] = v / 2
+		}
+		tape := NewTape()
+		av := tape.Const(a)
+		bv := tape.Const(b)
+		back := tape.Sub(tape.Add(av, bv), bv)
+		for i := range a {
+			if math.Abs(back.Data[i]-a[i]) > 1e-9*(1+math.Abs(a[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

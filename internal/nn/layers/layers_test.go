@@ -1,0 +1,157 @@
+package layers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn/ad"
+	"repro/internal/nn/opt"
+)
+
+func TestDenseShapesAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("d", 4, 3, rng)
+	if got := len(d.Params()); got != 2 {
+		t.Fatalf("Params = %d, want 2", got)
+	}
+	tape := ad.NewTape()
+	y := d.Apply(tape, tape.Const([]float64{1, 2, 3, 4}))
+	if y.Len() != 3 {
+		t.Fatalf("output len = %d, want 3", y.Len())
+	}
+}
+
+func TestDenseZeroIsZero(t *testing.T) {
+	d := NewDenseZero("d", 3, 2)
+	tape := ad.NewTape()
+	y := d.Apply(tape, tape.Const([]float64{1, 2, 3}))
+	for _, v := range y.Data {
+		if v != 0 {
+			t.Fatal("zero-initialised dense layer must output zero")
+		}
+	}
+}
+
+func TestAPIMaskInitialGate(t *testing.T) {
+	m := NewAPIMask("m", 4)
+	tape := ad.NewTape()
+	x := tape.Const([]float64{2, 4, 6, 8})
+	y := m.Apply(tape, x)
+	for i, v := range y.Data {
+		if math.Abs(v-x.Data[i]*0.5) > 1e-12 {
+			t.Fatalf("initial mask must gate at σ(0)=0.5: got %v", y.Data)
+		}
+	}
+	ws := m.Weights()
+	for _, w := range ws {
+		if w != 0.5 {
+			t.Fatalf("Weights = %v, want all 0.5", ws)
+		}
+	}
+}
+
+func TestGRUStepShapeAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewGRUCell("g", 3, 5, rng)
+	if got := len(g.Params()); got != 9 {
+		t.Fatalf("GRU params = %d, want 9", got)
+	}
+	tape := ad.NewTape()
+	h := tape.Const(make([]float64, 5))
+	for i := 0; i < 10; i++ {
+		h = g.Step(tape, tape.Const([]float64{1, -0.5, 2}), h)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("hidden len = %d, want 5", h.Len())
+	}
+	for _, v := range h.Data {
+		// h is a convex combination of tanh outputs, so |h| ≤ 1.
+		if v < -1 || v > 1 {
+			t.Fatalf("hidden state out of [-1, 1]: %v", v)
+		}
+	}
+}
+
+// TestGRUZeroInputFixedPoint: with zero weights, the candidate is tanh(0)=0
+// and the gates are 0.5, so the hidden state halves each step.
+func TestGRUZeroWeightsDecay(t *testing.T) {
+	g := NewGRUCellZero("g", 2, 3)
+	tape := ad.NewTape()
+	h := tape.Const([]float64{1, 1, 1})
+	h = g.Step(tape, tape.Const([]float64{5, 5}), h)
+	for _, v := range h.Data {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("expected h = 0.5 after one zero-weight step, got %v", h.Data)
+		}
+	}
+}
+
+// TestGRULearnsMovingAverage trains a 1-unit GRU + dense head to track an
+// exponentially smoothed input, a sanity check that gradients flow through
+// the recurrence.
+func TestGRULearnsMovingAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGRUCell("g", 1, 4, rng)
+	head := NewDense("head", 4, 1, rng)
+	params := append(g.Params(), head.Params()...)
+	optimizer := opt.NewAdam(params, 0.02)
+	optimizer.ClipNorm = 5
+
+	// Data: x_t random walk in [0,1]; y_t = EMA(x, 0.7).
+	const T = 120
+	xs := make([]float64, T)
+	ys := make([]float64, T)
+	ema := 0.5
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ema = 0.7*ema + 0.3*xs[i]
+		ys[i] = ema
+	}
+	var last float64
+	for epoch := 0; epoch < 150; epoch++ {
+		tape := ad.NewTape()
+		h := tape.Const(make([]float64, 4))
+		var losses []*ad.Value
+		for i := 0; i < T; i++ {
+			h = g.Step(tape, tape.Const([]float64{xs[i]}), h)
+			y := head.Apply(tape, h)
+			losses = append(losses, tape.SquaredError(y, []float64{ys[i]}))
+		}
+		total := tape.ScaleConst(tape.SumScalars(losses...), 1.0/T)
+		tape.Backward(total)
+		last = total.Scalar()
+		optimizer.Step()
+	}
+	if last > 0.002 {
+		t.Errorf("GRU failed to fit EMA: final MSE %v", last)
+	}
+}
+
+func TestAttentionApplyAndTopPeers(t *testing.T) {
+	a := NewAttention("a", []string{"p0", "p1", "p2"})
+	a.Alpha.Data[0] = 0.1
+	a.Alpha.Data[1] = -2
+	a.Alpha.Data[2] = 0.5
+	tape := ad.NewTape()
+	v := a.Apply(tape, [][]float64{{1, 0}, {0, 1}, {1, 1}})
+	want := []float64{0.1 + 0.5, -2 + 0.5}
+	for i := range want {
+		if math.Abs(v.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("attention = %v, want %v", v.Data, want)
+		}
+	}
+	top := a.TopPeers(2)
+	if top[0] != 1 || top[1] != 2 {
+		t.Fatalf("TopPeers = %v, want [1 2]", top)
+	}
+}
+
+func TestFlatParamsLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := NewGRUCell("g", 3, 2, rng)
+	// 3 gates × (2×3 W + 2×2 U + 2 b) = 3 × 12 = 36.
+	if got := len(g.FlatParams()); got != 36 {
+		t.Fatalf("FlatParams len = %d, want 36", got)
+	}
+}

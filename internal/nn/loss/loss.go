@@ -1,0 +1,99 @@
+// Package loss provides the scalar loss and error metrics used to train and
+// evaluate resource estimators: the quantile (pinball) loss of the paper's
+// Equation 5, plus the standard regression metrics.
+package loss
+
+import "math"
+
+// Pinball returns Q(Δ|δ): δ·Δ for Δ ≥ 0 and (δ−1)·Δ otherwise (Equation 5).
+func Pinball(delta, q float64) float64 {
+	if delta >= 0 {
+		return q * delta
+	}
+	return (q - 1) * delta
+}
+
+// Quantiles returns the three quantile levels of the paper's Equation 6 for
+// a δ-confidence interval: the median plus the symmetric lower and upper
+// tails ( (1−δ)/2 and δ+(1−δ)/2 ).
+func Quantiles(delta float64) [3]float64 {
+	return [3]float64{0.5, (1 - delta) / 2, delta + (1-delta)/2}
+}
+
+// MSE returns the mean squared error between two equal-length series.
+func MSE(pred, actual []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		d := p - actual[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// MAE returns the mean absolute error between two equal-length series.
+func MAE(pred, actual []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		s += math.Abs(p - actual[i])
+	}
+	return s / float64(len(pred))
+}
+
+// MAPE returns the mean absolute percentage error in percent, the paper's
+// headline metric ("how many resources will be under/over-estimated on
+// average at a time step"). Actual values below floor are clamped to floor
+// to keep near-zero utilizations from exploding the metric.
+func MAPE(pred, actual []float64, floor float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	if floor <= 0 {
+		floor = 1e-9
+	}
+	s := 0.0
+	for i, p := range pred {
+		den := math.Abs(actual[i])
+		if den < floor {
+			den = floor
+		}
+		s += math.Abs(p-actual[i]) / den
+	}
+	return 100 * s / float64(len(pred))
+}
+
+// SMAPE returns the symmetric mean absolute percentage error in percent.
+func SMAPE(pred, actual []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		den := (math.Abs(p) + math.Abs(actual[i])) / 2
+		if den == 0 {
+			continue
+		}
+		s += math.Abs(p-actual[i]) / den
+	}
+	return 100 * s / float64(len(pred))
+}
+
+// Coverage returns the fraction of actual values falling inside
+// [lower, upper] — how well a δ-confidence interval is calibrated.
+func Coverage(lower, upper, actual []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	n := 0
+	for i, y := range actual {
+		if y >= lower[i] && y <= upper[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(actual))
+}

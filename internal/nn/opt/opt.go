@@ -1,0 +1,141 @@
+// Package opt implements first-order optimizers over ad.Param sets: plain
+// SGD (the paper's choice, §5.1), SGD with momentum, and Adam, plus global
+// gradient-norm clipping for stable recurrent training.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/nn/ad"
+)
+
+// Optimizer updates a fixed set of parameters from their accumulated
+// gradients and zeroes the gradients afterwards.
+type Optimizer interface {
+	// Step applies one update and clears gradients.
+	Step()
+	// Params returns the parameter set being optimized.
+	Params() []*ad.Param
+}
+
+// ClipGradNorm scales all gradients so their global L2 norm does not exceed
+// maxNorm, and returns the pre-clip norm. A non-positive maxNorm is a no-op.
+func ClipGradNorm(params []*ad.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= scale
+		}
+	}
+	return norm
+}
+
+// SGD is stochastic gradient descent with optional momentum and gradient
+// clipping.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum in [0, 1); zero yields plain SGD.
+	Momentum float64
+	// ClipNorm bounds the global gradient norm per step; 0 disables.
+	ClipNorm float64
+
+	params   []*ad.Param
+	velocity [][]float64
+}
+
+// NewSGD returns an SGD optimizer over params.
+func NewSGD(params []*ad.Param, lr float64) *SGD {
+	return &SGD{LR: lr, params: params}
+}
+
+// Params implements Optimizer.
+func (o *SGD) Params() []*ad.Param { return o.params }
+
+// Step implements Optimizer.
+func (o *SGD) Step() {
+	ClipGradNorm(o.params, o.ClipNorm)
+	if o.Momentum > 0 && o.velocity == nil {
+		o.velocity = make([][]float64, len(o.params))
+		for i, p := range o.params {
+			o.velocity[i] = make([]float64, p.Size())
+		}
+	}
+	for i, p := range o.params {
+		if o.Momentum > 0 {
+			v := o.velocity[i]
+			for j := range p.Data {
+				v[j] = o.Momentum*v[j] + p.Grad[j]
+				p.Data[j] -= o.LR * v[j]
+			}
+		} else {
+			for j := range p.Data {
+				p.Data[j] -= o.LR * p.Grad[j]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	// LR is the learning rate.
+	LR float64
+	// Beta1, Beta2 are the moment decay rates (defaults 0.9, 0.999).
+	Beta1, Beta2 float64
+	// Eps is the numerical stabiliser (default 1e-8).
+	Eps float64
+	// ClipNorm bounds the global gradient norm per step; 0 disables.
+	ClipNorm float64
+
+	params []*ad.Param
+	m, v   [][]float64
+	step   int
+}
+
+// NewAdam returns an Adam optimizer over params with standard defaults.
+func NewAdam(params []*ad.Param, lr float64) *Adam {
+	a := &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		params: params,
+		m:      make([][]float64, len(params)),
+		v:      make([][]float64, len(params)),
+	}
+	for i, p := range params {
+		a.m[i] = make([]float64, p.Size())
+		a.v[i] = make([]float64, p.Size())
+	}
+	return a
+}
+
+// Params implements Optimizer.
+func (o *Adam) Params() []*ad.Param { return o.params }
+
+// Step implements Optimizer.
+func (o *Adam) Step() {
+	ClipGradNorm(o.params, o.ClipNorm)
+	o.step++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	for i, p := range o.params {
+		m, v := o.m[i], o.v[i]
+		for j, g := range p.Grad {
+			m[j] = o.Beta1*m[j] + (1-o.Beta1)*g
+			v[j] = o.Beta2*v[j] + (1-o.Beta2)*g*g
+			mh := m[j] / c1
+			vh := v[j] / c2
+			p.Data[j] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

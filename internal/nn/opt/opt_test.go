@@ -1,0 +1,123 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn/ad"
+)
+
+// quadratic builds the gradient of f(x) = Σ (x_i - target)² into p.Grad.
+func quadraticGrad(p *ad.Param, target float64) {
+	for i, x := range p.Data {
+		p.Grad[i] += 2 * (x - target)
+	}
+}
+
+func TestSGDConverges(t *testing.T) {
+	p := ad.NewParam("p", 3, 1)
+	p.Data[0], p.Data[1], p.Data[2] = 5, -3, 0.5
+	o := NewSGD([]*ad.Param{p}, 0.1)
+	for i := 0; i < 200; i++ {
+		quadraticGrad(p, 2)
+		o.Step()
+	}
+	for _, x := range p.Data {
+		if math.Abs(x-2) > 1e-6 {
+			t.Fatalf("SGD did not converge: %v", p.Data)
+		}
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	p := ad.NewParam("p", 2, 1)
+	p.Data[0], p.Data[1] = 10, -10
+	o := NewSGD([]*ad.Param{p}, 0.05)
+	o.Momentum = 0.9
+	for i := 0; i < 300; i++ {
+		quadraticGrad(p, -1)
+		o.Step()
+	}
+	for _, x := range p.Data {
+		if math.Abs(x+1) > 1e-4 {
+			t.Fatalf("momentum SGD did not converge: %v", p.Data)
+		}
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	p := ad.NewParam("p", 4, 1)
+	for i := range p.Data {
+		p.Data[i] = float64(i) * 3
+	}
+	o := NewAdam([]*ad.Param{p}, 0.1)
+	for i := 0; i < 500; i++ {
+		quadraticGrad(p, 1.5)
+		o.Step()
+	}
+	for _, x := range p.Data {
+		if math.Abs(x-1.5) > 1e-3 {
+			t.Fatalf("Adam did not converge: %v", p.Data)
+		}
+	}
+}
+
+func TestStepZeroesGradients(t *testing.T) {
+	p := ad.NewParam("p", 2, 1)
+	p.Grad[0], p.Grad[1] = 1, 2
+	NewSGD([]*ad.Param{p}, 0.1).Step()
+	if p.Grad[0] != 0 || p.Grad[1] != 0 {
+		t.Fatal("Step must clear gradients")
+	}
+	a := NewAdam([]*ad.Param{p}, 0.1)
+	p.Grad[0] = 3
+	a.Step()
+	if p.Grad[0] != 0 {
+		t.Fatal("Adam.Step must clear gradients")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := ad.NewParam("p", 2, 1)
+	p.Grad[0], p.Grad[1] = 3, 4 // norm 5
+	pre := ClipGradNorm([]*ad.Param{p}, 1)
+	if pre != 5 {
+		t.Fatalf("pre-clip norm = %v, want 5", pre)
+	}
+	norm := math.Hypot(p.Grad[0], p.Grad[1])
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v, want 1", norm)
+	}
+	// No-op cases.
+	p.Grad[0], p.Grad[1] = 0.3, 0.4
+	ClipGradNorm([]*ad.Param{p}, 1)
+	if p.Grad[0] != 0.3 {
+		t.Fatal("clip must not modify gradients under the bound")
+	}
+	ClipGradNorm([]*ad.Param{p}, 0)
+	if p.Grad[0] != 0.3 {
+		t.Fatal("maxNorm 0 must disable clipping")
+	}
+}
+
+func TestOptimizerParamsAccessor(t *testing.T) {
+	p := ad.NewParam("p", 1, 1)
+	if got := NewSGD([]*ad.Param{p}, 0.1).Params(); len(got) != 1 || got[0] != p {
+		t.Fatal("SGD.Params mismatch")
+	}
+	if got := NewAdam([]*ad.Param{p}, 0.1).Params(); len(got) != 1 || got[0] != p {
+		t.Fatal("Adam.Params mismatch")
+	}
+}
+
+// TestAdamScaleInvariance: Adam's per-parameter normalisation makes early
+// steps roughly equal to ±LR regardless of gradient magnitude.
+func TestAdamFirstStepSize(t *testing.T) {
+	p := ad.NewParam("p", 1, 1)
+	p.Grad[0] = 1e6
+	o := NewAdam([]*ad.Param{p}, 0.01)
+	o.Step()
+	if math.Abs(p.Data[0]+0.01) > 1e-6 {
+		t.Fatalf("first Adam step = %v, want ≈ -0.01", p.Data[0])
+	}
+}

@@ -1,0 +1,113 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/nn/ad"
+)
+
+// Schedule maps an optimizer step index to a learning rate.
+type Schedule interface {
+	// LR returns the learning rate for step (0-based).
+	LR(step int) float64
+}
+
+// Constant keeps a fixed learning rate.
+type Constant float64
+
+// LR implements Schedule.
+func (c Constant) LR(int) float64 { return float64(c) }
+
+// StepDecay multiplies the base rate by Factor every Every steps — the
+// classic staircase schedule.
+type StepDecay struct {
+	// Base is the initial learning rate.
+	Base float64
+	// Factor is the per-stage multiplier (e.g. 0.5).
+	Factor float64
+	// Every is the stage length in steps.
+	Every int
+}
+
+// LR implements Schedule.
+func (s StepDecay) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Factor, float64(step/s.Every))
+}
+
+// Cosine anneals from Base to Min over Period steps and stays at Min.
+type Cosine struct {
+	// Base is the initial learning rate, Min the floor.
+	Base, Min float64
+	// Period is the annealing horizon in steps.
+	Period int
+}
+
+// LR implements Schedule.
+func (c Cosine) LR(step int) float64 {
+	if c.Period <= 0 || step >= c.Period {
+		return c.Min
+	}
+	t := float64(step) / float64(c.Period)
+	return c.Min + (c.Base-c.Min)*(1+math.Cos(math.Pi*t))/2
+}
+
+// Warmup ramps linearly from 0 to the inner schedule's rate over Steps
+// steps, then delegates — a standard stabiliser for recurrent training.
+type Warmup struct {
+	// Steps is the ramp length.
+	Steps int
+	// Inner provides the post-warmup schedule.
+	Inner Schedule
+}
+
+// LR implements Schedule.
+func (w Warmup) LR(step int) float64 {
+	base := w.Inner.LR(step)
+	if w.Steps <= 0 || step >= w.Steps {
+		return base
+	}
+	return base * float64(step+1) / float64(w.Steps)
+}
+
+// rateSetter is implemented by optimizers whose learning rate can be
+// adjusted between steps.
+type rateSetter interface {
+	SetLR(float64)
+}
+
+// SetLR implements rateSetter for SGD.
+func (o *SGD) SetLR(lr float64) { o.LR = lr }
+
+// SetLR implements rateSetter for Adam.
+func (o *Adam) SetLR(lr float64) { o.LR = lr }
+
+// Scheduled wraps an optimizer so each Step uses the schedule's rate.
+type Scheduled struct {
+	inner Optimizer
+	sched Schedule
+	step  int
+}
+
+// WithSchedule attaches a schedule to an optimizer. The optimizer must
+// support rate adjustment (SGD and Adam do).
+func WithSchedule(o Optimizer, s Schedule) *Scheduled {
+	return &Scheduled{inner: o, sched: s}
+}
+
+// Step implements Optimizer: it sets the scheduled rate, then delegates.
+func (s *Scheduled) Step() {
+	if rs, ok := s.inner.(rateSetter); ok {
+		rs.SetLR(s.sched.LR(s.step))
+	}
+	s.step++
+	s.inner.Step()
+}
+
+// Params implements Optimizer.
+func (s *Scheduled) Params() []*ad.Param { return s.inner.Params() }
+
+// StepIndex returns the number of steps taken.
+func (s *Scheduled) StepIndex() int { return s.step }

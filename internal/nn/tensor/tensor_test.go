@@ -1,0 +1,209 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil, nil) = %v, want 0", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpyScale(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy = %v, want %v", y, want)
+		}
+	}
+	Scale(0.5, y)
+	want = []float64{1.5, 2.5, 3.5}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Scale = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Add(a, b); got[0] != 5 || got[2] != 9 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); got[0] != 3 || got[2] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Hadamard(a, b); got[0] != 4 || got[2] != 18 {
+		t.Errorf("Hadamard = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	v := []float64{3, -1, 4, 1, 5}
+	if got := Mean(v); math.Abs(got-2.4) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Max(v); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(v); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Sum(v); got != 12 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := m.MatVec([]float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MatVec = %v", y)
+	}
+	yt := m.MatVecT([]float64{1, 1})
+	want := []float64{5, 7, 9}
+	for i := range yt {
+		if yt[i] != want[i] {
+			t.Fatalf("MatVecT = %v, want %v", yt, want)
+		}
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 0, 7)
+	if m.At(1, 0) != 7 {
+		t.Error("Set/At mismatch")
+	}
+	row := m.Row(1)
+	row[1] = 9
+	if m.At(1, 1) != 9 {
+		t.Error("Row must alias the backing array")
+	}
+	cp := m.Clone()
+	cp.Set(0, 0, 42)
+	if m.At(0, 0) == 42 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestRandInitBounds(t *testing.T) {
+	m := NewMatrix(10, 10)
+	m.RandInit(rand.New(rand.NewSource(1)), 0.3)
+	for _, v := range m.Data {
+		if v < -0.3 || v > 0.3 {
+			t.Fatalf("RandInit out of bounds: %v", v)
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Errorf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid(1000); got != 1 {
+		t.Errorf("Sigmoid(1000) = %v, want 1", got)
+	}
+	if got := Sigmoid(-1000); got != 0 {
+		t.Errorf("Sigmoid(-1000) = %v, want 0", got)
+	}
+}
+
+// Property: MatVec is linear — M(ax + y) == a·Mx + My.
+func TestMatVecLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMatrix(3, 4)
+		m.RandInit(r, 1)
+		x := make([]float64, 4)
+		y := make([]float64, 4)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		a := r.NormFloat64()
+		ax := Clone(x)
+		Scale(a, ax)
+		lhs := m.MatVec(Add(ax, y))
+		mx := m.MatVec(x)
+		Scale(a, mx)
+		rhs := Add(mx, m.MatVec(y))
+		for i := range lhs {
+			if math.Abs(lhs[i]-rhs[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot(a, b) == Dot(b, a) and Norm2(a)^2 ≈ Dot(a, a).
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(seed%7+7)%7
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		if Dot(a, b) != Dot(b, a) {
+			return false
+		}
+		n2 := Norm2(a)
+		return math.Abs(n2*n2-Dot(a, a)) < 1e-9*(1+Dot(a, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXavierScale(t *testing.T) {
+	got := XavierScale(8, 4)
+	want := math.Sqrt(0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("XavierScale = %v, want %v", got, want)
+	}
+}
+
+func TestFill(t *testing.T) {
+	v := Vector(3)
+	Fill(v, 2.5)
+	for _, x := range v {
+		if x != 2.5 {
+			t.Fatal("Fill failed")
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package service exposes DeepRest over HTTP — the deployment mode the
+// paper envisions ("DeepRest can be deployed in on-premises clusters or a
+// cloud as a service to serve any hosted application", §1). The API is
+// deliberately small and JSON-only:
+//
+//	POST /v1/telemetry   ingest a telemetry stream (telemetry JSON format)
+//	POST /v1/learn       run the application learning phase over ingested windows
+//	GET  /v1/status      learning state, window counts, expert inventory
+//	POST /v1/estimate    Mode 1: resources for hypothetical API traffic
+//	POST /v1/sanity      Mode 2: sanity-check a served period
+//	GET  /v1/influence   learned API→resource dependencies for one pair
+//	GET  /v1/model       download the serialized model
+//
+// Privacy note: when the server is created with anonymisation enabled, all
+// component, operation, and API names are hashed before entering the model,
+// matching the paper's DeepRest-as-a-service threat model.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/anomaly"
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Server is the HTTP facade over one DeepRest instance.
+type Server struct {
+	opts core.Options
+
+	mu     sync.RWMutex
+	store  *telemetry.Server
+	system *core.System
+}
+
+// New returns a service with the given learning options. The telemetry
+// store is created on first ingest (its window duration comes from the
+// stream header).
+func New(opts core.Options) *Server {
+	return &Server{opts: opts}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
+	mux.HandleFunc("POST /v1/learn", s.handleLearn)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/sanity", s.handleSanity)
+	mux.HandleFunc("GET /v1/influence", s.handleInfluence)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	return mux
+}
+
+// httpError is the uniform error body.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleTelemetry ingests a telemetry stream (the interchange format of
+// internal/telemetry) and appends its windows to the store.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	in, err := telemetry.ImportJSON(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		s.store = in
+	} else {
+		if s.store.WindowSeconds() != in.WindowSeconds() {
+			writeErr(w, http.StatusConflict, "window duration %vs does not match existing store (%vs)",
+				in.WindowSeconds(), s.store.WindowSeconds())
+			return
+		}
+		n := in.NumWindows()
+		traces, _ := in.Traces(0, n)
+		metrics, _ := in.Metrics(0, n)
+		for i := 0; i < n; i++ {
+			s.store.Record(windowResult(traces[i], metrics, i))
+		}
+	}
+	writeJSON(w, map[string]int{"windows": s.store.NumWindows()})
+}
+
+// learnRequest controls the learning phase.
+type learnRequest struct {
+	// From and To bound the learning windows; To 0 means "all".
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Pairs optionally restricts the estimation targets
+	// ("Component/resource" keys).
+	Pairs []string `json:"pairs,omitempty"`
+}
+
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	var req learnRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil || s.store.NumWindows() == 0 {
+		writeErr(w, http.StatusPreconditionFailed, "no telemetry ingested")
+		return
+	}
+	to := req.To
+	if to == 0 {
+		to = s.store.NumWindows()
+	}
+	opts := s.opts
+	for _, key := range req.Pairs {
+		p, err := app.ParsePair(key)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		opts.Pairs = append(opts.Pairs, p)
+	}
+	sys, err := core.Learn(s.store, req.From, to, opts)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "learn: %v", err)
+		return
+	}
+	s.system = sys
+	writeJSON(w, map[string]interface{}{
+		"experts":  len(sys.Pairs()),
+		"windows":  to - req.From,
+		"features": sys.Model().Space.Dim(),
+	})
+}
+
+// statusResponse reports the service state.
+type statusResponse struct {
+	Windows int      `json:"windows"`
+	Learned bool     `json:"learned"`
+	Experts []string `json:"experts,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := statusResponse{}
+	if s.store != nil {
+		resp.Windows = s.store.NumWindows()
+	}
+	if s.system != nil {
+		resp.Learned = true
+		for _, p := range s.system.Pairs() {
+			resp.Experts = append(resp.Experts, p.String())
+		}
+		sort.Strings(resp.Experts)
+	}
+	writeJSON(w, resp)
+}
+
+// estimateRequest is a Mode-1 query: hypothetical API traffic as per-window
+// request counts per endpoint.
+type estimateRequest struct {
+	// Windows holds the traffic: one map per scrape window.
+	Windows []map[string]int `json:"windows"`
+	// WindowsPerDay defaults to the number of windows (single day).
+	WindowsPerDay int `json:"windows_per_day,omitempty"`
+}
+
+// estimateResponse maps "Component/resource" to the estimate series.
+type estimateResponse struct {
+	Estimates map[string]estimateSeries `json:"estimates"`
+}
+
+type estimateSeries struct {
+	Exp  []float64 `json:"exp"`
+	Low  []float64 `json:"low"`
+	Up   []float64 `json:"up"`
+	Unit string    `json:"unit"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Windows) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty traffic")
+		return
+	}
+	s.mu.RLock()
+	sys := s.system
+	var ws float64
+	if s.store != nil {
+		ws = s.store.WindowSeconds()
+	}
+	s.mu.RUnlock()
+	if sys == nil {
+		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
+		return
+	}
+	wpd := req.WindowsPerDay
+	if wpd == 0 {
+		wpd = len(req.Windows)
+	}
+	traffic := &workload.Traffic{Windows: req.Windows, WindowSeconds: ws, WindowsPerDay: wpd}
+	est, err := sys.EstimateTraffic(traffic)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "estimate: %v", err)
+		return
+	}
+	writeJSON(w, toEstimateResponse(est))
+}
+
+func toEstimateResponse(est map[app.Pair]estimator.Estimate) estimateResponse {
+	resp := estimateResponse{Estimates: make(map[string]estimateSeries, len(est))}
+	for p, e := range est {
+		resp.Estimates[p.String()] = estimateSeries{
+			Exp: e.Exp, Low: e.Low, Up: e.Up, Unit: p.Resource.Unit(),
+		}
+	}
+	return resp
+}
+
+// sanityRequest is a Mode-2 query over a previously ingested window range.
+type sanityRequest struct {
+	// From and To bound the served period within the store.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Threshold and MinLen tune the detector (0 = defaults).
+	Threshold float64 `json:"threshold,omitempty"`
+	MinLen    int     `json:"min_len,omitempty"`
+}
+
+// sanityResponse lists detected events.
+type sanityResponse struct {
+	Events []sanityEvent `json:"events"`
+}
+
+type sanityEvent struct {
+	Component  string            `json:"component"`
+	FromWindow int               `json:"from_window"`
+	ToWindow   int               `json:"to_window"`
+	PeakScore  float64           `json:"peak_score"`
+	Deviations map[string]string `json:"deviations"`
+}
+
+func (s *Server) handleSanity(w http.ResponseWriter, r *http.Request) {
+	var req sanityRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	sys := s.system
+	store := s.store
+	s.mu.RUnlock()
+	if sys == nil || store == nil {
+		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
+		return
+	}
+	windows, err := store.Traces(req.From, req.To)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	actual := make(map[app.Pair][]float64)
+	for _, p := range sys.Pairs() {
+		series, err := store.Metric(p, req.From, req.To)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		actual[p] = series
+	}
+	det := anomaly.NewDetector()
+	if req.Threshold > 0 {
+		det.Threshold = req.Threshold
+	}
+	if req.MinLen > 0 {
+		det.MinLen = req.MinLen
+	}
+	events, err := sys.SanityCheck(windows, actual, det)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "sanity: %v", err)
+		return
+	}
+	resp := sanityResponse{Events: []sanityEvent{}}
+	for _, e := range events {
+		ev := sanityEvent{
+			Component:  e.Component,
+			FromWindow: req.From + e.From,
+			ToWindow:   req.From + e.To,
+			PeakScore:  e.PeakScore,
+			Deviations: make(map[string]string, len(e.Deviations)),
+		}
+		for _, d := range e.Deviations {
+			dir := "higher"
+			pct := d.Percent
+			if pct < 0 {
+				dir, pct = "lower", -pct
+			}
+			ev.Deviations[d.Pair.String()] = fmt.Sprintf("%.1f%% %s than expected", pct, dir)
+		}
+		resp.Events = append(resp.Events, ev)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("pair")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, "missing ?pair=Component/resource")
+		return
+	}
+	p, err := app.ParsePair(key)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.RLock()
+	sys := s.system
+	store := s.store
+	s.mu.RUnlock()
+	if sys == nil || store == nil {
+		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
+		return
+	}
+	windows, err := store.Traces(0, store.NumWindows())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	infl, err := sys.Model().APIInfluence(p, windows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "influence: %v", err)
+		return
+	}
+	writeJSON(w, map[string]map[string]float64{"influence": infl})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	sys := s.system
+	s.mu.RUnlock()
+	if sys == nil {
+		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := sys.Save(w); err != nil {
+		// Headers are already out; nothing more we can do.
+		return
+	}
+}
+
+// windowResult reassembles one window of an imported store for appending.
+func windowResult(batches []trace.Batch, metrics map[app.Pair][]float64, i int) sim.WindowResult {
+	wr := sim.WindowResult{Batches: batches, Usage: make(sim.Usage, len(metrics))}
+	for p, series := range metrics {
+		wr.Usage[p] = series[i]
+	}
+	return wr
+}
+
+// decodeBody decodes a JSON request body, tolerating an empty body as the
+// zero value.
+func decodeBody(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil && err.Error() != "EOF" {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/telemetry"
+	"repro/internal/testutil"
+)
+
+// newTestService spins up a service with a quick estimator configuration.
+func newTestService() *Server {
+	opts := core.DefaultOptions()
+	opts.Estimator.Hidden = 6
+	opts.Estimator.Epochs = 8
+	opts.Estimator.AttentionEpochs = 1
+	opts.Estimator.ChunkLen = 24
+	return New(opts)
+}
+
+// telemetryBody serialises a toy run into the interchange format.
+func telemetryBody(t *testing.T, days int, peak float64, seed int64) *bytes.Buffer {
+	t.Helper()
+	_, _, run := testutil.ToyTelemetry(t, days, peak, seed)
+	store := telemetry.NewServer(run.WindowSeconds)
+	store.RecordRun(run)
+	var buf bytes.Buffer
+	if err := store.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body *bytes.Buffer) *httptest.ResponseRecorder {
+	t.Helper()
+	if body == nil {
+		body = &bytes.Buffer{}
+	}
+	req := httptest.NewRequest(method, path, body)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	h := newTestService().Handler()
+
+	// Status before any data.
+	rec := do(t, h, "GET", "/v1/status", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var st statusResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Learned || st.Windows != 0 {
+		t.Fatalf("fresh status = %+v", st)
+	}
+
+	// Estimate before learning must fail.
+	if rec := do(t, h, "POST", "/v1/estimate", bytes.NewBufferString(`{"windows":[{"/read":10}]}`)); rec.Code != http.StatusPreconditionFailed {
+		t.Fatalf("premature estimate = %d", rec.Code)
+	}
+
+	// Ingest telemetry.
+	rec = do(t, h, "POST", "/v1/telemetry", telemetryBody(t, 2, 30, 51))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", rec.Code, rec.Body)
+	}
+
+	// Learn a subset of pairs.
+	learn := `{"pairs":["Service/cpu","DB/write_iops"]}`
+	rec = do(t, h, "POST", "/v1/learn", bytes.NewBufferString(learn))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("learn = %d: %s", rec.Code, rec.Body)
+	}
+	var lr map[string]float64
+	_ = json.Unmarshal(rec.Body.Bytes(), &lr)
+	if lr["experts"] != 2 {
+		t.Fatalf("experts = %v", lr)
+	}
+
+	// Status reflects learning.
+	rec = do(t, h, "GET", "/v1/status", nil)
+	_ = json.Unmarshal(rec.Body.Bytes(), &st)
+	if !st.Learned || len(st.Experts) != 2 {
+		t.Fatalf("status after learn = %+v", st)
+	}
+
+	// Mode-1 estimate.
+	traffic := testutil.ToyProgram(1, 45, 99).Generate()
+	body, _ := json.Marshal(estimateRequest{Windows: traffic.Windows, WindowsPerDay: traffic.WindowsPerDay})
+	rec = do(t, h, "POST", "/v1/estimate", bytes.NewBuffer(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("estimate = %d: %s", rec.Code, rec.Body)
+	}
+	var er estimateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	cpu, ok := er.Estimates["Service/cpu"]
+	if !ok || len(cpu.Exp) != traffic.NumWindows() || cpu.Unit != "mcores" {
+		t.Fatalf("estimate payload = %+v", er)
+	}
+	for i := range cpu.Exp {
+		if cpu.Low[i] > cpu.Exp[i] || cpu.Up[i] < cpu.Exp[i] {
+			t.Fatal("interval does not bracket the expectation")
+		}
+	}
+
+	// Mode-2 sanity over the (benign) learning period: no events.
+	rec = do(t, h, "POST", "/v1/sanity", bytes.NewBufferString(fmt.Sprintf(`{"from":0,"to":%d}`, st.Windows)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sanity = %d: %s", rec.Code, rec.Body)
+	}
+	var sr sanityResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &sr)
+	if len(sr.Events) != 0 {
+		t.Fatalf("benign period raised events: %+v", sr.Events)
+	}
+
+	// Influence for a learned pair.
+	rec = do(t, h, "GET", "/v1/influence?pair=DB/write_iops", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("influence = %d: %s", rec.Code, rec.Body)
+	}
+	var ir map[string]map[string]float64
+	_ = json.Unmarshal(rec.Body.Bytes(), &ir)
+	if len(ir["influence"]) == 0 {
+		t.Fatal("no influence data")
+	}
+
+	// Model download round-trips through the estimator loader.
+	rec = do(t, h, "GET", "/v1/model", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("model = %d", rec.Code)
+	}
+	if _, err := estimator.Load(rec.Body); err != nil {
+		t.Fatalf("downloaded model unreadable: %v", err)
+	}
+}
+
+func TestServiceIngestAppend(t *testing.T) {
+	h := newTestService().Handler()
+	if rec := do(t, h, "POST", "/v1/telemetry", telemetryBody(t, 1, 30, 52)); rec.Code != http.StatusOK {
+		t.Fatalf("first ingest = %d", rec.Code)
+	}
+	rec := do(t, h, "POST", "/v1/telemetry", telemetryBody(t, 1, 30, 53))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second ingest = %d: %s", rec.Code, rec.Body)
+	}
+	var out map[string]int
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	if out["windows"] != 2*testutil.ToyDay {
+		t.Fatalf("windows = %d, want %d", out["windows"], 2*testutil.ToyDay)
+	}
+
+	// Mismatched window duration is rejected.
+	_, _, run := testutil.ToyTelemetry(t, 1, 30, 54)
+	store := telemetry.NewServer(run.WindowSeconds * 2)
+	store.RecordRun(run)
+	var buf bytes.Buffer
+	if err := store.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, h, "POST", "/v1/telemetry", &buf); rec.Code != http.StatusConflict {
+		t.Fatalf("mismatched ingest = %d", rec.Code)
+	}
+}
+
+func TestServiceErrorPaths(t *testing.T) {
+	h := newTestService().Handler()
+	if rec := do(t, h, "POST", "/v1/telemetry", bytes.NewBufferString("not json")); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad ingest = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/learn", nil); rec.Code != http.StatusPreconditionFailed {
+		t.Errorf("learn without data = %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/influence", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("influence without pair = %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/model", nil); rec.Code != http.StatusPreconditionFailed {
+		t.Errorf("model before learn = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/sanity", bytes.NewBufferString(`{"from":0,"to":5}`)); rec.Code != http.StatusPreconditionFailed {
+		t.Errorf("sanity before learn = %d", rec.Code)
+	}
+
+	// After ingest + learn, malformed inputs are 4xx.
+	if rec := do(t, h, "POST", "/v1/telemetry", telemetryBody(t, 2, 30, 55)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/learn", bytes.NewBufferString(`{"pairs":["nonsense"]}`)); rec.Code != http.StatusBadRequest {
+		t.Errorf("learn bad pair = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/learn", bytes.NewBufferString(`{"pairs":["Service/cpu"]}`)); rec.Code != http.StatusOK {
+		t.Fatalf("learn = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/estimate", bytes.NewBufferString(`{"windows":[]}`)); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty estimate = %d", rec.Code)
+	}
+	// Estimating an unseen API fails in the synthesizer.
+	if rec := do(t, h, "POST", "/v1/estimate", bytes.NewBufferString(`{"windows":[{"/mystery":5}]}`)); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown API estimate = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/sanity", bytes.NewBufferString(`{"from":-3,"to":1}`)); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad sanity range = %d", rec.Code)
+	}
+}
+
+func TestServiceAnonymizedMode(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Estimator.Hidden = 4
+	opts.Estimator.Epochs = 4
+	opts.Estimator.AttentionEpochs = 0
+	opts.Estimator.ChunkLen = 24
+	opts.Anonymize = true
+	opts.HashSalt = "svc"
+	h := New(opts).Handler()
+	if rec := do(t, h, "POST", "/v1/telemetry", telemetryBody(t, 1, 25, 56)); rec.Code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	if rec := do(t, h, "POST", "/v1/learn", bytes.NewBufferString(`{"pairs":["DB/cpu"]}`)); rec.Code != http.StatusOK {
+		t.Fatalf("learn = %d", rec.Code)
+	}
+	// Influence keys are hashed, not plaintext.
+	rec := do(t, h, "GET", "/v1/influence?pair=DB/cpu", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("influence = %d: %s", rec.Code, rec.Body)
+	}
+	if strings.Contains(rec.Body.String(), "Gateway") {
+		t.Error("plaintext component name leaked in anonymized mode")
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"repro/internal/app"
+)
+
+// Attack injects resource consumption that the API traffic cannot justify.
+// Attacks observe the cluster's global window counter, so they can be armed
+// before a run and fire mid-run, like the paper's 07/19 ransomware launch.
+type Attack interface {
+	// Apply mutates the window's measured usage. windowSeconds is the
+	// scrape window duration.
+	Apply(window int, windowSeconds float64, u Usage)
+}
+
+// Ransomware models a crypto-ransomware attack on a stateful component: the
+// malware reads stored documents, encrypts them (CPU), and writes them back
+// (write IOps and throughput), exactly the fingerprint of the paper's §5.4
+// attack on PostStorageMongoDB. A side effect mirrored from the paper's
+// Figure 19c alert: while the store is busy encrypting, the front end serves
+// slightly less traffic, so an optional victim list can shed a fraction of
+// CPU elsewhere.
+type Ransomware struct {
+	// Component under attack.
+	Component string
+	// FromWindow and ToWindow bound the attack (half-open interval).
+	FromWindow, ToWindow int
+	// ExtraCPU is stolen CPU in millicores while active.
+	ExtraCPU float64
+	// ExtraWriteOps is the re-encryption write rate in ops/s.
+	ExtraWriteOps float64
+	// ExtraWriteKiB is the re-encryption write throughput in KiB/s.
+	ExtraWriteKiB float64
+	// ShedComponent, if set, loses ShedFraction of its CPU while the
+	// attack is active (the collateral slowdown of the entry component).
+	ShedComponent string
+	// ShedFraction is the fractional CPU drop on ShedComponent (0..1).
+	ShedFraction float64
+}
+
+// Apply implements Attack.
+func (r Ransomware) Apply(window int, _ float64, u Usage) {
+	if window < r.FromWindow || window >= r.ToWindow {
+		return
+	}
+	u[app.Pair{Component: r.Component, Resource: app.CPU}] += r.ExtraCPU
+	u[app.Pair{Component: r.Component, Resource: app.WriteIOps}] += r.ExtraWriteOps
+	u[app.Pair{Component: r.Component, Resource: app.WriteTput}] += r.ExtraWriteKiB
+	if r.ShedComponent != "" && r.ShedFraction > 0 {
+		p := app.Pair{Component: r.ShedComponent, Resource: app.CPU}
+		u[p] *= 1 - r.ShedFraction
+	}
+}
+
+// Cryptojack models a cryptojacking attack: a mining process installed in a
+// component steals CPU for proof-of-work computations from FromWindow
+// onwards (the paper's §5.4 pow.py inside PostStorageMongoDB).
+type Cryptojack struct {
+	// Component hosting the miner.
+	Component string
+	// FromWindow is when mining starts; ToWindow bounds it (use a large
+	// value for "until the end").
+	FromWindow, ToWindow int
+	// ExtraCPU is the sustained mining load in millicores.
+	ExtraCPU float64
+}
+
+// Apply implements Attack.
+func (c Cryptojack) Apply(window int, _ float64, u Usage) {
+	if window < c.FromWindow || window >= c.ToWindow {
+		return
+	}
+	u[app.Pair{Component: c.Component, Resource: app.CPU}] += c.ExtraCPU
+}
+
+// MemoryLeak models a software bug steadily leaking memory in a component —
+// the paper's §5.4 mentions memory leakage as another detectable incident.
+type MemoryLeak struct {
+	// Component with the leak.
+	Component string
+	// FromWindow is when the leak starts.
+	FromWindow int
+	// MiBPerWindow is the leak rate.
+	MiBPerWindow float64
+}
+
+// Apply implements Attack.
+func (m MemoryLeak) Apply(window int, _ float64, u Usage) {
+	if window < m.FromWindow {
+		return
+	}
+	leaked := m.MiBPerWindow * float64(window-m.FromWindow+1)
+	u[app.Pair{Component: m.Component, Resource: app.Memory}] += leaked
+}

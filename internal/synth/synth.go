@@ -1,0 +1,221 @@
+// Package synth implements DeepRest's trace synthesizer (paper §4.4).
+//
+// Resource-allocation queries submit API traffic that the application has
+// not served yet, so no traces exist for it. The synthesizer learns, for
+// every API endpoint, the empirical probability distribution of invocation
+// paths conditioned on the API — Prob(P | API) — from the traces captured
+// during application learning, and converts query traffic into synthetic
+// trace batches by sampling that distribution once per request.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/features"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// shape is one observed invocation tree of an API with its empirical
+// probability.
+type shape struct {
+	tree  *trace.Span
+	count float64
+	prob  float64
+}
+
+// Synthesizer holds Prob(P | API) for every API observed during application
+// learning.
+type Synthesizer struct {
+	shapes map[string][]shape
+}
+
+// Learn estimates Prob(P | API) from the learning-phase windows.
+func Learn(windows [][]trace.Batch) *Synthesizer {
+	s := &Synthesizer{shapes: make(map[string][]shape)}
+	index := make(map[string]map[string]int) // api -> tree signature -> slot
+	for _, w := range windows {
+		for _, b := range w {
+			if b.Trace.Root == nil || b.Count <= 0 {
+				continue
+			}
+			api := b.Trace.API
+			sig := signature(b.Trace.Root)
+			slots, ok := index[api]
+			if !ok {
+				slots = make(map[string]int)
+				index[api] = slots
+			}
+			if i, ok := slots[sig]; ok {
+				s.shapes[api][i].count += float64(b.Count)
+			} else {
+				slots[sig] = len(s.shapes[api])
+				s.shapes[api] = append(s.shapes[api], shape{tree: b.Trace.Root, count: float64(b.Count)})
+			}
+		}
+	}
+	for api, list := range s.shapes {
+		total := 0.0
+		for _, sh := range list {
+			total += sh.count
+		}
+		for i := range list {
+			list[i].prob = list[i].count / total
+		}
+		// Deterministic ordering: descending probability, signature
+		// tie-break, so synthesis is reproducible regardless of map
+		// iteration order during learning.
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].prob != list[j].prob {
+				return list[i].prob > list[j].prob
+			}
+			return signature(list[i].tree) < signature(list[j].tree)
+		})
+		s.shapes[api] = list
+	}
+	return s
+}
+
+// signature canonically serialises a span tree.
+func signature(s *trace.Span) string {
+	out := s.ID()
+	if len(s.Children) > 0 {
+		out += "("
+		for i, c := range s.Children {
+			if i > 0 {
+				out += ","
+			}
+			out += signature(c)
+		}
+		out += ")"
+	}
+	return out
+}
+
+// APIs returns the sorted endpoints the synthesizer knows about.
+func (s *Synthesizer) APIs() []string {
+	out := make([]string, 0, len(s.shapes))
+	for api := range s.shapes {
+		out = append(out, api)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumShapes returns how many distinct invocation trees were learned for an
+// API.
+func (s *Synthesizer) NumShapes(api string) int { return len(s.shapes[api]) }
+
+// Prob returns the empirical probability of shape index i of the API.
+func (s *Synthesizer) Prob(api string, i int) float64 { return s.shapes[api][i].prob }
+
+// Synthesize converts query API traffic into synthetic trace batches, one
+// window at a time, by sampling Prob(P | API) for every request. The seed
+// makes synthesis reproducible.
+func (s *Synthesizer) Synthesize(t *workload.Traffic, seed int64) ([][]trace.Batch, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]trace.Batch, len(t.Windows))
+	for w, reqs := range t.Windows {
+		apis := make([]string, 0, len(reqs))
+		for api := range reqs {
+			apis = append(apis, api)
+		}
+		sort.Strings(apis)
+		var batches []trace.Batch
+		for _, api := range apis {
+			n := reqs[api]
+			if n <= 0 {
+				continue
+			}
+			list, ok := s.shapes[api]
+			if !ok {
+				return nil, fmt.Errorf("synth: API %q was never observed during application learning", api)
+			}
+			counts := multinomial(rng, n, list)
+			for i, c := range counts {
+				if c == 0 {
+					continue
+				}
+				batches = append(batches, trace.Batch{
+					Trace: trace.Trace{API: api, Root: list[i].tree},
+					Count: c,
+				})
+			}
+		}
+		out[w] = batches
+	}
+	return out, nil
+}
+
+// multinomial splits n across the shapes proportionally to probability with
+// sampling noise, keeping the total exactly n.
+func multinomial(rng *rand.Rand, n int, list []shape) []int {
+	counts := make([]int, len(list))
+	remaining := n
+	probLeft := 1.0
+	for i := range list {
+		if i == len(list)-1 {
+			counts[i] = remaining
+			break
+		}
+		if probLeft <= 0 {
+			break
+		}
+		cond := list[i].prob / probLeft
+		if cond > 1 {
+			cond = 1
+		}
+		mean := float64(remaining) * cond
+		sd := math.Sqrt(float64(remaining) * cond * (1 - cond))
+		k := int(math.Round(mean + sd*rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > remaining {
+			k = remaining
+		}
+		counts[i] = k
+		remaining -= k
+		probLeft -= list[i].prob
+	}
+	return counts
+}
+
+// Accuracy measures synthesis quality as in the paper's Table 1: the
+// synthetic traces of each window are compared, in feature space, with the
+// ground-truth traces captured by running the same query traffic. For each
+// window the overlap is 1 − L1(synth, truth)/total(truth); the result is
+// the percentage average over non-empty windows.
+func Accuracy(space *features.Space, synthetic, truth [][]trace.Batch) float64 {
+	if len(synthetic) != len(truth) {
+		panic(fmt.Sprintf("synth: Accuracy window count mismatch %d vs %d", len(synthetic), len(truth)))
+	}
+	sum, n := 0.0, 0
+	for w := range truth {
+		tv := space.Extract(truth[w])
+		sv := space.Extract(synthetic[w])
+		totalTruth := tv.Unknown
+		l1 := 0.0
+		for i := range tv.Counts {
+			l1 += math.Abs(tv.Counts[i] - sv.Counts[i])
+			totalTruth += tv.Counts[i]
+		}
+		l1 += math.Abs(tv.Unknown - sv.Unknown)
+		if totalTruth == 0 {
+			continue
+		}
+		acc := 1 - l1/totalTruth
+		if acc < 0 {
+			acc = 0
+		}
+		sum += acc
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}

@@ -1,0 +1,165 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/features"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func learnToy(t *testing.T) ([][]trace.Batch, *Synthesizer) {
+	t.Helper()
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 1)
+	return run.Windows, Learn(run.Windows)
+}
+
+func TestLearnDistribution(t *testing.T) {
+	windows, s := learnToy(t)
+	apis := s.APIs()
+	if len(apis) != 2 || apis[0] != "/read" || apis[1] != "/write" {
+		t.Fatalf("APIs = %v", apis)
+	}
+	for _, api := range apis {
+		n := s.NumShapes(api)
+		if n != 1 {
+			t.Fatalf("%s has %d shapes, want 1 (toy app)", api, n)
+		}
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += s.Prob(api, i)
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("%s probabilities sum to %v", api, total)
+		}
+	}
+	_ = windows
+}
+
+func TestLearnMultiTemplateProbabilities(t *testing.T) {
+	// Hand-built windows: API /m with two shapes at 3:1.
+	a := trace.Trace{API: "/m", Root: trace.NewSpan("A", "x")}
+	broot := trace.NewSpan("A", "x")
+	broot.Child("B", "y")
+	b := trace.Trace{API: "/m", Root: broot}
+	windows := [][]trace.Batch{
+		{{Trace: a, Count: 30}, {Trace: b, Count: 10}},
+		{{Trace: a, Count: 30}, {Trace: b, Count: 10}},
+	}
+	s := Learn(windows)
+	if s.NumShapes("/m") != 2 {
+		t.Fatalf("shapes = %d, want 2", s.NumShapes("/m"))
+	}
+	if math.Abs(s.Prob("/m", 0)-0.75) > 1e-9 {
+		t.Errorf("Prob(0) = %v, want 0.75", s.Prob("/m", 0))
+	}
+}
+
+func TestSynthesizeCountsMatchTraffic(t *testing.T) {
+	_, s := learnToy(t)
+	prog := testutil.ToyProgram(1, 50, 9)
+	traffic := prog.Generate()
+	out, err := s.Synthesize(traffic, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != traffic.NumWindows() {
+		t.Fatalf("windows = %d", len(out))
+	}
+	for w, batches := range out {
+		want := traffic.WindowTotal(w)
+		if got := trace.TotalRequests(batches); got != want {
+			t.Fatalf("window %d: synthesized %d requests, want %d", w, got, want)
+		}
+	}
+}
+
+func TestSynthesizeUnknownAPI(t *testing.T) {
+	_, s := learnToy(t)
+	traffic := &workload.Traffic{
+		Windows:       []map[string]int{{"/mystery": 5}},
+		WindowSeconds: 60, WindowsPerDay: 48,
+	}
+	if _, err := s.Synthesize(traffic, 1); err == nil {
+		t.Fatal("unknown API must error")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	_, s := learnToy(t)
+	traffic := testutil.ToyProgram(1, 40, 5).Generate()
+	a, _ := s.Synthesize(traffic, 3)
+	b, _ := s.Synthesize(traffic, 3)
+	for w := range a {
+		if len(a[w]) != len(b[w]) {
+			t.Fatal("non-deterministic batch structure")
+		}
+		for i := range a[w] {
+			if a[w][i].Count != b[w][i].Count {
+				t.Fatal("non-deterministic counts")
+			}
+		}
+	}
+}
+
+func TestAccuracySelf(t *testing.T) {
+	windows, _ := learnToy(t)
+	space := features.NewSpace(windows)
+	if got := Accuracy(space, windows, windows); got != 100 {
+		t.Errorf("self accuracy = %v, want 100", got)
+	}
+}
+
+func TestAccuracyAgainstGroundTruth(t *testing.T) {
+	cluster, _, run := testutil.ToyTelemetry(t, 2, 30, 2)
+	s := Learn(run.Windows)
+	space := features.NewSpace(run.Windows)
+	query := testutil.ToyProgram(1, 60, 77).Generate()
+	truth, err := cluster.Run(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthetic, err := s.Synthesize(query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(space, synthetic, truth.Windows)
+	t.Logf("synthesis accuracy: %.2f%%", acc)
+	if acc < 90 {
+		t.Errorf("synthesis accuracy %.2f%% below the paper's 90%% bar", acc)
+	}
+}
+
+func TestAccuracyMismatchedWindowsPanics(t *testing.T) {
+	windows, _ := learnToy(t)
+	space := features.NewSpace(windows)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy(space, windows[:1], windows)
+}
+
+// Property: synthesized batch counts per window always sum to the requested
+// traffic, for any request count.
+func TestSynthesisConservationProperty(t *testing.T) {
+	_, s := learnToy(t)
+	f := func(n uint16, seed int64) bool {
+		traffic := &workload.Traffic{
+			Windows:       []map[string]int{{"/read": int(n % 3000), "/write": int(n % 997)}},
+			WindowSeconds: 60, WindowsPerDay: 48,
+		}
+		out, err := s.Synthesize(traffic, seed)
+		if err != nil {
+			return false
+		}
+		return trace.TotalRequests(out[0]) == int(n%3000)+int(n%997)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

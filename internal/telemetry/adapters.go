@@ -1,0 +1,330 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file adapts the JSON formats emitted by the telemetry stack the
+// paper actually deploys — Jaeger's HTTP trace API and Prometheus's range
+// query API — into the windowed store DeepRest learns from, so the system
+// can be pointed at a real cluster's exports without custom glue.
+
+// --- Jaeger ---
+
+// jaegerDump mirrors the envelope of GET /api/traces.
+type jaegerDump struct {
+	Data []jaegerTrace `json:"data"`
+}
+
+type jaegerTrace struct {
+	TraceID   string                   `json:"traceID"`
+	Spans     []jaegerSpan             `json:"spans"`
+	Processes map[string]jaegerProcess `json:"processes"`
+}
+
+type jaegerSpan struct {
+	SpanID        string            `json:"spanID"`
+	OperationName string            `json:"operationName"`
+	StartTime     int64             `json:"startTime"` // microseconds since epoch
+	ProcessID     string            `json:"processID"`
+	References    []jaegerReference `json:"references"`
+}
+
+type jaegerReference struct {
+	RefType string `json:"refType"`
+	SpanID  string `json:"spanID"`
+}
+
+type jaegerProcess struct {
+	ServiceName string `json:"serviceName"`
+}
+
+// ImportJaegerTraces converts a Jaeger trace dump into per-window trace
+// batches. Traces are bucketed by their root span's start time relative to
+// `start`; traces outside [start, start + numWindows·window) are dropped.
+// The API name of a trace is its root span's operation name (the paper's
+// entry components name operations after the endpoint, e.g.
+// FrontendNGINX:readTimeline).
+func ImportJaegerTraces(r io.Reader, start time.Time, windowSeconds float64, numWindows int) ([][]trace.Batch, error) {
+	if windowSeconds <= 0 || numWindows <= 0 {
+		return nil, fmt.Errorf("telemetry: invalid window geometry %v x %d", windowSeconds, numWindows)
+	}
+	var dump jaegerDump
+	if err := json.NewDecoder(r).Decode(&dump); err != nil {
+		return nil, fmt.Errorf("telemetry: decode jaeger dump: %w", err)
+	}
+	// Aggregate identical shapes per window as batches.
+	type key struct {
+		w   int
+		sig string
+	}
+	counts := make(map[key]int)
+	shapes := make(map[key]trace.Trace)
+	for ti, jt := range dump.Data {
+		root, err := buildJaegerTree(jt)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: trace %d (%s): %w", ti, jt.TraceID, err)
+		}
+		if root == nil {
+			continue
+		}
+		rootStart := time.UnixMicro(rootStartMicros(jt))
+		w := int(math.Floor(rootStart.Sub(start).Seconds() / windowSeconds))
+		if w < 0 || w >= numWindows {
+			continue
+		}
+		tr := trace.Trace{API: "/" + root.Operation, Root: root}
+		k := key{w, signatureOf(root)}
+		counts[k]++
+		if _, ok := shapes[k]; !ok {
+			shapes[k] = tr
+		}
+	}
+	out := make([][]trace.Batch, numWindows)
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].w != keys[j].w {
+			return keys[i].w < keys[j].w
+		}
+		return keys[i].sig < keys[j].sig
+	})
+	for _, k := range keys {
+		out[k.w] = append(out[k.w], trace.Batch{Trace: shapes[k], Count: counts[k]})
+	}
+	return out, nil
+}
+
+// buildJaegerTree assembles the span tree of one Jaeger trace from its
+// CHILD_OF references.
+func buildJaegerTree(jt jaegerTrace) (*trace.Span, error) {
+	if len(jt.Spans) == 0 {
+		return nil, nil
+	}
+	nodes := make(map[string]*trace.Span, len(jt.Spans))
+	parent := make(map[string]string, len(jt.Spans))
+	order := make(map[string]int64, len(jt.Spans))
+	for _, js := range jt.Spans {
+		proc, ok := jt.Processes[js.ProcessID]
+		if !ok {
+			return nil, fmt.Errorf("span %s references unknown process %q", js.SpanID, js.ProcessID)
+		}
+		nodes[js.SpanID] = trace.NewSpan(proc.ServiceName, js.OperationName)
+		order[js.SpanID] = js.StartTime
+		for _, ref := range js.References {
+			if ref.RefType == "CHILD_OF" {
+				parent[js.SpanID] = ref.SpanID
+			}
+		}
+	}
+	var root *trace.Span
+	rootCount := 0
+	children := make(map[string][]string)
+	for id := range nodes {
+		pid, ok := parent[id]
+		if !ok || nodes[pid] == nil {
+			root = nodes[id]
+			rootCount++
+			continue
+		}
+		children[pid] = append(children[pid], id)
+	}
+	if rootCount != 1 {
+		return nil, fmt.Errorf("trace has %d root spans, want 1", rootCount)
+	}
+	// Attach children in start-time order, depth first.
+	var attach func(id string)
+	attach = func(id string) {
+		kids := children[id]
+		sort.Slice(kids, func(i, j int) bool {
+			if order[kids[i]] != order[kids[j]] {
+				return order[kids[i]] < order[kids[j]]
+			}
+			return kids[i] < kids[j]
+		})
+		for _, c := range kids {
+			nodes[id].Children = append(nodes[id].Children, nodes[c])
+			attach(c)
+		}
+	}
+	for id, n := range nodes {
+		if n == root {
+			attach(id)
+			break
+		}
+	}
+	return root, nil
+}
+
+func rootStartMicros(jt jaegerTrace) int64 {
+	min := int64(math.MaxInt64)
+	for _, s := range jt.Spans {
+		if s.StartTime < min {
+			min = s.StartTime
+		}
+	}
+	return min
+}
+
+func signatureOf(s *trace.Span) string {
+	sig := s.ID()
+	if len(s.Children) > 0 {
+		sig += "("
+		for i, c := range s.Children {
+			if i > 0 {
+				sig += ","
+			}
+			sig += signatureOf(c)
+		}
+		sig += ")"
+	}
+	return sig
+}
+
+// --- Prometheus ---
+
+// promResponse mirrors /api/v1/query_range with resultType "matrix".
+type promResponse struct {
+	Status string   `json:"status"`
+	Data   promData `json:"data"`
+}
+
+type promData struct {
+	ResultType string       `json:"resultType"`
+	Result     []promSeries `json:"result"`
+}
+
+type promSeries struct {
+	Metric map[string]string `json:"metric"`
+	Values []promPoint       `json:"values"`
+}
+
+// promPoint is Prometheus's [unix_seconds, "value"] pair.
+type promPoint struct {
+	TS  float64
+	Val float64
+}
+
+// UnmarshalJSON decodes the heterogeneous [ts, "value"] array.
+func (p *promPoint) UnmarshalJSON(b []byte) error {
+	var raw [2]json.RawMessage
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw[0], &p.TS); err != nil {
+		return err
+	}
+	var s string
+	if err := json.Unmarshal(raw[1], &s); err != nil {
+		return err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("parse sample value %q: %w", s, err)
+	}
+	p.Val = v
+	return nil
+}
+
+// MetricMapping maps one Prometheus series' labels to the estimation target
+// it measures. Return false to skip the series. A typical mapping reads the
+// container label and the metric name, e.g. container_cpu_usage →
+// {Component: labels["container"], Resource: app.CPU}.
+type MetricMapping func(labels map[string]string) (app.Pair, bool)
+
+// StandardMetricMapping maps series with labels {component, resource} —
+// the convention of this repository's exporters.
+func StandardMetricMapping(labels map[string]string) (app.Pair, bool) {
+	comp := labels["component"]
+	res := labels["resource"]
+	if comp == "" || res == "" {
+		return app.Pair{}, false
+	}
+	r, err := app.ParseResource(res)
+	if err != nil {
+		return app.Pair{}, false
+	}
+	return app.Pair{Component: comp, Resource: r}, true
+}
+
+// ImportPrometheusMatrix converts a range-query response into per-window
+// mean utilization series. Samples outside the window range are dropped;
+// windows without samples hold 0.
+func ImportPrometheusMatrix(r io.Reader, start time.Time, windowSeconds float64, numWindows int, mapping MetricMapping) (map[app.Pair][]float64, error) {
+	if windowSeconds <= 0 || numWindows <= 0 {
+		return nil, fmt.Errorf("telemetry: invalid window geometry %v x %d", windowSeconds, numWindows)
+	}
+	if mapping == nil {
+		mapping = StandardMetricMapping
+	}
+	var resp promResponse
+	if err := json.NewDecoder(r).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("telemetry: decode prometheus response: %w", err)
+	}
+	if resp.Status != "success" {
+		return nil, fmt.Errorf("telemetry: prometheus status %q", resp.Status)
+	}
+	if resp.Data.ResultType != "matrix" {
+		return nil, fmt.Errorf("telemetry: prometheus resultType %q, want matrix", resp.Data.ResultType)
+	}
+	out := make(map[app.Pair][]float64)
+	countsFor := make(map[app.Pair][]int)
+	startSec := float64(start.UnixNano()) / 1e9
+	for _, series := range resp.Data.Result {
+		p, ok := mapping(series.Metric)
+		if !ok {
+			continue
+		}
+		if out[p] == nil {
+			out[p] = make([]float64, numWindows)
+			countsFor[p] = make([]int, numWindows)
+		}
+		for _, pt := range series.Values {
+			w := int(math.Floor((pt.TS - startSec) / windowSeconds))
+			if w < 0 || w >= numWindows {
+				continue
+			}
+			out[p][w] += pt.Val
+			countsFor[p][w]++
+		}
+	}
+	for p, series := range out {
+		for w := range series {
+			if c := countsFor[p][w]; c > 0 {
+				series[w] /= float64(c)
+			}
+		}
+	}
+	return out, nil
+}
+
+// BuildServer assembles an importable window set plus metric series into a
+// telemetry server ready for core.Learn.
+func BuildServer(windowSeconds float64, windows [][]trace.Batch, usage map[app.Pair][]float64) (*Server, error) {
+	for p, series := range usage {
+		if len(series) != len(windows) {
+			return nil, fmt.Errorf("telemetry: %s has %d samples for %d windows", p, len(series), len(windows))
+		}
+	}
+	s := NewServer(windowSeconds)
+	for i, batches := range windows {
+		wr := sim.WindowResult{Batches: batches, Usage: make(sim.Usage, len(usage))}
+		for p, series := range usage {
+			wr.Usage[p] = series[i]
+		}
+		s.Record(wr)
+	}
+	return s, nil
+}

@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/app"
+)
+
+// jaegerFixture: two traces of the same shape in window 0, one different
+// trace in window 1, one out-of-range trace.
+const jaegerFixture = `{
+  "data": [
+    {
+      "traceID": "t1",
+      "spans": [
+        {"spanID": "a", "operationName": "readTimeline", "startTime": 1000000, "processID": "p1", "references": []},
+        {"spanID": "b", "operationName": "find", "startTime": 1200000, "processID": "p2",
+         "references": [{"refType": "CHILD_OF", "spanID": "a"}]}
+      ],
+      "processes": {"p1": {"serviceName": "FrontendNGINX"}, "p2": {"serviceName": "MongoDB"}}
+    },
+    {
+      "traceID": "t2",
+      "spans": [
+        {"spanID": "c", "operationName": "readTimeline", "startTime": 2000000, "processID": "p1", "references": []},
+        {"spanID": "d", "operationName": "find", "startTime": 2100000, "processID": "p2",
+         "references": [{"refType": "CHILD_OF", "spanID": "c"}]}
+      ],
+      "processes": {"p1": {"serviceName": "FrontendNGINX"}, "p2": {"serviceName": "MongoDB"}}
+    },
+    {
+      "traceID": "t3",
+      "spans": [
+        {"spanID": "e", "operationName": "composePost", "startTime": 61000000, "processID": "p1", "references": []}
+      ],
+      "processes": {"p1": {"serviceName": "FrontendNGINX"}}
+    },
+    {
+      "traceID": "t4",
+      "spans": [
+        {"spanID": "f", "operationName": "late", "startTime": 999000000, "processID": "p1", "references": []}
+      ],
+      "processes": {"p1": {"serviceName": "FrontendNGINX"}}
+    }
+  ]
+}`
+
+func TestImportJaegerTraces(t *testing.T) {
+	start := time.UnixMicro(0)
+	windows, err := ImportJaegerTraces(strings.NewReader(jaegerFixture), start, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	// Window 0: the two identical /readTimeline traces batch together.
+	if len(windows[0]) != 1 {
+		t.Fatalf("window 0 batches = %v", windows[0])
+	}
+	b := windows[0][0]
+	if b.Count != 2 || b.Trace.API != "/readTimeline" {
+		t.Errorf("batch = %+v", b)
+	}
+	if b.Trace.Root.ID() != "FrontendNGINX:readTimeline" || b.Trace.Root.Children[0].ID() != "MongoDB:find" {
+		t.Errorf("tree = %s", b.Trace.Root)
+	}
+	// Window 1: the compose trace; the "late" trace is dropped.
+	if len(windows[1]) != 1 || windows[1][0].Trace.API != "/composePost" {
+		t.Errorf("window 1 = %+v", windows[1])
+	}
+}
+
+func TestImportJaegerChildOrder(t *testing.T) {
+	// Children attach in start-time order regardless of input order.
+	fixture := `{"data":[{"traceID":"t","spans":[
+	  {"spanID":"r","operationName":"root","startTime":100,"processID":"p","references":[]},
+	  {"spanID":"second","operationName":"b","startTime":300,"processID":"p","references":[{"refType":"CHILD_OF","spanID":"r"}]},
+	  {"spanID":"first","operationName":"a","startTime":200,"processID":"p","references":[{"refType":"CHILD_OF","spanID":"r"}]}
+	],"processes":{"p":{"serviceName":"S"}}}]}`
+	windows, err := ImportJaegerTraces(strings.NewReader(fixture), time.UnixMicro(0), 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := windows[0][0].Trace.Root
+	if root.Children[0].Operation != "a" || root.Children[1].Operation != "b" {
+		t.Errorf("child order = %v, %v", root.Children[0].Operation, root.Children[1].Operation)
+	}
+}
+
+func TestImportJaegerErrors(t *testing.T) {
+	if _, err := ImportJaegerTraces(strings.NewReader("{"), time.Unix(0, 0), 60, 1); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	if _, err := ImportJaegerTraces(strings.NewReader("{}"), time.Unix(0, 0), 0, 1); err == nil {
+		t.Error("bad geometry must fail")
+	}
+	twoRoots := `{"data":[{"traceID":"t","spans":[
+	  {"spanID":"a","operationName":"x","startTime":1,"processID":"p","references":[]},
+	  {"spanID":"b","operationName":"y","startTime":2,"processID":"p","references":[]}
+	],"processes":{"p":{"serviceName":"S"}}}]}`
+	if _, err := ImportJaegerTraces(strings.NewReader(twoRoots), time.Unix(0, 0), 60, 1); err == nil {
+		t.Error("multi-root trace must fail")
+	}
+	badProc := `{"data":[{"traceID":"t","spans":[
+	  {"spanID":"a","operationName":"x","startTime":1,"processID":"ghost","references":[]}
+	],"processes":{}}]}`
+	if _, err := ImportJaegerTraces(strings.NewReader(badProc), time.Unix(0, 0), 60, 1); err == nil {
+		t.Error("unknown process must fail")
+	}
+}
+
+const promFixture = `{
+  "status": "success",
+  "data": {
+    "resultType": "matrix",
+    "result": [
+      {
+        "metric": {"component": "FrontendNGINX", "resource": "cpu"},
+        "values": [[5, "10"], [30, "20"], [65, "40"], [999, "1"]]
+      },
+      {
+        "metric": {"component": "MongoDB", "resource": "write_iops"},
+        "values": [[10, "3"]]
+      },
+      {
+        "metric": {"__name__": "unrelated"},
+        "values": [[10, "99"]]
+      }
+    ]
+  }
+}`
+
+func TestImportPrometheusMatrix(t *testing.T) {
+	usage, err := ImportPrometheusMatrix(strings.NewReader(promFixture), time.Unix(0, 0), 60, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := usage[app.Pair{Component: "FrontendNGINX", Resource: app.CPU}]
+	if cpu == nil {
+		t.Fatal("cpu series missing")
+	}
+	// Window 0 averages samples at t=5 and t=30; window 1 has t=65; the
+	// t=999 sample is out of range.
+	if cpu[0] != 15 || cpu[1] != 40 {
+		t.Errorf("cpu = %v", cpu)
+	}
+	iops := usage[app.Pair{Component: "MongoDB", Resource: app.WriteIOps}]
+	if iops[0] != 3 || iops[1] != 0 {
+		t.Errorf("iops = %v", iops)
+	}
+	if len(usage) != 2 {
+		t.Errorf("unmapped series leaked: %v", usage)
+	}
+}
+
+func TestImportPrometheusErrors(t *testing.T) {
+	bad := []string{
+		`{"status":"error","data":{}}`,
+		`{"status":"success","data":{"resultType":"vector","result":[]}}`,
+		`{"status":"success","data":{"resultType":"matrix","result":[{"metric":{"component":"A","resource":"cpu"},"values":[[1,"notanumber"]]}]}}`,
+		`{`,
+	}
+	for i, in := range bad {
+		if _, err := ImportPrometheusMatrix(strings.NewReader(in), time.Unix(0, 0), 60, 1, nil); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := ImportPrometheusMatrix(strings.NewReader(promFixture), time.Unix(0, 0), -1, 1, nil); err == nil {
+		t.Error("bad geometry must fail")
+	}
+}
+
+func TestBuildServerFromAdapters(t *testing.T) {
+	start := time.Unix(0, 0)
+	windows, err := ImportJaegerTraces(strings.NewReader(jaegerFixture), start, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage, err := ImportPrometheusMatrix(strings.NewReader(promFixture), start, 60, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildServer(60, windows, usage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumWindows() != 2 {
+		t.Fatalf("windows = %d", s.NumWindows())
+	}
+	m, err := s.Metric(app.Pair{Component: "FrontendNGINX", Resource: app.CPU}, 0, 2)
+	if err != nil || m[0] != 15 {
+		t.Fatalf("metric = %v, %v", m, err)
+	}
+	traces, _ := s.Traces(0, 1)
+	if len(traces[0]) != 1 || traces[0][0].Count != 2 {
+		t.Fatalf("traces = %+v", traces[0])
+	}
+
+	// Misaligned inputs are rejected.
+	if _, err := BuildServer(60, windows[:1], usage); err == nil {
+		t.Error("misaligned BuildServer must fail")
+	}
+}

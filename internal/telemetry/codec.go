@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The JSON interchange format lets real telemetry (exported from a Jaeger +
+// Prometheus deployment by a thin adapter) feed DeepRest, and simulated
+// telemetry feed external analysis tools. The format is line-oriented for
+// streamability: a header object followed by one JSON object per window.
+//
+//	{"format":"deeprest-telemetry","version":1,"window_seconds":300}
+//	{"traces":[{"api":"/x","count":12,"root":{...}}],"usage":{"C/cpu":1.5}}
+//	...
+
+// codecHeader is the first JSON line of a telemetry stream.
+type codecHeader struct {
+	Format        string  `json:"format"`
+	Version       int     `json:"version"`
+	WindowSeconds float64 `json:"window_seconds"`
+}
+
+const (
+	codecFormat  = "deeprest-telemetry"
+	codecVersion = 1
+)
+
+// jsonSpan mirrors trace.Span for interchange.
+type jsonSpan struct {
+	Component string     `json:"component"`
+	Operation string     `json:"operation"`
+	Children  []jsonSpan `json:"children,omitempty"`
+}
+
+func toJSONSpan(s *trace.Span) jsonSpan {
+	out := jsonSpan{Component: s.Component, Operation: s.Operation}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, toJSONSpan(c))
+	}
+	return out
+}
+
+func (j jsonSpan) span() *trace.Span {
+	s := trace.NewSpan(j.Component, j.Operation)
+	for _, c := range j.Children {
+		s.Children = append(s.Children, c.span())
+	}
+	return s
+}
+
+// jsonBatch mirrors trace.Batch.
+type jsonBatch struct {
+	API   string   `json:"api"`
+	Count int      `json:"count"`
+	Root  jsonSpan `json:"root"`
+}
+
+// jsonWindow is one scrape window.
+type jsonWindow struct {
+	Traces []jsonBatch        `json:"traces"`
+	Usage  map[string]float64 `json:"usage"`
+}
+
+// ExportJSON writes the server's full contents as a telemetry stream.
+func (s *Server) ExportJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(codecHeader{Format: codecFormat, Version: codecVersion, WindowSeconds: s.WindowSeconds()}); err != nil {
+		return fmt.Errorf("telemetry: encode header: %w", err)
+	}
+	n := s.NumWindows()
+	traces, err := s.Traces(0, n)
+	if err != nil {
+		return err
+	}
+	metrics, err := s.Metrics(0, n)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		jw := jsonWindow{Usage: make(map[string]float64, len(metrics))}
+		for _, b := range traces[i] {
+			if b.Trace.Root == nil {
+				continue
+			}
+			jw.Traces = append(jw.Traces, jsonBatch{
+				API:   b.Trace.API,
+				Count: b.Count,
+				Root:  toJSONSpan(b.Trace.Root),
+			})
+		}
+		for p, series := range metrics {
+			jw.Usage[p.String()] = series[i]
+		}
+		if err := enc.Encode(jw); err != nil {
+			return fmt.Errorf("telemetry: encode window %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportJSON reads a telemetry stream into a fresh server.
+func ImportJSON(r io.Reader) (*Server, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr codecHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("telemetry: decode header: %w", err)
+	}
+	if hdr.Format != codecFormat {
+		return nil, fmt.Errorf("telemetry: unexpected format %q", hdr.Format)
+	}
+	if hdr.Version != codecVersion {
+		return nil, fmt.Errorf("telemetry: unsupported version %d", hdr.Version)
+	}
+	if hdr.WindowSeconds <= 0 {
+		return nil, fmt.Errorf("telemetry: invalid window duration %v", hdr.WindowSeconds)
+	}
+	s := NewServer(hdr.WindowSeconds)
+	for i := 0; ; i++ {
+		var jw jsonWindow
+		if err := dec.Decode(&jw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: decode window %d: %w", i, err)
+		}
+		wr := sim.WindowResult{Usage: make(sim.Usage, len(jw.Usage))}
+		for _, jb := range jw.Traces {
+			if jb.Count <= 0 {
+				return nil, fmt.Errorf("telemetry: window %d has non-positive batch count %d", i, jb.Count)
+			}
+			wr.Batches = append(wr.Batches, trace.Batch{
+				Trace: trace.Trace{API: jb.API, Root: jb.Root.span()},
+				Count: jb.Count,
+			})
+		}
+		for key, v := range jw.Usage {
+			p, err := app.ParsePair(key)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: window %d: %w", i, err)
+			}
+			wr.Usage[p] = v
+		}
+		s.Record(wr)
+	}
+	return s, nil
+}

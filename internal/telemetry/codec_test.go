@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/testutil"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 1, 25, 11)
+	src := NewServer(run.WindowSeconds)
+	src.RecordRun(run)
+
+	var buf bytes.Buffer
+	if err := src.ExportJSON(&buf); err != nil {
+		t.Fatalf("ExportJSON: %v", err)
+	}
+	dst, err := ImportJSON(&buf)
+	if err != nil {
+		t.Fatalf("ImportJSON: %v", err)
+	}
+	if dst.NumWindows() != src.NumWindows() {
+		t.Fatalf("windows %d vs %d", dst.NumWindows(), src.NumWindows())
+	}
+	if dst.WindowSeconds() != src.WindowSeconds() {
+		t.Fatal("window duration lost")
+	}
+	for _, p := range app.Toy().ResourcePairs() {
+		a, err := src.Metric(p, 0, src.NumWindows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dst.Metric(p, 0, dst.NumWindows())
+		if err != nil {
+			t.Fatalf("%s lost: %v", p, err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s window %d: %v vs %v", p, i, a[i], b[i])
+			}
+		}
+	}
+	at, _ := src.Traces(0, src.NumWindows())
+	bt, _ := dst.Traces(0, dst.NumWindows())
+	for w := range at {
+		if len(at[w]) != len(bt[w]) {
+			t.Fatalf("window %d: %d vs %d batches", w, len(at[w]), len(bt[w]))
+		}
+		for i := range at[w] {
+			if at[w][i].Count != bt[w][i].Count ||
+				at[w][i].Trace.API != bt[w][i].Trace.API ||
+				at[w][i].Trace.Root.String() != bt[w][i].Trace.Root.String() {
+				t.Fatalf("window %d batch %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestImportJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad format":  `{"format":"something-else","version":1,"window_seconds":60}`,
+		"bad version": `{"format":"deeprest-telemetry","version":99,"window_seconds":60}`,
+		"bad window":  `{"format":"deeprest-telemetry","version":1,"window_seconds":0}`,
+		"bad count": `{"format":"deeprest-telemetry","version":1,"window_seconds":60}
+{"traces":[{"api":"/x","count":0,"root":{"component":"A","operation":"op"}}],"usage":{}}`,
+		"bad pair": `{"format":"deeprest-telemetry","version":1,"window_seconds":60}
+{"traces":[],"usage":{"nonsense":1}}`,
+		"bad json": `{"format":"deeprest-telemetry","version":1,"window_seconds":60}
+{{{`,
+	}
+	for name, input := range cases {
+		if _, err := ImportJSON(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestImportJSONMinimal(t *testing.T) {
+	input := `{"format":"deeprest-telemetry","version":1,"window_seconds":30}
+{"traces":[{"api":"/x","count":2,"root":{"component":"A","operation":"op","children":[{"component":"B","operation":"op2"}]}}],"usage":{"A/cpu":1.5,"B/memory":64}}
+`
+	s, err := ImportJSON(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumWindows() != 1 {
+		t.Fatalf("windows = %d", s.NumWindows())
+	}
+	m, err := s.Metric(app.Pair{Component: "B", Resource: app.Memory}, 0, 1)
+	if err != nil || m[0] != 64 {
+		t.Fatalf("metric = %v, %v", m, err)
+	}
+	traces, _ := s.Traces(0, 1)
+	if traces[0][0].Trace.Root.NumSpans() != 2 {
+		t.Fatal("span tree lost")
+	}
+}
+
+func TestParsePair(t *testing.T) {
+	p, err := app.ParsePair("PostStorageMongoDB/write_iops")
+	if err != nil || p.Component != "PostStorageMongoDB" || p.Resource != app.WriteIOps {
+		t.Fatalf("ParsePair = %v, %v", p, err)
+	}
+	// Components may contain slashes; the resource is after the last one.
+	p, err = app.ParsePair("ns/pod-1/cpu")
+	if err != nil || p.Component != "ns/pod-1" || p.Resource != app.CPU {
+		t.Fatalf("ParsePair nested = %v, %v", p, err)
+	}
+	for _, bad := range []string{"", "noresource", "/cpu", "X/", "X/unknown"} {
+		if _, err := app.ParsePair(bad); err == nil {
+			t.Errorf("ParsePair(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// Fuzz targets for every decoder that accepts external bytes: importers
+// must reject malformed input with an error — never panic — and anything
+// they accept must re-export losslessly where applicable.
+
+func FuzzImportJSON(f *testing.F) {
+	f.Add(`{"format":"deeprest-telemetry","version":1,"window_seconds":60}
+{"traces":[{"api":"/x","count":2,"root":{"component":"A","operation":"op"}}],"usage":{"A/cpu":1.5}}`)
+	f.Add(`{"format":"deeprest-telemetry","version":1,"window_seconds":60}`)
+	f.Add(`{"format":"nope"}`)
+	f.Add(`{{{`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ImportJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a re-export → re-import cycle.
+		var buf bytes.Buffer
+		if err := s.ExportJSON(&buf); err != nil {
+			t.Fatalf("accepted stream failed to export: %v", err)
+		}
+		s2, err := ImportJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if s2.NumWindows() != s.NumWindows() {
+			t.Fatalf("round trip lost windows: %d vs %d", s2.NumWindows(), s.NumWindows())
+		}
+	})
+}
+
+func FuzzImportJaegerTraces(f *testing.F) {
+	f.Add(`{"data":[{"traceID":"t","spans":[{"spanID":"a","operationName":"x","startTime":1,"processID":"p","references":[]}],"processes":{"p":{"serviceName":"S"}}}]}`, int64(0))
+	f.Add(`{"data":[]}`, int64(5))
+	f.Add(`{`, int64(0))
+	f.Fuzz(func(t *testing.T, input string, startMicros int64) {
+		windows, err := ImportJaegerTraces(strings.NewReader(input), time.UnixMicro(startMicros), 60, 4)
+		if err != nil {
+			return
+		}
+		if len(windows) != 4 {
+			t.Fatalf("accepted dump produced %d windows, want 4", len(windows))
+		}
+		for _, batches := range windows {
+			for _, b := range batches {
+				if b.Count <= 0 || b.Trace.Root == nil {
+					t.Fatal("accepted dump produced an invalid batch")
+				}
+			}
+		}
+	})
+}
+
+func FuzzImportPrometheusMatrix(f *testing.F) {
+	f.Add(`{"status":"success","data":{"resultType":"matrix","result":[{"metric":{"component":"A","resource":"cpu"},"values":[[5,"10"]]}]}}`)
+	f.Add(`{"status":"error"}`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		usage, err := ImportPrometheusMatrix(strings.NewReader(input), time.Unix(0, 0), 60, 3, nil)
+		if err != nil {
+			return
+		}
+		for p, series := range usage {
+			if len(series) != 3 {
+				t.Fatalf("%s: series length %d, want 3", p, len(series))
+			}
+		}
+	})
+}
+
+// FuzzExportedStreamsAlwaysImport checks the invariant from the generator
+// side: any telemetry the simulator can produce exports to a stream the
+// importer accepts.
+func FuzzExportedStreamsAlwaysImport(f *testing.F) {
+	f.Add(int64(1), uint8(1))
+	f.Add(int64(7), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, days uint8) {
+		d := int(days%2) + 1
+		_, _, run := testutil.ToyTelemetry(t, d, 20, seed)
+		s := NewServer(run.WindowSeconds)
+		s.RecordRun(run)
+		var buf bytes.Buffer
+		if err := s.ExportJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ImportJSON(&buf); err != nil {
+			t.Fatalf("generated stream rejected: %v", err)
+		}
+	})
+}

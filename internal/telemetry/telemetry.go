@@ -1,0 +1,145 @@
+// Package telemetry is the in-cluster observability stand-in for the
+// paper's Jaeger + Prometheus deployment: a windowed store of distributed
+// traces and resource metrics that DeepRest queries during the application
+// learning phase and at sanity-check time.
+//
+// The store is safe for concurrent use: a scraper goroutine can Record
+// windows while DeepRest reads ranges.
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Server stores aligned windows of trace batches and resource metrics.
+type Server struct {
+	mu            sync.RWMutex
+	windowSeconds float64
+	traces        [][]trace.Batch
+	metrics       map[app.Pair][]float64
+}
+
+// NewServer returns an empty telemetry server with the given scrape window
+// duration in seconds.
+func NewServer(windowSeconds float64) *Server {
+	return &Server{
+		windowSeconds: windowSeconds,
+		metrics:       make(map[app.Pair][]float64),
+	}
+}
+
+// WindowSeconds returns the scrape window duration.
+func (s *Server) WindowSeconds() float64 {
+	return s.windowSeconds
+}
+
+// Record appends one window of telemetry.
+func (s *Server) Record(wr sim.WindowResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.traces)
+	s.traces = append(s.traces, wr.Batches)
+	for p, v := range wr.Usage {
+		series, ok := s.metrics[p]
+		if !ok {
+			series = make([]float64, idx)
+		}
+		for len(series) < idx {
+			series = append(series, 0)
+		}
+		s.metrics[p] = append(series, v)
+	}
+}
+
+// RecordRun appends every window of a simulation run.
+func (s *Server) RecordRun(r *sim.Run) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := len(s.traces)
+	s.traces = append(s.traces, r.Windows...)
+	for p, vs := range r.Usage {
+		series, ok := s.metrics[p]
+		if !ok {
+			series = make([]float64, base)
+		}
+		for len(series) < base {
+			series = append(series, 0)
+		}
+		s.metrics[p] = append(series, vs...)
+	}
+}
+
+// NumWindows returns the number of recorded windows.
+func (s *Server) NumWindows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.traces)
+}
+
+// Pairs returns every (component, resource) pair with recorded metrics, in
+// unspecified order.
+func (s *Server) Pairs() []app.Pair {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]app.Pair, 0, len(s.metrics))
+	for p := range s.metrics {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Traces returns the trace batches of windows [from, to).
+func (s *Server) Traces(from, to int) ([][]trace.Batch, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkRange(from, to); err != nil {
+		return nil, err
+	}
+	out := make([][]trace.Batch, to-from)
+	copy(out, s.traces[from:to])
+	return out, nil
+}
+
+// Metric returns the utilization series of pair p over windows [from, to).
+func (s *Server) Metric(p app.Pair, from, to int) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkRange(from, to); err != nil {
+		return nil, err
+	}
+	series, ok := s.metrics[p]
+	if !ok {
+		return nil, fmt.Errorf("telemetry: no metric recorded for %s", p)
+	}
+	out := make([]float64, to-from)
+	copy(out, series[from:to])
+	return out, nil
+}
+
+// Metrics returns all series over windows [from, to), keyed by pair.
+func (s *Server) Metrics(from, to int) (map[app.Pair][]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkRange(from, to); err != nil {
+		return nil, err
+	}
+	out := make(map[app.Pair][]float64, len(s.metrics))
+	for p, series := range s.metrics {
+		cp := make([]float64, to-from)
+		copy(cp, series[from:to])
+		out[p] = cp
+	}
+	return out, nil
+}
+
+func (s *Server) checkRange(from, to int) error {
+	if from < 0 || to > len(s.traces) || from > to {
+		return fmt.Errorf("telemetry: window range [%d, %d) out of bounds (have %d windows)", from, to, len(s.traces))
+	}
+	return nil
+}

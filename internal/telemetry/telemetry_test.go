@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	s := NewServer(60)
+	if s.WindowSeconds() != 60 {
+		t.Fatal("WindowSeconds not stored")
+	}
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	for i := 0; i < 4; i++ {
+		s.Record(sim.WindowResult{
+			Batches: []trace.Batch{{Trace: trace.Trace{API: "/x", Root: trace.NewSpan("A", "op")}, Count: i + 1}},
+			Usage:   sim.Usage{p: float64(10 * i)},
+		})
+	}
+	if s.NumWindows() != 4 {
+		t.Fatalf("NumWindows = %d", s.NumWindows())
+	}
+	m, err := s.Metric(p, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0] != 10 || m[1] != 20 {
+		t.Fatalf("Metric = %v", m)
+	}
+	traces, err := s.Traces(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 || traces[3][0].Count != 4 {
+		t.Fatalf("Traces = %v", traces)
+	}
+	all, err := s.Metrics(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all[p]) != 4 {
+		t.Fatalf("Metrics = %v", all)
+	}
+	if got := s.Pairs(); len(got) != 1 || got[0] != p {
+		t.Fatalf("Pairs = %v", got)
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	s := NewServer(60)
+	s.Record(sim.WindowResult{Usage: sim.Usage{}})
+	if _, err := s.Traces(0, 2); err == nil {
+		t.Error("out-of-range Traces must fail")
+	}
+	if _, err := s.Metric(app.Pair{Component: "A"}, -1, 1); err == nil {
+		t.Error("negative from must fail")
+	}
+	if _, err := s.Metric(app.Pair{Component: "A"}, 1, 0); err == nil {
+		t.Error("inverted range must fail")
+	}
+	if _, err := s.Metric(app.Pair{Component: "ghost"}, 0, 1); err == nil {
+		t.Error("unknown pair must fail")
+	}
+}
+
+func TestRecordRunMatchesPerWindowRecord(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 1, 20, 3)
+	bulk := NewServer(run.WindowSeconds)
+	bulk.RecordRun(run)
+	if bulk.NumWindows() != run.NumWindows() {
+		t.Fatalf("NumWindows = %d, want %d", bulk.NumWindows(), run.NumWindows())
+	}
+	p := app.Pair{Component: "DB", Resource: app.CPU}
+	m, err := bulk.Metric(p, 0, run.NumWindows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range run.Series(p) {
+		if m[i] != v {
+			t.Fatalf("window %d: %v vs %v", i, m[i], v)
+		}
+	}
+}
+
+// TestLateMetricBackfill: a pair first reported mid-stream gets zero-padded
+// history so all series stay aligned.
+func TestLateMetricBackfill(t *testing.T) {
+	s := NewServer(60)
+	a := app.Pair{Component: "A", Resource: app.CPU}
+	b := app.Pair{Component: "B", Resource: app.CPU}
+	s.Record(sim.WindowResult{Usage: sim.Usage{a: 1}})
+	s.Record(sim.WindowResult{Usage: sim.Usage{a: 2, b: 5}})
+	m, err := s.Metric(b, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 0 || m[1] != 5 {
+		t.Fatalf("backfilled series = %v", m)
+	}
+}
+
+func TestQueryCopiesData(t *testing.T) {
+	s := NewServer(60)
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	s.Record(sim.WindowResult{Usage: sim.Usage{p: 7}})
+	m, _ := s.Metric(p, 0, 1)
+	m[0] = 999
+	m2, _ := s.Metric(p, 0, 1)
+	if m2[0] != 7 {
+		t.Fatal("Metric must return a copy")
+	}
+}
+
+func TestConcurrentRecordAndRead(t *testing.T) {
+	s := NewServer(60)
+	p := app.Pair{Component: "A", Resource: app.CPU}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s.Record(sim.WindowResult{Usage: sim.Usage{p: float64(i)}})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			n := s.NumWindows()
+			if n > 0 {
+				if _, err := s.Metric(p, 0, n); err != nil {
+					t.Errorf("Metric: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if s.NumWindows() != 200 {
+		t.Fatalf("NumWindows = %d", s.NumWindows())
+	}
+}

@@ -1,0 +1,262 @@
+// Package webdemo renders the interactive comparison the paper's artifact
+// ships as its web-based demo (Artifact Appendix A.5): precomputed
+// estimation scenarios — unseen user scales, API compositions, and traffic
+// shapes — shown as per-method curves against the actual measurements, plus
+// the sanity-check timelines. Everything is server-rendered HTML + inline
+// SVG from the stdlib, so the demo works offline in any browser.
+package webdemo
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// Scenario is one precomputed comparison: a query, its ground truth, and
+// every method's estimate for a chosen pair.
+type Scenario struct {
+	// ID is the URL slug, Title the human-readable description.
+	ID, Title string
+	// Pair is the plotted estimation target.
+	Pair app.Pair
+	// Actual is the measured utilization.
+	Actual []float64
+	// Series holds each method's estimate, keyed by method name.
+	Series map[string][]float64
+	// MAPE holds each method's error.
+	MAPE map[string]float64
+}
+
+// Demo precomputes scenarios once and serves them.
+type Demo struct {
+	once      sync.Once
+	initErr   error
+	runner    *experiments.Runner
+	scenarios []*Scenario
+}
+
+// New returns a demo over the given experiment runner (quick parameters
+// keep first-load latency in seconds).
+func New(r *experiments.Runner) *Demo {
+	return &Demo{runner: r}
+}
+
+// precompute builds the scenario set the paper's demo describes.
+func (d *Demo) precompute() {
+	lab, err := d.runner.Social()
+	if err != nil {
+		d.initErr = err
+		return
+	}
+	type spec struct {
+		id, title string
+		pair      app.Pair
+		query     *workload.Traffic
+	}
+	composeCPU := app.Pair{Component: "ComposePostService", Resource: app.CPU}
+	postIOps := app.Pair{Component: "PostStorageMongoDB", Resource: app.WriteIOps}
+	frontCPU := app.Pair{Component: "FrontendNGINX", Resource: app.CPU}
+	mix := lab.Mix
+	specs := []spec{
+		{"scale2x", "Unseen user scale: 2x more users (FrontendNGINX CPU)", frontCPU,
+			quickQuery(lab, workload.TwoPeak{}, mix, 2.0, 701)},
+		{"scale3x", "Unseen user scale: 3x more users (FrontendNGINX CPU)", frontCPU,
+			quickQuery(lab, workload.TwoPeak{}, mix, 3.0, 702)},
+		{"compose", "Unseen composition: /composePost-dominated (ComposePostService CPU)", composeCPU,
+			quickQuery(lab, workload.TwoPeak{}, composeMix(), 2.0, 703)},
+		{"read", "Unseen composition: /readTimeline-dominated (PostStorageMongoDB write IOps)", postIOps,
+			quickQuery(lab, workload.TwoPeak{}, readMix(), 2.0, 704)},
+		{"flat", "Unseen shape: flat traffic (ComposePostService CPU)", composeCPU,
+			quickQuery(lab, workload.Flat{}, mix, 1.0, 705)},
+	}
+	for _, sp := range specs {
+		ev, err := lab.Evaluate(sp.query)
+		if err != nil {
+			d.initErr = err
+			return
+		}
+		s := &Scenario{
+			ID: sp.id, Title: sp.title, Pair: sp.pair,
+			Actual: ev.Actual[sp.pair],
+			Series: make(map[string][]float64, len(experiments.Methods)),
+			MAPE:   make(map[string]float64, len(experiments.Methods)),
+		}
+		for _, m := range experiments.Methods {
+			s.Series[m] = ev.Series[m][sp.pair]
+			s.MAPE[m] = eval.MAPE(ev.Series[m][sp.pair], ev.Actual[sp.pair])
+		}
+		d.scenarios = append(d.scenarios, s)
+	}
+}
+
+func quickQuery(lab *experiments.Lab, shape workload.Shape, mix workload.Mix, scale float64, seed int64) *workload.Traffic {
+	return lab.QueryDay(shape, mix, scale, seed)
+}
+
+func composeMix() workload.Mix {
+	return workload.Mix{"/composePost": 0.55, "/readTimeline": 0.25, "/uploadMedia": 0.10, "/getMedia": 0.10}
+}
+
+func readMix() workload.Mix {
+	return workload.Mix{"/composePost": 0.06, "/readTimeline": 0.75, "/uploadMedia": 0.04, "/getMedia": 0.15}
+}
+
+// Handler returns the demo's HTTP handler.
+func (d *Demo) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", d.handleIndex)
+	mux.HandleFunc("/scenario/", d.handleScenario)
+	return mux
+}
+
+func (d *Demo) ensure(w http.ResponseWriter) bool {
+	d.once.Do(d.precompute)
+	if d.initErr != nil {
+		http.Error(w, fmt.Sprintf("demo initialisation failed: %v", d.initErr), http.StatusInternalServerError)
+		return false
+	}
+	return true
+}
+
+func (d *Demo) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	if !d.ensure(w) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(pageHead("DeepRest demo"))
+	b.WriteString("<h1>DeepRest — resource estimation demo</h1>")
+	b.WriteString("<p>Precomputed scenarios comparing DeepRest with the baseline estimators, as in the paper's web demo (Artifact Appendix A.5). Each page plots every method's estimate against the actual measurement for one unseen query.</p><ul>")
+	for _, s := range d.scenarios {
+		fmt.Fprintf(&b, `<li><a href="/scenario/%s">%s</a></li>`, s.ID, template.HTMLEscapeString(s.Title))
+	}
+	b.WriteString("</ul>" + pageFoot)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func (d *Demo) handleScenario(w http.ResponseWriter, r *http.Request) {
+	if !d.ensure(w) {
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/scenario/")
+	var sc *Scenario
+	for _, s := range d.scenarios {
+		if s.ID == id {
+			sc = s
+			break
+		}
+	}
+	if sc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	var b strings.Builder
+	b.WriteString(pageHead(sc.Title))
+	fmt.Fprintf(&b, "<h1>%s</h1>", template.HTMLEscapeString(sc.Title))
+	b.WriteString(`<p><a href="/">&larr; all scenarios</a></p>`)
+	b.WriteString(renderChart(sc))
+	b.WriteString("<table><tr><th>method</th><th>MAPE</th></tr>")
+	names := append([]string{}, experiments.Methods...)
+	sort.Slice(names, func(i, j int) bool { return sc.MAPE[names[i]] < sc.MAPE[names[j]] })
+	for _, m := range names {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%.1f%%</td></tr>", template.HTMLEscapeString(m), sc.MAPE[m])
+	}
+	b.WriteString("</table>" + pageFoot)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// methodColors assigns stable plot colors.
+var methodColors = map[string]string{
+	experiments.MethodDeepRest:       "#1a9850",
+	experiments.MethodResourceAware:  "#d73027",
+	experiments.MethodSimpleScaling:  "#e08214",
+	experiments.MethodComponentAware: "#4575b4",
+	experiments.MethodSeasonalAR:     "#9970ab",
+}
+
+// renderChart emits an inline SVG line chart: actual in black, methods in
+// color.
+func renderChart(sc *Scenario) string {
+	const width, height, pad = 860, 360, 40
+	max := 0.0
+	for _, v := range sc.Actual {
+		max = math.Max(max, v)
+	}
+	for _, series := range sc.Series {
+		for _, v := range series {
+			if !math.IsInf(v, 0) {
+				max = math.Max(max, v)
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img">`, width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#fafafa"/>`, width, height)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, pad, height-pad, width-pad, height-pad)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`, pad, pad, pad, height-pad)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="#333">%.0f %s</text>`, 4, pad+4, max, sc.Pair.Resource.Unit())
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="#333">0</text>`, pad-14, height-pad+4)
+
+	plot := func(series []float64, color string, widthPx float64, dash string) {
+		if len(series) == 0 {
+			return
+		}
+		var pts []string
+		for i, v := range series {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				v = max
+			}
+			x := float64(pad) + float64(i)/float64(len(series)-1)*float64(width-2*pad)
+			y := float64(height-pad) - v/max*float64(height-2*pad)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		dashAttr := ""
+		if dash != "" {
+			dashAttr = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="%.1f"%s points="%s"/>`,
+			color, widthPx, dashAttr, strings.Join(pts, " "))
+	}
+	for _, m := range experiments.Methods {
+		plot(sc.Series[m], methodColors[m], 1.5, "4 3")
+	}
+	plot(sc.Actual, "#000000", 2.5, "")
+
+	// Legend.
+	y := pad
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="3" fill="#000"/><text x="%d" y="%d" font-size="12">actual</text>`, width-190, y, width-170, y+6)
+	for _, m := range experiments.Methods {
+		y += 18
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="14" height="3" fill="%s"/><text x="%d" y="%d" font-size="12">%s</text>`,
+			width-190, y, methodColors[m], width-170, y+6, template.HTMLEscapeString(m))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func pageHead(title string) string {
+	return fmt.Sprintf(`<!DOCTYPE html><html><head><meta charset="utf-8"><title>%s</title>
+<style>body{font-family:sans-serif;max-width:920px;margin:2em auto;padding:0 1em;color:#222}
+table{border-collapse:collapse;margin-top:1em}td,th{border:1px solid #ccc;padding:4px 12px;text-align:left}
+a{color:#4575b4}</style></head><body>`, template.HTMLEscapeString(title))
+}
+
+const pageFoot = `</body></html>`

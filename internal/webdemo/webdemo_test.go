@@ -1,0 +1,65 @@
+package webdemo
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func testDemo() *Demo {
+	p := experiments.DefaultParams(io.Discard)
+	p.Quick = true
+	p.Reps = 1
+	return New(experiments.NewRunner(p))
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec, rec.Body.String()
+}
+
+func TestDemoPages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("provisions a lab")
+	}
+	h := testDemo().Handler()
+
+	rec, body := get(t, h, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index = %d", rec.Code)
+	}
+	for _, id := range []string{"scale2x", "scale3x", "compose", "read", "flat"} {
+		if !strings.Contains(body, "/scenario/"+id) {
+			t.Errorf("index missing scenario %s", id)
+		}
+	}
+
+	rec, body = get(t, h, "/scenario/read")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scenario = %d", rec.Code)
+	}
+	if !strings.Contains(body, "<svg") || !strings.Contains(body, "polyline") {
+		t.Error("scenario page missing the SVG chart")
+	}
+	for _, m := range experiments.Methods {
+		if !strings.Contains(body, m) {
+			t.Errorf("scenario page missing method %s", m)
+		}
+	}
+	if !strings.Contains(body, "MAPE") {
+		t.Error("scenario page missing the error table")
+	}
+
+	if rec, _ := get(t, h, "/scenario/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown scenario = %d", rec.Code)
+	}
+	if rec, _ := get(t, h, "/other"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path = %d", rec.Code)
+	}
+}

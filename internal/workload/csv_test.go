@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := testProgram(42).Generate()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf, tr.WindowSeconds, tr.WindowsPerDay)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.NumWindows() != tr.NumWindows() {
+		t.Fatalf("windows %d vs %d", back.NumWindows(), tr.NumWindows())
+	}
+	if back.WindowsPerDay != tr.WindowsPerDay || back.WindowSeconds != tr.WindowSeconds {
+		t.Fatal("geometry lost")
+	}
+	for w := range tr.Windows {
+		for _, api := range tr.APIs {
+			if back.Windows[w][api] != tr.Windows[w][api] {
+				t.Fatalf("window %d api %s: %d vs %d", w, api, back.Windows[w][api], tr.Windows[w][api])
+			}
+		}
+	}
+}
+
+func TestReadCSVMinimal(t *testing.T) {
+	in := "window,/a,/b\n0,5,2\n1,0,7\n"
+	tr, err := ReadCSV(strings.NewReader(in), 60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumWindows() != 2 || tr.WindowsPerDay != 2 {
+		t.Fatalf("traffic = %+v", tr)
+	}
+	if tr.Windows[0]["/a"] != 5 || tr.Windows[1]["/b"] != 7 {
+		t.Fatalf("counts = %v", tr.Windows)
+	}
+	if tr.TotalRequests() != 14 {
+		t.Errorf("total = %d", tr.TotalRequests())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "time,/a\n0,1\n",
+		"no apis":     "window\n0\n",
+		"empty api":   "window,\n0,1\n",
+		"short row":   "window,/a,/b\n0,1\n",
+		"non-numeric": "window,/a\n0,xyz\n",
+		"negative":    "window,/a\n0,-4\n",
+		"no rows":     "window,/a\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), 60, 0); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := ReadCSV(strings.NewReader("window,/a\n0,1\n"), 0, 0); err == nil {
+		t.Error("bad windowSeconds must fail")
+	}
+}

@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: the CSV parser must never panic, and accepted traffic must
+// round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("window,/a,/b\n0,5,2\n1,0,7\n")
+	f.Add("window,/a\n0,-1\n")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input), 60, 0)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted traffic failed to export: %v", err)
+		}
+		back, err := ReadCSV(&buf, 60, tr.WindowsPerDay)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.TotalRequests() != tr.TotalRequests() {
+			t.Fatalf("round trip changed totals: %d vs %d", back.TotalRequests(), tr.TotalRequests())
+		}
+	})
+}
