@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench experiments experiments-quick examples clean
+.PHONY: all build vet test test-race check bench experiments experiments-quick examples clean
 
 all: build vet test
+
+# The gate CI runs: static analysis plus the full test suite under the race
+# detector (the pipeline swaps models while queries are in flight, so every
+# test run should also be a race hunt).
+check: vet test-race
 
 build:
 	$(GO) build ./...

@@ -13,7 +13,9 @@
 package deeprest_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -251,6 +253,32 @@ func renameOps(s *trace.Span, sfx string) {
 	s.Operation += sfx
 	for _, c := range s.Children {
 		renameOps(c, sfx)
+	}
+}
+
+// BenchmarkTrainParallelism compares serial and pooled per-expert training
+// (Config.Parallelism) over the full multi-expert toy model. Experts train
+// from per-expert deterministic seeds, so the worker count changes only the
+// wall-clock, never the resulting model (see
+// estimator.TestTrainParallelismDeterministic).
+func BenchmarkTrainParallelism(b *testing.B) {
+	run := toyTelemetry(b, 2)
+	pooled := runtime.GOMAXPROCS(0)
+	if pooled < 2 {
+		pooled = 2 // still exercise the pool on single-core machines
+	}
+	for _, workers := range []int{1, pooled} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Parallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := estimator.Train(run.Windows, run.Usage, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(workers), "workers")
+		})
 	}
 }
 

@@ -5,16 +5,26 @@
 // checks over JSON.
 //
 //	deeprestd -addr :8080 [-anonymize] [-salt S] [-hidden N] [-epochs N]
+//	          [-retrain-every D] [-window N] [-checkpoint-dir DIR] [-history N]
 //
 // Endpoints (see internal/service):
 //
 //	POST /v1/telemetry  POST /v1/learn  GET /v1/status
 //	POST /v1/estimate   POST /v1/sanity GET /v1/influence  GET /v1/model
+//	POST /v1/pipeline/start  POST /v1/pipeline/stop  GET /v1/pipeline/status
+//	GET  /v1/models     POST /v1/models/{version}/activate
+//
+// With -retrain-every the continuous-learning loop starts automatically:
+// the daemon retrains on fresh telemetry at that cadence (and early when
+// drift is detected), publishing each generation atomically while queries
+// keep serving the previous one. With -checkpoint-dir every generation is
+// checkpointed to disk and recovered at the next boot, so a restart comes
+// back serving the exact model it went down with.
 //
 // A quick demo against a simulated deployment:
 //
 //	go run ./cmd/deeprest export -quick -o telemetry.json
-//	go run ./cmd/deeprestd -addr :8080 &
+//	go run ./cmd/deeprestd -addr :8080 -retrain-every 15m -checkpoint-dir ./ckpt &
 //	curl --data-binary @telemetry.json localhost:8080/v1/telemetry
 //	curl -X POST localhost:8080/v1/learn -d '{}'
 //	curl localhost:8080/v1/status
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/service"
 )
 
@@ -40,6 +51,10 @@ func main() {
 	salt := flag.String("salt", "", "anonymisation salt")
 	hidden := flag.Int("hidden", 0, "GRU width override (0 = default)")
 	epochs := flag.Int("epochs", 0, "training epochs override (0 = default)")
+	retrainEvery := flag.Duration("retrain-every", 0, "background retrain cadence (0 = loop not started)")
+	window := flag.Int("window", 0, "sliding window: train on the last N telemetry windows (0 = all)")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for model checkpoints (empty = in-memory only)")
+	history := flag.Int("history", 0, "model generations to retain (0 = default)")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
@@ -53,9 +68,43 @@ func main() {
 		opts.Estimator.Epochs = *epochs
 	}
 
+	pcfg := pipeline.DefaultConfig()
+	if *retrainEvery > 0 {
+		pcfg.Interval = *retrainEvery
+		pcfg.DriftEvery = 0 // re-derive from the interval
+	}
+	pcfg.Window = *window
+	pcfg.CheckpointDir = *checkpointDir
+	if *history > 0 {
+		pcfg.MaxHistory = *history
+	}
+
+	svc, err := service.NewWithConfig(opts, pcfg)
+	if err != nil {
+		log.Fatalf("deeprestd: %v", err)
+	}
+	pipe := svc.Pipeline()
+	if *checkpointDir != "" {
+		n, err := pipe.Recover()
+		if err != nil {
+			log.Fatalf("deeprestd: checkpoint recovery: %v", err)
+		}
+		if n > 0 {
+			log.Printf("deeprestd: recovered %d model generation(s), serving v%d",
+				n, pipe.Active().Version)
+		}
+	}
+	if *retrainEvery > 0 {
+		if err := pipe.Start(); err != nil {
+			log.Fatalf("deeprestd: %v", err)
+		}
+		log.Printf("deeprestd: continuous learning every %v (drift checks every %v)",
+			pcfg.Interval, pipe.DriftEvery())
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.New(opts).Handler(),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
@@ -69,6 +118,7 @@ func main() {
 	defer stop()
 	<-ctx.Done()
 	log.Print("deeprestd: shutting down")
+	pipe.Stop() // waits for an in-flight generation; checkpoints are on disk
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -91,6 +91,14 @@ func Learn(ts *telemetry.Server, from, to int, opts Options) (*System, error) {
 // LearnFromData is Learn for callers that already hold the telemetry in
 // memory (tests, replay from files).
 func LearnFromData(windows [][]trace.Batch, usage map[app.Pair][]float64, opts Options) (*System, error) {
+	return LearnFromDataWarm(windows, usage, opts, nil)
+}
+
+// LearnFromDataWarm is LearnFromData with a warm-start hook: every freshly
+// initialised expert is offered to the hook before training, letting the
+// continuous-learning pipeline resume a new generation from the previous
+// one's parameters. A nil hook trains from scratch.
+func LearnFromDataWarm(windows [][]trace.Batch, usage map[app.Pair][]float64, opts Options, warm estimator.WarmStart) (*System, error) {
 	if opts.Estimator.Hidden == 0 {
 		opts.Estimator = estimator.DefaultConfig()
 	}
@@ -103,12 +111,28 @@ func LearnFromData(windows [][]trace.Batch, usage map[app.Pair][]float64, opts O
 		windows = anonymizeWindows(s.hasher, windows)
 	}
 	s.synth = synth.Learn(windows)
-	model, err := estimator.Train(windows, usage, opts.Estimator)
+	model, err := estimator.TrainWarm(windows, usage, opts.Estimator, warm)
 	if err != nil {
 		return nil, fmt.Errorf("core: train estimator: %w", err)
 	}
 	s.model = model
 	return s, nil
+}
+
+// Restore rebuilds a System around an already-trained (typically
+// checkpoint-loaded) estimator model. The trace synthesizer is re-learned
+// from the given telemetry windows — the model snapshot intentionally omits
+// raw trace distributions (see Save). With no windows the system can still
+// answer Mode-2 queries (sanity checks over real traces); Mode-1 traffic
+// queries need at least one window per API to synthesize from.
+func Restore(model *estimator.Model, windows [][]trace.Batch, opts Options) *System {
+	s := &System{opts: opts, model: model}
+	if opts.Anonymize {
+		s.hasher = trace.NewHasher(opts.HashSalt)
+		windows = anonymizeWindows(s.hasher, windows)
+	}
+	s.synth = synth.Learn(windows)
+	return s
 }
 
 func anonymizeWindows(h *trace.Hasher, windows [][]trace.Batch) [][]trace.Batch {

@@ -51,6 +51,26 @@ func FromExpert(src *Model, srcPair app.Pair) WarmStart {
 	}
 }
 
+// FromModel returns a WarmStart that seeds every new expert from the source
+// model's expert for the same pair, when one exists with matching feature
+// and hidden dimensions. Pairs the source never learned — or whose shapes
+// changed because the feature space grew — start cold. This is the
+// generation-to-generation warm start of the continuous-learning pipeline:
+// retraining over a fresh telemetry window resumes from the previous
+// generation's parameters instead of from scratch.
+func FromModel(src *Model) WarmStart {
+	return func(p app.Pair, e *Expert) error {
+		if src == nil {
+			return nil
+		}
+		se, ok := src.Experts[p]
+		if !ok || se.InDim != e.InDim || se.Hidden != e.Hidden {
+			return nil
+		}
+		return copyExpertParams(se, e)
+	}
+}
+
 func copyExpertParams(src, dst *Expert) error {
 	if src.InDim != dst.InDim || src.Hidden != dst.Hidden {
 		return fmt.Errorf("shape mismatch: source %dx%d, target %dx%d",

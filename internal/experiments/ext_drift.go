@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/app"
+	"repro/internal/drift"
 	"repro/internal/estimator"
-	"repro/internal/eval"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -15,6 +15,10 @@ import (
 // The stale model mis-estimates the changed components; one day of
 // continued training on fresh telemetry (estimator.Model.Update) repairs
 // the estimates without a full re-learn.
+//
+// The drift measurement itself lives in internal/drift (the exported API
+// the continuous-learning pipeline consumes); this experiment is a thin
+// driver over it.
 func (r *Runner) ExtDrift() (Result, error) {
 	l, err := r.Social()
 	if err != nil {
@@ -61,14 +65,15 @@ func (r *Runner) ExtDrift() (Result, error) {
 		return Result{}, err
 	}
 
+	det := drift.NewDetector()
 	mapeOnEval := func() (map[app.Pair]float64, error) {
-		est, err := model.Predict(evalRun.Windows)
+		sig, err := det.Measure(model, evalRun.Windows, evalRun.Usage)
 		if err != nil {
 			return nil, err
 		}
 		out := map[app.Pair]float64{}
 		for _, p := range []app.Pair{target, control} {
-			out[p] = eval.MAPE(est[p].Exp, evalRun.Usage[p])
+			out[p] = sig.PairMAPE[p]
 		}
 		return out, nil
 	}

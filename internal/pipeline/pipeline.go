@@ -1,0 +1,441 @@
+// Package pipeline is the continuous-learning orchestrator that converts
+// DeepRest from a batch trainer into a long-running training/inference
+// service (the deployment the paper envisions in §1 and §7: the model keeps
+// learning as traffic evolves, while serving estimates the whole time).
+//
+// The pipeline owns the model lifecycle end to end:
+//
+//   - a background loop retrains on a configurable cadence over a sliding
+//     window of the most recent telemetry, warm-starting each generation
+//     from the previous one (internal/estimator transfer machinery);
+//   - a drift detector (internal/drift) is evaluated on the telemetry that
+//     arrived since the last training run and triggers an early retrain when
+//     the model's estimates stop explaining the measurements;
+//   - every trained generation is published into a versioned Registry with
+//     bounded history, optional checkpoints on disk, and rollback;
+//   - serving reads go through Registry.Active — an RCU-style atomic
+//     snapshot — so estimate and sanity queries never block on training and
+//     never observe a half-swapped model.
+//
+// The loop is context-cancellable: Stop cancels in-flight waits and joins
+// the background goroutine before returning.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/estimator"
+	"repro/internal/trace"
+)
+
+// ErrTrainingInFlight is returned when a training run is requested while a
+// previous generation is still training. The HTTP layer maps it to
+// 409 Conflict.
+var ErrTrainingInFlight = errors.New("pipeline: a training generation is already in flight")
+
+// Source supplies telemetry to train and drift-check over.
+// *telemetry.Server satisfies it.
+type Source interface {
+	NumWindows() int
+	Traces(from, to int) ([][]trace.Batch, error)
+	Metrics(from, to int) (map[app.Pair][]float64, error)
+}
+
+// Config tunes the continuous-learning loop. Start from DefaultConfig.
+type Config struct {
+	// Interval is the scheduled retraining cadence.
+	Interval time.Duration
+	// DriftEvery is the drift-check cadence (usually a fraction of
+	// Interval so drift can cut a retrain wait short).
+	DriftEvery time.Duration
+	// Window bounds the sliding training window to the most recent N
+	// telemetry windows; 0 trains over the whole history.
+	Window int
+	// MinNewWindows is how many fresh telemetry windows must have arrived
+	// since the last training run before a scheduled retrain fires.
+	MinNewWindows int
+	// MinDriftWindows is how many fresh windows the drift check needs
+	// before it produces a meaningful signal.
+	MinDriftWindows int
+	// WarmStart seeds each generation from the previous one's parameters.
+	WarmStart bool
+	// MaxHistory bounds the registry (minimum 2).
+	MaxHistory int
+	// CheckpointDir enables on-disk checkpoints when non-empty.
+	CheckpointDir string
+	// Drift overrides the drift detector thresholds; nil uses defaults.
+	Drift *drift.Detector
+	// BeforeTrain, when non-nil, runs after a training slot is acquired
+	// and before training starts — an observability hook, also used by
+	// tests to hold a generation in flight deterministically.
+	BeforeTrain func()
+	// OnGeneration, when non-nil, is called after each generation is
+	// published.
+	OnGeneration func(*Generation)
+}
+
+// DefaultConfig returns the production defaults: retrain every 15 minutes
+// over the most recent day of one-minute windows, drift-check four times
+// per cadence, warm-start, keep 4 generations.
+func DefaultConfig() Config {
+	return Config{
+		Interval:        15 * time.Minute,
+		DriftEvery:      0, // derived: Interval / 4
+		Window:          0,
+		MinNewWindows:   1,
+		MinDriftWindows: 8,
+		WarmStart:       true,
+		MaxHistory:      4,
+	}
+}
+
+// Pipeline orchestrates training generations against a telemetry source
+// and publishes them into its Registry.
+type Pipeline struct {
+	opts   core.Options
+	cfg    Config
+	det    *drift.Detector
+	reg    *Registry
+	source func() Source
+
+	mu        sync.Mutex
+	inFlight  bool
+	pairs     []app.Pair // pair restriction of the last manual learn
+	trainedTo int        // store index the latest generation trained up to
+	lastErr   string
+	lastDrift *drift.Signal
+	running   bool
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// New builds a pipeline over a telemetry source. The source getter is
+// called lazily (the telemetry store may not exist until first ingest) and
+// may return nil while no telemetry has arrived.
+func New(opts core.Options, cfg Config, source func() Source) (*Pipeline, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultConfig().Interval
+	}
+	if cfg.DriftEvery <= 0 {
+		cfg.DriftEvery = cfg.Interval / 4
+	}
+	if cfg.MinDriftWindows <= 0 {
+		cfg.MinDriftWindows = DefaultConfig().MinDriftWindows
+	}
+	if cfg.MaxHistory <= 0 {
+		cfg.MaxHistory = DefaultConfig().MaxHistory
+	}
+	det := cfg.Drift
+	if det == nil {
+		det = drift.NewDetector()
+	}
+	reg, err := NewRegistry(cfg.MaxHistory, cfg.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{opts: opts, cfg: cfg, det: det, reg: reg, source: source}, nil
+}
+
+// Registry exposes the versioned model store.
+func (p *Pipeline) Registry() *Registry { return p.reg }
+
+// Active is shorthand for the serving generation (nil before the first
+// training run).
+func (p *Pipeline) Active() *Generation { return p.reg.Active() }
+
+// Status is a point-in-time snapshot of the pipeline state.
+type Status struct {
+	Running       bool          `json:"running"`
+	InFlight      bool          `json:"training_in_flight"`
+	ActiveVersion int           `json:"active_version,omitempty"`
+	Generations   int           `json:"generations"`
+	TrainedTo     int           `json:"trained_to_window"`
+	LastError     string        `json:"last_error,omitempty"`
+	LastDrift     *drift.Signal `json:"last_drift,omitempty"`
+}
+
+// Status reports the pipeline state.
+func (p *Pipeline) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Status{
+		Running:     p.running,
+		InFlight:    p.inFlight,
+		Generations: len(p.reg.Generations()),
+		TrainedTo:   p.trainedTo,
+		LastError:   p.lastErr,
+		LastDrift:   p.lastDrift,
+	}
+	if g := p.reg.Active(); g != nil {
+		st.ActiveVersion = g.Version
+	}
+	return st
+}
+
+// Running reports whether the background loop is live.
+// DriftEvery reports the resolved drift-check cadence (useful when the
+// config left it to be derived from the retrain interval).
+func (p *Pipeline) DriftEvery() time.Duration { return p.cfg.DriftEvery }
+
+func (p *Pipeline) Running() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// TrainOnce trains and publishes one generation over store windows
+// [from, to); to <= 0 means "up to the newest window". A "manual" trigger
+// records the pair restriction for subsequent scheduled retrains. Only one
+// generation trains at a time: concurrent calls fail fast with
+// ErrTrainingInFlight instead of queueing behind a long training run.
+func (p *Pipeline) TrainOnce(from, to int, pairs []app.Pair, trigger string) (*Generation, error) {
+	src := p.source()
+	if src == nil {
+		return nil, fmt.Errorf("pipeline: no telemetry ingested")
+	}
+	if to <= 0 {
+		to = src.NumWindows()
+	}
+
+	p.mu.Lock()
+	if p.inFlight {
+		p.mu.Unlock()
+		return nil, ErrTrainingInFlight
+	}
+	p.inFlight = true
+	if trigger == "manual" {
+		p.pairs = pairs
+	} else if pairs == nil {
+		pairs = p.pairs
+	}
+	var warm estimator.WarmStart
+	prevWarm := false
+	if p.cfg.WarmStart {
+		if g := p.reg.Active(); g != nil {
+			warm = estimator.FromModel(g.Model())
+			prevWarm = true
+		}
+	}
+	p.mu.Unlock()
+
+	gen, err := p.train(src, from, to, pairs, trigger, warm, prevWarm)
+
+	p.mu.Lock()
+	p.inFlight = false
+	if err != nil {
+		p.lastErr = err.Error()
+	} else {
+		p.lastErr = ""
+		p.trainedTo = to
+		p.lastDrift = nil // the new generation resets the drift signal
+	}
+	p.mu.Unlock()
+
+	if err == nil && p.cfg.OnGeneration != nil {
+		p.cfg.OnGeneration(gen)
+	}
+	return gen, err
+}
+
+// train runs one training generation. The in-flight slot is already held.
+func (p *Pipeline) train(src Source, from, to int, pairs []app.Pair, trigger string, warm estimator.WarmStart, warmed bool) (*Generation, error) {
+	if p.cfg.BeforeTrain != nil {
+		p.cfg.BeforeTrain()
+	}
+	windows, err := src.Traces(from, to)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: fetch traces: %w", err)
+	}
+	usage, err := src.Metrics(from, to)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: fetch metrics: %w", err)
+	}
+	if len(pairs) > 0 {
+		sub := make(map[app.Pair][]float64, len(pairs))
+		for _, pr := range pairs {
+			s, ok := usage[pr]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: no metric recorded for %s", pr)
+			}
+			sub[pr] = s
+		}
+		usage = sub
+	}
+	sys, err := core.LearnFromDataWarm(windows, usage, p.opts, warm)
+	if err != nil {
+		return nil, err
+	}
+	g := &Generation{Trigger: trigger, From: from, To: to, Warm: warmed, System: sys}
+	return p.reg.Publish(g)
+}
+
+// slidingFrom maps "train up to n" to the configured sliding-window start.
+func (p *Pipeline) slidingFrom(n int) int {
+	if p.cfg.Window > 0 && n > p.cfg.Window {
+		return n - p.cfg.Window
+	}
+	return 0
+}
+
+// Recover loads checkpointed generations from the configured directory
+// (process restart). Each recovered model is wrapped in a System whose
+// synthesizer is re-learned from whatever telemetry the source currently
+// holds; sanity-check serving works immediately, traffic queries once
+// telemetry for the relevant APIs is ingested again.
+func (p *Pipeline) Recover() (int, error) {
+	var windows [][]trace.Batch
+	if src := p.source(); src != nil {
+		if w, err := src.Traces(0, src.NumWindows()); err == nil {
+			windows = w
+		}
+	}
+	n, err := p.reg.Recover(func(m *estimator.Model) *core.System {
+		return core.Restore(m, windows, p.opts)
+	})
+	if err != nil || n == 0 {
+		return n, err
+	}
+	p.mu.Lock()
+	if g := p.reg.Active(); g != nil && g.To > p.trainedTo {
+		p.trainedTo = g.To
+	}
+	p.mu.Unlock()
+	return n, nil
+}
+
+// Start launches the background retraining loop. It fails if the loop is
+// already running. Stop (or cancelling the daemon's context) shuts it down
+// cleanly.
+func (p *Pipeline) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.running {
+		return fmt.Errorf("pipeline: already running")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.running = true
+	p.cancel = cancel
+	p.done = make(chan struct{})
+	go p.loop(ctx, p.done)
+	return nil
+}
+
+// Stop cancels the background loop and waits for it to exit. Idempotent.
+// An in-flight training generation finishes (training is not preemptible
+// mid-epoch) but no further generation is scheduled.
+func (p *Pipeline) Stop() {
+	p.mu.Lock()
+	if !p.running {
+		p.mu.Unlock()
+		return
+	}
+	cancel, done := p.cancel, p.done
+	p.mu.Unlock()
+	cancel()
+	<-done
+	p.mu.Lock()
+	p.running = false
+	p.cancel, p.done = nil, nil
+	p.mu.Unlock()
+}
+
+func (p *Pipeline) loop(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	retrain := time.NewTicker(p.cfg.Interval)
+	defer retrain.Stop()
+	driftTick := time.NewTicker(p.cfg.DriftEvery)
+	defer driftTick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-retrain.C:
+			p.scheduledRetrain("scheduled")
+		case <-driftTick.C:
+			if p.checkDrift() {
+				p.scheduledRetrain("drift")
+			}
+		}
+	}
+}
+
+// rebaseTrainedTo returns the high-water mark of trained windows, clamped
+// to the store size. After a restart the recovered mark can exceed the
+// rebuilt (re-ingested) store, whose window indices restart at zero; without
+// the clamp the loop would wait for the old count to be passed again and
+// silently stall. Clamping treats the re-ingested history as already
+// covered, so the next genuinely fresh window re-arms the loop.
+func (p *Pipeline) rebaseTrainedTo(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.trainedTo > n {
+		p.trainedTo = n
+	}
+	return p.trainedTo
+}
+
+// scheduledRetrain retrains over the sliding window when enough fresh
+// telemetry has arrived. Errors (including a manual learn holding the
+// training slot) are recorded in Status, never fatal to the loop.
+func (p *Pipeline) scheduledRetrain(trigger string) {
+	src := p.source()
+	if src == nil {
+		return
+	}
+	n := src.NumWindows()
+	trainedTo := p.rebaseTrainedTo(n)
+	minNew := p.cfg.MinNewWindows
+	if trigger == "drift" {
+		minNew = 1 // the drift gate already decided fresh data warrants it
+	}
+	if n == 0 || (p.reg.Active() != nil && n-trainedTo < minNew) {
+		return
+	}
+	if _, err := p.TrainOnce(p.slidingFrom(n), n, nil, trigger); err != nil && !errors.Is(err, ErrTrainingInFlight) {
+		p.mu.Lock()
+		p.lastErr = err.Error()
+		p.mu.Unlock()
+	}
+}
+
+// checkDrift measures the active model against the telemetry that arrived
+// since the last training run and reports whether an early retrain should
+// fire.
+func (p *Pipeline) checkDrift() bool {
+	src := p.source()
+	g := p.reg.Active()
+	if src == nil || g == nil {
+		return false
+	}
+	n := src.NumWindows()
+	from := p.rebaseTrainedTo(n)
+	if n-from < p.cfg.MinDriftWindows {
+		return false
+	}
+	windows, err := src.Traces(from, n)
+	if err != nil {
+		return false
+	}
+	usage, err := src.Metrics(from, n)
+	if err != nil {
+		return false
+	}
+	sig, err := p.det.Measure(g.Model(), windows, usage)
+	if err != nil {
+		p.mu.Lock()
+		p.lastErr = err.Error()
+		p.mu.Unlock()
+		return false
+	}
+	p.mu.Lock()
+	p.lastDrift = &sig
+	p.mu.Unlock()
+	return sig.Drifted
+}

@@ -1,0 +1,277 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/testutil"
+)
+
+var cpuPair = app.Pair{Component: "Service", Resource: app.CPU}
+
+// quickOpts keeps training fast enough for race-enabled tests.
+func quickOpts() core.Options {
+	opts := core.DefaultOptions()
+	opts.Estimator.Hidden = 3
+	opts.Estimator.Epochs = 4
+	opts.Estimator.AttentionEpochs = 0
+	opts.Estimator.ChunkLen = 24
+	return opts
+}
+
+// toyStore records `days` days of toy telemetry into a store.
+func toyStore(t *testing.T, days int, seed int64) *telemetry.Server {
+	t.Helper()
+	_, _, run := testutil.ToyTelemetry(t, days, 30, seed)
+	store := telemetry.NewServer(run.WindowSeconds)
+	store.RecordRun(run)
+	return store
+}
+
+func sourceOf(store *telemetry.Server) func() Source {
+	return func() Source { return store }
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestTrainOncePublishesAndWarmStarts(t *testing.T) {
+	store := toyStore(t, 1, 81)
+	p, err := New(quickOpts(), DefaultConfig(), sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := p.TrainOnce(0, 0, []app.Pair{cpuPair}, "manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Version != 1 || g1.Warm || g1.To != store.NumWindows() {
+		t.Fatalf("gen1 = %+v", g1)
+	}
+	if p.Active() != g1 {
+		t.Fatal("gen1 not active")
+	}
+	g2, err := p.TrainOnce(0, 0, nil, "scheduled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Version != 2 || !g2.Warm {
+		t.Fatalf("gen2 = version %d warm %v, want 2/true", g2.Version, g2.Warm)
+	}
+	// The scheduled retrain inherits the manual pair restriction.
+	if g2.Experts() != 1 {
+		t.Fatalf("gen2 experts = %d, want 1 (inherited pair restriction)", g2.Experts())
+	}
+	if st := p.Status(); st.ActiveVersion != 2 || st.Generations != 2 || st.TrainedTo != store.NumWindows() {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestTrainOnceConflict(t *testing.T) {
+	store := toyStore(t, 1, 82)
+	cfg := DefaultConfig()
+	enter, release := make(chan struct{}), make(chan struct{})
+	var gate sync.Once
+	cfg.BeforeTrain = func() {
+		gate.Do(func() { // only the first generation blocks
+			close(enter)
+			<-release
+		})
+	}
+	p, err := New(quickOpts(), cfg, sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := p.TrainOnce(0, 0, []app.Pair{cpuPair}, "manual")
+		firstDone <- err
+	}()
+	<-enter
+	if !p.Status().InFlight {
+		t.Error("status does not report training in flight")
+	}
+	if _, err := p.TrainOnce(0, 0, nil, "manual"); !errors.Is(err, ErrTrainingInFlight) {
+		t.Fatalf("concurrent TrainOnce = %v, want ErrTrainingInFlight", err)
+	}
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first TrainOnce failed: %v", err)
+	}
+	// The slot is free again.
+	if _, err := p.TrainOnce(0, 0, nil, "scheduled"); err != nil {
+		t.Fatalf("TrainOnce after release = %v", err)
+	}
+}
+
+func TestRollbackActivatesPriorVersion(t *testing.T) {
+	store := toyStore(t, 1, 83)
+	p, err := New(quickOpts(), DefaultConfig(), sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TrainOnce(0, 0, []app.Pair{cpuPair}, "manual"); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := p.TrainOnce(0, 0, nil, "scheduled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Active().Version != g2.Version {
+		t.Fatal("newest generation not active")
+	}
+	back, err := p.Registry().Activate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Active() != back || p.Active().Version != 1 {
+		t.Fatalf("active after rollback = v%d, want v1", p.Active().Version)
+	}
+	// Rolling forward again works too, and unknown versions error.
+	if _, err := p.Registry().Activate(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Registry().Activate(99); err == nil {
+		t.Fatal("activating unknown version did not error")
+	}
+}
+
+func TestBackgroundLoopRetrains(t *testing.T) {
+	store := toyStore(t, 1, 84)
+	cfg := DefaultConfig()
+	cfg.Interval = 20 * time.Millisecond
+	cfg.DriftEvery = time.Hour // isolate the scheduled path
+	cfg.MinNewWindows = 0      // every tick retrains, no fresh data needed
+	cfg.MaxHistory = 8
+	p, err := New(quickOpts(), cfg, sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the pair restriction so the loop trains a single expert.
+	if _, err := p.TrainOnce(0, 0, []app.Pair{cpuPair}, "manual"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err == nil {
+		t.Fatal("double Start did not error")
+	}
+	waitFor(t, "3 generations", func() bool { return p.Status().Generations >= 3 })
+	p.Stop()
+	p.Stop() // idempotent
+	if p.Running() {
+		t.Fatal("still running after Stop")
+	}
+	gens := p.Registry().Generations()
+	if len(gens) < 3 {
+		t.Fatalf("generations = %d", len(gens))
+	}
+	for _, g := range gens[1:] {
+		if g.Trigger != "scheduled" {
+			t.Fatalf("background generation trigger = %q", g.Trigger)
+		}
+		if !g.Warm {
+			t.Fatal("background generation did not warm-start")
+		}
+	}
+	n := p.Status().Generations
+	time.Sleep(60 * time.Millisecond)
+	if p.Status().Generations != n {
+		t.Fatal("generations kept appearing after Stop")
+	}
+}
+
+func TestDriftTriggersEarlyRetrain(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 1, 30, 85)
+	store := telemetry.NewServer(run.WindowSeconds)
+	store.RecordRun(run)
+
+	cfg := DefaultConfig()
+	cfg.Interval = time.Hour // the scheduled path must not fire
+	cfg.DriftEvery = 10 * time.Millisecond
+	cfg.MinDriftWindows = 8
+	p, err := New(quickOpts(), cfg, sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TrainOnce(0, 0, []app.Pair{cpuPair}, "manual"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	// No drift on quiet telemetry: give the checker a couple of ticks.
+	time.Sleep(50 * time.Millisecond)
+	if got := p.Status().Generations; got != 1 {
+		t.Fatalf("retrained without fresh telemetry: %d generations", got)
+	}
+
+	// A "new version" ships: the same traffic suddenly costs 6x CPU.
+	// Record 16 fresh windows the model will badly mis-estimate.
+	for i := 0; i < 16; i++ {
+		w := i % len(run.Windows)
+		usage := make(sim.Usage, len(run.Usage))
+		for pr, series := range run.Usage {
+			usage[pr] = 6 * series[w]
+		}
+		store.Record(sim.WindowResult{Batches: run.Windows[w], Usage: usage})
+	}
+	waitFor(t, "drift-triggered generation", func() bool {
+		for _, g := range p.Registry().Generations() {
+			if g.Trigger == "drift" {
+				return true
+			}
+		}
+		return false
+	})
+	st := p.Status()
+	if st.TrainedTo != store.NumWindows() {
+		t.Fatalf("drift retrain covered up to %d, want %d", st.TrainedTo, store.NumWindows())
+	}
+}
+
+func TestTrainOnceWithoutTelemetry(t *testing.T) {
+	p, err := New(quickOpts(), DefaultConfig(), func() Source { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TrainOnce(0, 0, nil, "manual"); err == nil {
+		t.Fatal("TrainOnce without telemetry did not error")
+	}
+
+	// With telemetry, an unknown pair restriction fails the generation and
+	// surfaces in the status, but leaves the pipeline usable.
+	store := toyStore(t, 1, 86)
+	p2, err := New(quickOpts(), DefaultConfig(), sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.TrainOnce(0, 0, []app.Pair{{Component: "Nope", Resource: app.CPU}}, "manual"); err == nil {
+		t.Fatal("unknown pair did not error")
+	}
+	if st := p2.Status(); st.LastError == "" || st.InFlight {
+		t.Fatalf("status after failed generation = %+v", st)
+	}
+	if _, err := p2.TrainOnce(0, 0, []app.Pair{cpuPair}, "manual"); err != nil {
+		t.Fatalf("pipeline unusable after failed generation: %v", err)
+	}
+}

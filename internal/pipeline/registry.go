@@ -1,0 +1,282 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+)
+
+// Generation is one published model version. A Generation is immutable
+// after Publish: serving reads grab the active pointer once and use it for
+// the whole request, so a request never observes experts from two
+// generations.
+type Generation struct {
+	// Version is the registry-assigned, monotonically increasing id.
+	Version int
+	// Trigger records what caused the training run: "manual", "scheduled",
+	// "drift", or "recovered" (loaded from a checkpoint at startup).
+	Trigger string
+	// From and To bound the telemetry windows trained over, [From, To).
+	From, To int
+	// Warm reports whether the generation warm-started from its
+	// predecessor's parameters.
+	Warm bool
+	// TrainedAt stamps the publication time.
+	TrainedAt time.Time
+	// System is the learned DeepRest instance serving this generation.
+	System *core.System
+}
+
+// Model is a convenience accessor for the generation's estimator.
+func (g *Generation) Model() *estimator.Model { return g.System.Model() }
+
+// Experts returns the number of trained experts.
+func (g *Generation) Experts() int { return len(g.System.Pairs()) }
+
+// Registry is the versioned model store at the heart of the
+// continuous-learning pipeline: it owns every live generation, keeps a
+// bounded history for rollback, checkpoints each generation to disk when
+// configured, and publishes the serving model through an RCU-style atomic
+// pointer — readers call Active with no lock and no waiting, writers swap
+// the pointer only after a generation is fully built.
+type Registry struct {
+	active atomic.Pointer[Generation]
+
+	mu   sync.Mutex
+	gens []*Generation // ascending by version
+	max  int
+	dir  string
+	next int
+}
+
+// NewRegistry returns a registry keeping at most maxHistory generations
+// (minimum 2, so rollback always has a target). A non-empty dir enables
+// checkpointing: every published generation is written to
+// dir/gen-NNNNNN.ckpt and evicted generations are deleted.
+func NewRegistry(maxHistory int, dir string) (*Registry, error) {
+	if maxHistory < 2 {
+		maxHistory = 2
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("pipeline: checkpoint dir: %w", err)
+		}
+	}
+	return &Registry{max: maxHistory, dir: dir, next: 1}, nil
+}
+
+// Active returns the serving generation (nil before the first Publish).
+// This is the RCU read side: a single atomic load, never blocked by
+// training or publication.
+func (r *Registry) Active() *Generation { return r.active.Load() }
+
+// Publish assigns the next version to g, checkpoints it, appends it to the
+// history (evicting the oldest non-active generation beyond the bound), and
+// atomically makes it the serving generation.
+func (r *Registry) Publish(g *Generation) (*Generation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g.Version = r.next
+	if g.TrainedAt.IsZero() {
+		g.TrainedAt = time.Now()
+	}
+	if r.dir != "" {
+		if err := r.writeCheckpoint(g); err != nil {
+			return nil, err
+		}
+	}
+	r.next++
+	r.gens = append(r.gens, g)
+	r.active.Store(g)
+	r.evictLocked()
+	return g, nil
+}
+
+// evictLocked drops the oldest non-active generations beyond the history
+// bound, deleting their checkpoints.
+func (r *Registry) evictLocked() {
+	act := r.active.Load()
+	for len(r.gens) > r.max {
+		victim := -1
+		for i, g := range r.gens {
+			if act == nil || g.Version != act.Version {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return // everything but the bound is active; nothing to evict
+		}
+		g := r.gens[victim]
+		r.gens = append(r.gens[:victim], r.gens[victim+1:]...)
+		if r.dir != "" {
+			_ = os.Remove(r.checkpointPath(g.Version))
+		}
+	}
+}
+
+// Activate makes a retained generation the serving one — rollback to an
+// older version or roll-forward again. The training version counter is not
+// rewound: the next Publish still gets a fresh version.
+func (r *Registry) Activate(version int) (*Generation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range r.gens {
+		if g.Version == version {
+			r.active.Store(g)
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("pipeline: version %d not in registry (retained: %v)", version, r.versionsLocked())
+}
+
+// Generations returns the retained generations in ascending version order.
+func (r *Registry) Generations() []*Generation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Generation, len(r.gens))
+	copy(out, r.gens)
+	return out
+}
+
+// Get returns the retained generation with the given version.
+func (r *Registry) Get(version int) (*Generation, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range r.gens {
+		if g.Version == version {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+func (r *Registry) versionsLocked() []int {
+	out := make([]int, len(r.gens))
+	for i, g := range r.gens {
+		out[i] = g.Version
+	}
+	return out
+}
+
+// --- checkpointing ---
+
+// checkpointGob is the on-disk layout: generation metadata plus the
+// estimator snapshot as produced by Model.Save. The model bytes are nested
+// rather than streamed so the metadata and model decode independently.
+type checkpointGob struct {
+	Version   int
+	Trigger   string
+	From, To  int
+	Warm      bool
+	TrainedAt time.Time
+	Model     []byte
+}
+
+func (r *Registry) checkpointPath(version int) string {
+	return filepath.Join(r.dir, fmt.Sprintf("gen-%06d.ckpt", version))
+}
+
+// writeCheckpoint persists one generation atomically (temp file + rename),
+// so a crash mid-write never leaves a half-written checkpoint behind under
+// the final name.
+func (r *Registry) writeCheckpoint(g *Generation) error {
+	var model bytes.Buffer
+	if err := g.Model().Save(&model); err != nil {
+		return fmt.Errorf("pipeline: serialize generation %d: %w", g.Version, err)
+	}
+	ck := checkpointGob{
+		Version: g.Version, Trigger: g.Trigger, From: g.From, To: g.To,
+		Warm: g.Warm, TrainedAt: g.TrainedAt, Model: model.Bytes(),
+	}
+	tmp, err := os.CreateTemp(r.dir, "ckpt-*")
+	if err != nil {
+		return fmt.Errorf("pipeline: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(ck); err != nil {
+		tmp.Close()
+		return fmt.Errorf("pipeline: checkpoint generation %d: %w", g.Version, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("pipeline: checkpoint generation %d: %w", g.Version, err)
+	}
+	return os.Rename(tmp.Name(), r.checkpointPath(g.Version))
+}
+
+// readCheckpoint loads one checkpoint file and rebuilds its generation via
+// the given System constructor. Corruption is reported loudly, never
+// papered over: a registry that silently dropped a bad checkpoint would
+// roll back the serving model without anyone noticing.
+func readCheckpoint(path string, rebuild func(*estimator.Model) *core.System) (*Generation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	var ck checkpointGob
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("pipeline: corrupt checkpoint %s: %w", filepath.Base(path), err)
+	}
+	model, err := estimator.Load(bytes.NewReader(ck.Model))
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: corrupt checkpoint %s: %w", filepath.Base(path), err)
+	}
+	return &Generation{
+		Version: ck.Version, Trigger: "recovered", From: ck.From, To: ck.To,
+		Warm: ck.Warm, TrainedAt: ck.TrainedAt, System: rebuild(model),
+	}, nil
+}
+
+// Recover loads every checkpoint in the registry directory (a simulated or
+// real process restart), retaining up to the history bound and activating
+// the newest generation. It returns the number of generations recovered.
+// Any unreadable checkpoint fails the whole recovery with an error naming
+// the file.
+func (r *Registry) Recover(rebuild func(*estimator.Model) *core.System) (int, error) {
+	if r.dir == "" {
+		return 0, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(r.dir, "gen-*.ckpt"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(paths)
+	var gens []*Generation
+	for _, p := range paths {
+		g, err := readCheckpoint(p, rebuild)
+		if err != nil {
+			return 0, err
+		}
+		gens = append(gens, g)
+	}
+	if len(gens) == 0 {
+		return 0, nil
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Version < gens[j].Version })
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(gens) > r.max {
+		for _, g := range gens[:len(gens)-r.max] {
+			_ = os.Remove(r.checkpointPath(g.Version))
+		}
+		gens = gens[len(gens)-r.max:]
+	}
+	r.gens = gens
+	newest := gens[len(gens)-1]
+	r.active.Store(newest)
+	if newest.Version >= r.next {
+		r.next = newest.Version + 1
+	}
+	return len(gens), nil
+}

@@ -3,13 +3,32 @@
 // cloud as a service to serve any hosted application", §1). The API is
 // deliberately small and JSON-only:
 //
-//	POST /v1/telemetry   ingest a telemetry stream (telemetry JSON format)
-//	POST /v1/learn       run the application learning phase over ingested windows
-//	GET  /v1/status      learning state, window counts, expert inventory
-//	POST /v1/estimate    Mode 1: resources for hypothetical API traffic
-//	POST /v1/sanity      Mode 2: sanity-check a served period
-//	GET  /v1/influence   learned API→resource dependencies for one pair
-//	GET  /v1/model       download the serialized model
+//	POST /v1/telemetry        ingest a telemetry stream (telemetry JSON format)
+//	POST /v1/learn            train and publish one model generation
+//	GET  /v1/status           learning state, window counts, expert inventory
+//	POST /v1/estimate         Mode 1: resources for hypothetical API traffic
+//	POST /v1/sanity           Mode 2: sanity-check a served period
+//	GET  /v1/influence        learned API→resource dependencies for one pair
+//	GET  /v1/model            download the serialized active model
+//
+// Continuous learning (internal/pipeline):
+//
+//	POST /v1/pipeline/start   start the background retraining loop
+//	POST /v1/pipeline/stop    stop it (waits for an in-flight generation)
+//	GET  /v1/pipeline/status  loop state, drift signal, last error
+//	GET  /v1/models           list retained model generations
+//	POST /v1/models/{version}/activate  roll back (or forward) the serving model
+//
+// Model lifecycle: every training run — manual /v1/learn, scheduled retrain,
+// or drift-triggered retrain — publishes a new generation into a versioned
+// registry. Serving reads (/v1/estimate, /v1/sanity, /v1/influence,
+// /v1/model) grab the active generation through one atomic snapshot: they
+// never block on training and never observe a half-swapped model. Responses
+// carry the generation version that produced them.
+//
+// Only one generation trains at a time: a /v1/learn issued while another
+// training run is in flight fails fast with 409 Conflict instead of queueing
+// behind (or racing with) the running generation.
 //
 // Privacy note: when the server is created with anonymisation enabled, all
 // component, operation, and API names are hashed before entering the model,
@@ -18,15 +37,19 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -37,16 +60,50 @@ import (
 type Server struct {
 	opts core.Options
 
-	mu     sync.RWMutex
-	store  *telemetry.Server
-	system *core.System
+	mu    sync.RWMutex
+	store *telemetry.Server
+
+	pipe *pipeline.Pipeline
 }
 
-// New returns a service with the given learning options. The telemetry
-// store is created on first ingest (its window duration comes from the
-// stream header).
+// New returns a service with the given learning options and the default
+// continuous-learning configuration. The telemetry store is created on
+// first ingest (its window duration comes from the stream header).
 func New(opts core.Options) *Server {
-	return &Server{opts: opts}
+	s, err := NewWithConfig(opts, pipeline.DefaultConfig())
+	if err != nil {
+		// Unreachable: the default pipeline config has no checkpoint
+		// directory, the only fallible part of construction.
+		panic(err)
+	}
+	return s
+}
+
+// NewWithConfig returns a service with an explicit continuous-learning
+// configuration (checkpoint directory, retrain cadence, drift thresholds,
+// registry bound).
+func NewWithConfig(opts core.Options, pcfg pipeline.Config) (*Server, error) {
+	s := &Server{opts: opts}
+	p, err := pipeline.New(opts, pcfg, s.telemetrySource)
+	if err != nil {
+		return nil, err
+	}
+	s.pipe = p
+	return s, nil
+}
+
+// Pipeline exposes the continuous-learning orchestrator, e.g. for the
+// daemon to auto-start the loop or recover checkpoints at boot.
+func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
+
+// telemetrySource adapts the lazily created store for the pipeline.
+func (s *Server) telemetrySource() pipeline.Source {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.store == nil {
+		return nil
+	}
+	return s.store
 }
 
 // Handler returns the routed HTTP handler.
@@ -59,6 +116,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sanity", s.handleSanity)
 	mux.HandleFunc("GET /v1/influence", s.handleInfluence)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("POST /v1/pipeline/start", s.handlePipelineStart)
+	mux.HandleFunc("POST /v1/pipeline/stop", s.handlePipelineStop)
+	mux.HandleFunc("GET /v1/pipeline/status", s.handlePipelineStatus)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models/{version}/activate", s.handleActivate)
 	return mux
 }
 
@@ -106,51 +168,63 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int{"windows": s.store.NumWindows()})
 }
 
-// learnRequest controls the learning phase.
+// learnRequest controls one training generation.
 type learnRequest struct {
 	// From and To bound the learning windows; To 0 means "all".
 	From int `json:"from,omitempty"`
 	To   int `json:"to,omitempty"`
 	// Pairs optionally restricts the estimation targets
-	// ("Component/resource" keys).
+	// ("Component/resource" keys). The restriction sticks: scheduled and
+	// drift-triggered retrains train the same pairs.
 	Pairs []string `json:"pairs,omitempty"`
 }
 
+// handleLearn trains one generation through the pipeline and publishes it.
+// It holds no server lock during training: queries keep serving the
+// previous generation, and a concurrent learn gets 409 Conflict.
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	var req learnRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.store == nil || s.store.NumWindows() == 0 {
+	s.mu.RLock()
+	windows := 0
+	if s.store != nil {
+		windows = s.store.NumWindows()
+	}
+	s.mu.RUnlock()
+	if windows == 0 {
 		writeErr(w, http.StatusPreconditionFailed, "no telemetry ingested")
 		return
 	}
 	to := req.To
 	if to == 0 {
-		to = s.store.NumWindows()
+		to = windows
 	}
-	opts := s.opts
+	var pairs []app.Pair
 	for _, key := range req.Pairs {
 		p, err := app.ParsePair(key)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		opts.Pairs = append(opts.Pairs, p)
+		pairs = append(pairs, p)
 	}
-	sys, err := core.Learn(s.store, req.From, to, opts)
-	if err != nil {
+	gen, err := s.pipe.TrainOnce(req.From, to, pairs, "manual")
+	switch {
+	case errors.Is(err, pipeline.ErrTrainingInFlight):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
 		writeErr(w, http.StatusUnprocessableEntity, "learn: %v", err)
 		return
 	}
-	s.system = sys
 	writeJSON(w, map[string]interface{}{
-		"experts":  len(sys.Pairs()),
-		"windows":  to - req.From,
-		"features": sys.Model().Space.Dim(),
+		"experts":  gen.Experts(),
+		"windows":  gen.To - gen.From,
+		"features": gen.Model().Space.Dim(),
+		"version":  gen.Version,
 	})
 }
 
@@ -159,22 +233,28 @@ type statusResponse struct {
 	Windows int      `json:"windows"`
 	Learned bool     `json:"learned"`
 	Experts []string `json:"experts,omitempty"`
+	// Version is the active model generation (0 before the first learn).
+	Version int `json:"version,omitempty"`
+	// Generations counts the retained registry entries.
+	Generations int `json:"generations,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	resp := statusResponse{}
 	if s.store != nil {
 		resp.Windows = s.store.NumWindows()
 	}
-	if s.system != nil {
+	s.mu.RUnlock()
+	if gen := s.pipe.Active(); gen != nil {
 		resp.Learned = true
-		for _, p := range s.system.Pairs() {
+		resp.Version = gen.Version
+		for _, p := range gen.System.Pairs() {
 			resp.Experts = append(resp.Experts, p.String())
 		}
 		sort.Strings(resp.Experts)
 	}
+	resp.Generations = len(s.pipe.Registry().Generations())
 	writeJSON(w, resp)
 }
 
@@ -188,7 +268,10 @@ type estimateRequest struct {
 }
 
 // estimateResponse maps "Component/resource" to the estimate series.
+// Version is the model generation that produced the estimates — a single
+// atomic snapshot, so the series never mix experts from two generations.
 type estimateResponse struct {
+	Version   int                       `json:"version"`
 	Estimates map[string]estimateSeries `json:"estimates"`
 }
 
@@ -209,32 +292,33 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty traffic")
 		return
 	}
+	// RCU read: one atomic load pins the generation for the whole query.
+	gen := s.pipe.Active()
+	if gen == nil {
+		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
+		return
+	}
 	s.mu.RLock()
-	sys := s.system
 	var ws float64
 	if s.store != nil {
 		ws = s.store.WindowSeconds()
 	}
 	s.mu.RUnlock()
-	if sys == nil {
-		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
-		return
-	}
 	wpd := req.WindowsPerDay
 	if wpd == 0 {
 		wpd = len(req.Windows)
 	}
 	traffic := &workload.Traffic{Windows: req.Windows, WindowSeconds: ws, WindowsPerDay: wpd}
-	est, err := sys.EstimateTraffic(traffic)
+	est, err := gen.System.EstimateTraffic(traffic)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "estimate: %v", err)
 		return
 	}
-	writeJSON(w, toEstimateResponse(est))
+	writeJSON(w, toEstimateResponse(gen.Version, est))
 }
 
-func toEstimateResponse(est map[app.Pair]estimator.Estimate) estimateResponse {
-	resp := estimateResponse{Estimates: make(map[string]estimateSeries, len(est))}
+func toEstimateResponse(version int, est map[app.Pair]estimator.Estimate) estimateResponse {
+	resp := estimateResponse{Version: version, Estimates: make(map[string]estimateSeries, len(est))}
 	for p, e := range est {
 		resp.Estimates[p.String()] = estimateSeries{
 			Exp: e.Exp, Low: e.Low, Up: e.Up, Unit: p.Resource.Unit(),
@@ -255,7 +339,8 @@ type sanityRequest struct {
 
 // sanityResponse lists detected events.
 type sanityResponse struct {
-	Events []sanityEvent `json:"events"`
+	Version int           `json:"version"`
+	Events  []sanityEvent `json:"events"`
 }
 
 type sanityEvent struct {
@@ -272,14 +357,15 @@ func (s *Server) handleSanity(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	gen := s.pipe.Active()
 	s.mu.RLock()
-	sys := s.system
 	store := s.store
 	s.mu.RUnlock()
-	if sys == nil || store == nil {
+	if gen == nil || store == nil {
 		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
 		return
 	}
+	sys := gen.System
 	windows, err := store.Traces(req.From, req.To)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -306,7 +392,7 @@ func (s *Server) handleSanity(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "sanity: %v", err)
 		return
 	}
-	resp := sanityResponse{Events: []sanityEvent{}}
+	resp := sanityResponse{Version: gen.Version, Events: []sanityEvent{}}
 	for _, e := range events {
 		ev := sanityEvent{
 			Component:  e.Component,
@@ -339,11 +425,11 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	gen := s.pipe.Active()
 	s.mu.RLock()
-	sys := s.system
 	store := s.store
 	s.mu.RUnlock()
-	if sys == nil || store == nil {
+	if gen == nil || store == nil {
 		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
 		return
 	}
@@ -352,7 +438,7 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	infl, err := sys.Model().APIInfluence(p, windows)
+	infl, err := gen.Model().APIInfluence(p, windows)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "influence: %v", err)
 		return
@@ -361,18 +447,79 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	sys := s.system
-	s.mu.RUnlock()
-	if sys == nil {
+	gen := s.pipe.Active()
+	if gen == nil {
 		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := sys.Save(w); err != nil {
+	w.Header().Set("X-DeepRest-Model-Version", strconv.Itoa(gen.Version))
+	if err := gen.System.Save(w); err != nil {
 		// Headers are already out; nothing more we can do.
 		return
 	}
+}
+
+// --- continuous-learning endpoints ---
+
+func (s *Server) handlePipelineStart(w http.ResponseWriter, _ *http.Request) {
+	if err := s.pipe.Start(); err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, s.pipe.Status())
+}
+
+// handlePipelineStop stops the loop; it waits for an in-flight generation
+// to finish, so the response means "no further training will happen".
+func (s *Server) handlePipelineStop(w http.ResponseWriter, _ *http.Request) {
+	s.pipe.Stop()
+	writeJSON(w, s.pipe.Status())
+}
+
+func (s *Server) handlePipelineStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.pipe.Status())
+}
+
+// modelInfo describes one retained generation.
+type modelInfo struct {
+	Version    int       `json:"version"`
+	Trigger    string    `json:"trigger"`
+	FromWindow int       `json:"from_window"`
+	ToWindow   int       `json:"to_window"`
+	Experts    int       `json:"experts"`
+	Warm       bool      `json:"warm_started"`
+	TrainedAt  time.Time `json:"trained_at"`
+	Active     bool      `json:"active"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	active := s.pipe.Active()
+	gens := s.pipe.Registry().Generations()
+	out := make([]modelInfo, 0, len(gens))
+	for _, g := range gens {
+		out = append(out, modelInfo{
+			Version: g.Version, Trigger: g.Trigger,
+			FromWindow: g.From, ToWindow: g.To,
+			Experts: g.Experts(), Warm: g.Warm, TrainedAt: g.TrainedAt,
+			Active: active != nil && g.Version == active.Version,
+		})
+	}
+	writeJSON(w, map[string]interface{}{"models": out})
+}
+
+func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	version, err := strconv.Atoi(r.PathValue("version"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad version %q", r.PathValue("version"))
+		return
+	}
+	gen, err := s.pipe.Registry().Activate(version)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]int{"active": gen.Version})
 }
 
 // windowResult reassembles one window of an imported store for appending.
