@@ -2,14 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check bench experiments experiments-quick examples clean
+.PHONY: all build vet test test-race check cover bench experiments experiments-quick examples clean
 
 all: build vet test
 
-# The gate CI runs: static analysis plus the full test suite under the race
+# The gate CI runs: static analysis, the full test suite under the race
 # detector (the pipeline swaps models while queries are in flight, so every
-# test run should also be a race hunt).
-check: vet test-race
+# test run should also be a race hunt), and the coverage summary.
+check: vet test-race cover
+
+# Coverage profile plus a per-package summary; the profile lands in
+# cover.out for go tool cover -html=cover.out drill-downs.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 build:
 	$(GO) build ./...
@@ -42,4 +48,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f deeprest.model telemetry.json test_output.txt bench_output.txt
+	rm -f deeprest.model telemetry.json test_output.txt bench_output.txt cover.out

@@ -6,6 +6,7 @@
 //
 //	deeprestd -addr :8080 [-anonymize] [-salt S] [-hidden N] [-epochs N]
 //	          [-retrain-every D] [-window N] [-checkpoint-dir DIR] [-history N]
+//	          [-log-level L] [-log-format text|json] [-pprof] [-debug-addr A]
 //
 // Endpoints (see internal/service):
 //
@@ -13,6 +14,7 @@
 //	POST /v1/estimate   POST /v1/sanity GET /v1/influence  GET /v1/model
 //	POST /v1/pipeline/start  POST /v1/pipeline/stop  GET /v1/pipeline/status
 //	GET  /v1/models     POST /v1/models/{version}/activate
+//	GET  /metrics       (Prometheus text format; always on)
 //
 // With -retrain-every the continuous-learning loop starts automatically:
 // the daemon retrains on fresh telemetry at that cadence (and early when
@@ -21,6 +23,15 @@
 // checkpointed to disk and recovered at the next boot, so a restart comes
 // back serving the exact model it went down with.
 //
+// Observability: the daemon self-instruments through internal/obs and
+// serves the registry at GET /metrics on the main listener. -pprof
+// additionally mounts net/http/pprof under /debug/pprof/ there; -debug-addr
+// starts a second, operator-only listener carrying /metrics and
+// /debug/pprof/ so profiling never has to face application clients. Logs
+// are structured (log/slog) on stderr; -log-level and -log-format pick
+// severity and text/json rendering. SIGINT or SIGTERM shut the daemon down
+// gracefully: the retraining loop drains, then the listeners stop.
+//
 // A quick demo against a simulated deployment:
 //
 //	go run ./cmd/deeprest export -quick -o telemetry.json
@@ -28,19 +39,24 @@
 //	curl --data-binary @telemetry.json localhost:8080/v1/telemetry
 //	curl -X POST localhost:8080/v1/learn -d '{}'
 //	curl localhost:8080/v1/status
+//	curl localhost:8080/metrics
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/service"
 )
@@ -55,12 +71,29 @@ func main() {
 	window := flag.Int("window", 0, "sliding window: train on the last N telemetry windows (0 = all)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for model checkpoints (empty = in-memory only)")
 	history := flag.Int("history", 0, "model generations to retain (0 = default)")
+	logLevel := flag.String("log-level", "info", "log severity: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log rendering: text or json")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ on the main listener")
+	debugAddr := flag.String("debug-addr", "", "separate operator listener for /metrics and /debug/pprof/ (empty = off)")
 	flag.Parse()
 
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deeprestd: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...interface{}) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	metrics := obs.NewRegistry()
 	opts := core.DefaultOptions()
 	opts.Anonymize = *anonymize
 	opts.HashSalt = *salt
 	opts.Log = os.Stdout
+	opts.Metrics = metrics
+	opts.Logger = logger
 	if *hidden > 0 {
 		opts.Estimator.Hidden = *hidden
 	}
@@ -81,25 +114,26 @@ func main() {
 
 	svc, err := service.NewWithConfig(opts, pcfg)
 	if err != nil {
-		log.Fatalf("deeprestd: %v", err)
+		fatal("service construction failed", "error", err)
 	}
+	svc.EnablePprof = *pprofOn
 	pipe := svc.Pipeline()
 	if *checkpointDir != "" {
 		n, err := pipe.Recover()
 		if err != nil {
-			log.Fatalf("deeprestd: checkpoint recovery: %v", err)
+			fatal("checkpoint recovery failed", "dir", *checkpointDir, "error", err)
 		}
 		if n > 0 {
-			log.Printf("deeprestd: recovered %d model generation(s), serving v%d",
-				n, pipe.Active().Version)
+			logger.Info("recovered model generations",
+				"generations", n, "serving_version", pipe.Active().Version)
 		}
 	}
 	if *retrainEvery > 0 {
 		if err := pipe.Start(); err != nil {
-			log.Fatalf("deeprestd: %v", err)
+			fatal("continuous-learning loop failed to start", "error", err)
 		}
-		log.Printf("deeprestd: continuous learning every %v (drift checks every %v)",
-			pcfg.Interval, pipe.DriftEvery())
+		logger.Info("continuous learning started",
+			"retrain_every", pcfg.Interval, "drift_check_every", pipe.DriftEvery())
 	}
 
 	srv := &http.Server{
@@ -108,20 +142,72 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
-		log.Printf("deeprestd listening on %s (anonymize=%v)", *addr, *anonymize)
+		logger.Info("listening", "addr", *addr, "anonymize", *anonymize, "pprof", *pprofOn)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("deeprestd: %v", err)
+			fatal("listener failed", "error", err)
 		}
 	}()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	var dbg *http.Server
+	if *debugAddr != "" {
+		dbg = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(metrics),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fatal("debug listener failed", "error", err)
+			}
+		}()
+	}
+
+	// SIGINT (operator ^C) and SIGTERM (orchestrator stop, e.g. Kubernetes)
+	// both trigger the same graceful shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
-	log.Print("deeprestd: shutting down")
+	logger.Info("shutting down")
 	pipe.Stop() // waits for an in-flight generation; checkpoints are on disk
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("deeprestd: shutdown: %v", err)
+		logger.Warn("shutdown incomplete", "error", err)
 	}
+	if dbg != nil {
+		if err := dbg.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("debug shutdown incomplete", "error", err)
+		}
+	}
+}
+
+// buildLogger assembles the daemon's structured logger from the -log-level
+// and -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, hopts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, hopts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+}
+
+// debugMux is the operator-only listener: metrics plus the full pprof
+// surface, kept off the application-facing mux unless -pprof asks for it.
+func debugMux(metrics *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", metrics.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -16,10 +16,12 @@ package core
 import (
 	"fmt"
 	"io"
+	"log/slog"
 
 	"repro/internal/anomaly"
 	"repro/internal/app"
 	"repro/internal/estimator"
+	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -45,6 +47,15 @@ type Options struct {
 	SynthSeed int64
 	// Log receives training progress lines.
 	Log io.Writer
+	// Metrics, when non-nil, receives self-instrumentation: per-epoch
+	// training counters and loss/duration series here, plus pipeline,
+	// telemetry, and HTTP metrics in the layers that share these Options.
+	// Nil disables instrumentation at zero cost (every obs handle is a
+	// nil-safe no-op).
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives structured logs from the service and
+	// pipeline layers (access lines, generation publishes, drift events).
+	Logger *slog.Logger
 }
 
 // DefaultOptions returns Options with the default estimator configuration.
@@ -105,6 +116,9 @@ func LearnFromDataWarm(windows [][]trace.Batch, usage map[app.Pair][]float64, op
 	if opts.Log != nil && opts.Estimator.Log == nil {
 		opts.Estimator.Log = opts.Log
 	}
+	if opts.Metrics != nil && opts.Estimator.Progress == nil {
+		opts.Estimator.Progress = trainProgress(opts.Metrics)
+	}
 	s := &System{opts: opts}
 	if opts.Anonymize {
 		s.hasher = trace.NewHasher(opts.HashSalt)
@@ -133,6 +147,29 @@ func Restore(model *estimator.Model, windows [][]trace.Batch, opts Options) *Sys
 	}
 	s.synth = synth.Learn(windows)
 	return s
+}
+
+// trainProgress adapts the estimator's per-epoch hook onto the metrics
+// registry: epoch counters by phase, current loss by expert, and an epoch
+// duration histogram. Registration is idempotent, so calling this once per
+// training run resolves to the same underlying series. The returned hook is
+// called concurrently from expert-training goroutines; every operation in it
+// is an atomic update.
+func trainProgress(reg *obs.Registry) func(estimator.ProgressEvent) {
+	epochs := reg.CounterVec("deeprest_train_epochs_total",
+		"Completed training epochs by phase (train = recurrent trunks, attention = cross-component heads).",
+		"phase")
+	loss := reg.GaugeVec("deeprest_train_epoch_loss",
+		"Mean pinball loss of the most recent completed epoch, per expert.",
+		"pair")
+	dur := reg.Histogram("deeprest_train_epoch_duration_seconds",
+		"Wall-clock duration of one training epoch of one expert.",
+		obs.DurationBuckets)
+	return func(ev estimator.ProgressEvent) {
+		epochs.With(ev.Phase).Inc()
+		loss.With(ev.Pair).Set(ev.Loss)
+		dur.Observe(ev.Duration.Seconds())
+	}
 }
 
 func anonymizeWindows(h *trace.Hasher, windows [][]trace.Batch) [][]trace.Batch {

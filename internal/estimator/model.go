@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/app"
 	"repro/internal/features"
@@ -77,6 +78,37 @@ type Config struct {
 	Parallelism int
 	// Log, when non-nil, receives one line per epoch phase.
 	Log io.Writer
+	// Progress, when non-nil, receives one event per completed training
+	// epoch per expert. Experts train in parallel, so the hook MUST be safe
+	// for concurrent use; it also runs inline on the training path and must
+	// be cheap. The continuous-learning pipeline uses it to export per-epoch
+	// loss and duration metrics.
+	Progress func(ProgressEvent)
+}
+
+// Training phases reported through Config.Progress.
+const (
+	// PhaseTrain is phase A: independent truncated-BPTT training of each
+	// expert with attention disabled.
+	PhaseTrain = "train"
+	// PhaseAttention is phase B: fitting attention weights and the output
+	// head over frozen recurrent trunks.
+	PhaseAttention = "attention"
+)
+
+// ProgressEvent describes one completed training epoch of one expert.
+type ProgressEvent struct {
+	// Pair is the expert's (component, resource) target, e.g. "Service/cpu".
+	Pair string
+	// Phase is PhaseTrain or PhaseAttention.
+	Phase string
+	// Epoch counts from 1 to Epochs within the phase.
+	Epoch, Epochs int
+	// Loss is the mean pinball loss across the epoch's chunks, in the
+	// expert's unit target scale.
+	Loss float64
+	// Duration is the wall-clock time the epoch took.
+	Duration time.Duration
 }
 
 // DefaultConfig returns the configuration used by the experiment drivers.
@@ -425,6 +457,8 @@ func trainExpert(e *Expert, x [][]float64, target []float64, peerStates [][][]fl
 	useAttn := peerStates != nil && e.UseAttention && len(e.Attn.Peers) > 0
 
 	for ep := 0; ep < epochs; ep++ {
+		epochStart := time.Now()
+		epochLoss := 0.0
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, ci := range order {
 			from := ci * cfg.ChunkLen
@@ -451,8 +485,17 @@ func trainExpert(e *Expert, x [][]float64, target []float64, peerStates [][][]fl
 			total := tape.SumScalars(losses...)
 			mean := tape.ScaleConst(total, 1/float64(to-from))
 			tape.Backward(mean)
+			epochLoss += mean.Data[0]
 			e.addRegularizationGrads(cfg)
 			optimizer.Step()
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(ProgressEvent{
+				Pair: e.Pair.String(), Phase: PhaseTrain,
+				Epoch: ep + 1, Epochs: epochs,
+				Loss:     epochLoss / float64(nChunks),
+				Duration: time.Since(epochStart),
+			})
 		}
 	}
 	return nil
@@ -491,6 +534,8 @@ func trainExpertHead(e *Expert, x [][]float64, target []float64, peerStates [][]
 	}
 	tape := ad.NewTape()
 	for ep := 0; ep < epochs; ep++ {
+		epochStart := time.Now()
+		epochLoss := 0.0
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, ci := range order {
 			from := ci * cfg.ChunkLen
@@ -513,7 +558,16 @@ func trainExpertHead(e *Expert, x [][]float64, target []float64, peerStates [][]
 			total := tape.SumScalars(losses...)
 			mean := tape.ScaleConst(total, 1/float64(to-from))
 			tape.Backward(mean)
+			epochLoss += mean.Data[0]
 			a.Step()
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(ProgressEvent{
+				Pair: e.Pair.String(), Phase: PhaseAttention,
+				Epoch: ep + 1, Epochs: epochs,
+				Loss:     epochLoss / float64(nChunks),
+				Duration: time.Since(epochStart),
+			})
 		}
 	}
 	return nil

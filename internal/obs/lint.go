@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text-format exposition (version 0.0.4) against
+// the grammar an actual scraper enforces:
+//
+//   - metric and label names match the Prometheus charsets;
+//   - every sample belongs to a family announced by a preceding # TYPE line,
+//     with # HELP (when present) coming first, and each family appearing as
+//     one contiguous block;
+//   - sample suffixes match the family type (_bucket/_sum/_count only on
+//     histograms);
+//   - every histogram series has monotonically non-decreasing cumulative
+//     bucket counts over increasing le bounds, terminated by an le="+Inf"
+//     bucket that equals the series' _count, and carries a _sum;
+//   - all sample values parse as floats.
+//
+// It exists so tests can scrape /metrics and prove the endpoint emits what a
+// real Prometheus server would ingest, not something that merely looks right.
+func Lint(r io.Reader) error {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	type histSeries struct {
+		les     []float64
+		counts  []uint64
+		sum     bool
+		countOK bool
+		count   float64
+	}
+	var (
+		curName string // current family, "" before the first
+		curType string
+		helpFor = map[string]bool{}
+		typeFor = map[string]string{}
+		closed  = map[string]bool{} // families whose block has ended
+		hists   map[string]*histSeries
+		lineNo  int
+	)
+
+	finishFamily := func() error {
+		if curName == "" {
+			return nil
+		}
+		closed[curName] = true
+		if curType == "histogram" {
+			for key, hs := range hists {
+				n := len(hs.les)
+				if n == 0 || !math.IsInf(hs.les[n-1], +1) {
+					return fmt.Errorf("obs: histogram %s{%s}: bucket series does not end in le=\"+Inf\"", curName, key)
+				}
+				for i := 1; i < n; i++ {
+					if hs.les[i] <= hs.les[i-1] {
+						return fmt.Errorf("obs: histogram %s{%s}: le bounds not strictly increasing", curName, key)
+					}
+					if hs.counts[i] < hs.counts[i-1] {
+						return fmt.Errorf("obs: histogram %s{%s}: cumulative bucket counts decrease", curName, key)
+					}
+				}
+				if !hs.sum {
+					return fmt.Errorf("obs: histogram %s{%s}: missing _sum", curName, key)
+				}
+				if !hs.countOK {
+					return fmt.Errorf("obs: histogram %s{%s}: missing _count", curName, key)
+				}
+				if hs.count != float64(hs.counts[n-1]) {
+					return fmt.Errorf("obs: histogram %s{%s}: _count %v != +Inf bucket %d", curName, key, hs.count, hs.counts[n-1])
+				}
+			}
+		}
+		curName, curType, hists = "", "", nil
+		return nil
+	}
+
+	openFamily := func(name string) error {
+		if err := finishFamily(); err != nil {
+			return err
+		}
+		if closed[name] {
+			return fmt.Errorf("obs: line %d: family %q appears in more than one block", lineNo, name)
+		}
+		curName = name
+		hists = map[string]*histSeries{}
+		return nil
+	}
+
+	for s.Scan() {
+		lineNo++
+		line := s.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			kw, name := fields[1], fields[2]
+			if !nameRe.MatchString(name) {
+				return fmt.Errorf("obs: line %d: invalid metric name %q", lineNo, name)
+			}
+			if kw == "HELP" {
+				if helpFor[name] {
+					return fmt.Errorf("obs: line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helpFor[name] = true
+				if typeFor[name] != "" {
+					return fmt.Errorf("obs: line %d: HELP for %q after its TYPE", lineNo, name)
+				}
+				if name != curName {
+					if err := openFamily(name); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			// TYPE
+			if typeFor[name] != "" {
+				return fmt.Errorf("obs: line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			if len(fields) != 4 {
+				return fmt.Errorf("obs: line %d: malformed TYPE line", lineNo)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, fields[3])
+			}
+			typeFor[name] = fields[3]
+			if name != curName {
+				if err := openFamily(name); err != nil {
+					return err
+				}
+			}
+			curType = fields[3]
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: %v", lineNo, err)
+		}
+		base, suffix := name, ""
+		if curType == "histogram" {
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, sfx) && strings.TrimSuffix(name, sfx) == curName {
+					base, suffix = curName, sfx
+					break
+				}
+			}
+		}
+		if base != curName {
+			return fmt.Errorf("obs: line %d: sample %q outside its family block (current family %q)", lineNo, name, curName)
+		}
+		if typeFor[curName] == "" {
+			return fmt.Errorf("obs: line %d: sample %q has no TYPE line", lineNo, name)
+		}
+
+		var le string
+		var rest []string
+		for _, kv := range labels {
+			if !labelRe.MatchString(kv[0]) {
+				return fmt.Errorf("obs: line %d: invalid label name %q", lineNo, kv[0])
+			}
+			if kv[0] == "le" && suffix == "_bucket" {
+				le = kv[1]
+				continue
+			}
+			rest = append(rest, kv[0]+"="+kv[1])
+		}
+		sort.Strings(rest)
+		key := strings.Join(rest, ",")
+
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("obs: line %d: bucket sample without le label", lineNo)
+			}
+			bound, err := parseLe(le)
+			if err != nil {
+				return fmt.Errorf("obs: line %d: %v", lineNo, err)
+			}
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[key] = hs
+			}
+			hs.les = append(hs.les, bound)
+			hs.counts = append(hs.counts, uint64(value))
+		case "_sum":
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[key] = hs
+			}
+			hs.sum = true
+		case "_count":
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[key] = hs
+			}
+			hs.countOK = true
+			hs.count = value
+		default:
+			if curType == "histogram" {
+				return fmt.Errorf("obs: line %d: bare sample %q in histogram family", lineNo, name)
+			}
+		}
+	}
+	if err := s.Err(); err != nil {
+		return err
+	}
+	return finishFamily()
+}
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(+1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}
+
+// parseSample parses `name{a="x",b="y"} value [timestamp]`.
+func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !nameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// parseLabels parses `a="x",b="y"}` (the opening brace already consumed),
+// returning the labels and whatever follows the closing brace.
+func parseLabels(s string) ([][2]string, string, error) {
+	var labels [][2]string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed label in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value for %q", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return nil, "", fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := s[0]
+			if c == '\\' {
+				if len(s) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in label value for %q", name)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case 'n':
+					val.WriteByte('\n')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label value for %q", s[1], name)
+				}
+				s = s[2:]
+				continue
+			}
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		labels = append(labels, [2]string{name, val.String()})
+		if len(s) > 0 && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Registration is idempotent: same handle state.
+	if v := r.Counter("events_total", "events").Value(); v != 5 {
+		t.Fatalf("re-registered counter = %d, want 5", v)
+	}
+
+	g := r.Gauge("level", "level")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestVecResolvesPerLabelTuple(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "requests", "endpoint", "code")
+	v.With("/a", "200").Add(3)
+	v.With("/a", "500").Inc()
+	v.With("/a", "200").Inc()
+	if got := v.With("/a", "200").Value(); got != 4 {
+		t.Fatalf("series (/a,200) = %d, want 4", got)
+	}
+	if got := v.With("/a", "500").Value(); got != 1 {
+		t.Fatalf("series (/a,500) = %d, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	counts, _, _ := h.snapshot()
+	want := []uint64{1, 2, 1, 1} // ≤0.1, ≤1, ≤10, +Inf
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+}
+
+func TestBucketsNormalized(t *testing.T) {
+	r := NewRegistry()
+	// Unsorted, duplicated, +Inf-terminated input must come out clean.
+	h := r.Histogram("h", "h", []float64{5, 1, 5, math.Inf(+1), 2})
+	if len(h.upper) != 3 || h.upper[0] != 1 || h.upper[1] != 2 || h.upper[2] != 5 {
+		t.Fatalf("normalized buckets = %v", h.upper)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "c").Inc()
+	r.CounterVec("cv", "c", "l").With("x").Add(2)
+	r.Gauge("g", "g").Set(1)
+	r.GaugeVec("gv", "g", "l").With("x").Add(1)
+	r.Histogram("h", "h", nil).Observe(1)
+	r.HistogramVec("hv", "h", nil, "l").With("x").Observe(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", sb.String(), err)
+	}
+	// Values read back as zero.
+	if r.Counter("c", "c").Value() != 0 || r.Gauge("g", "g").Value() != 0 || r.Histogram("h", "h", nil).Count() != 0 {
+		t.Fatal("nil handles reported non-zero values")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "fine")
+	for name, fn := range map[string]func(){
+		"bad metric name":   func() { r.Counter("bad-name", "x") },
+		"bad label name":    func() { r.CounterVec("c2_total", "x", "bad-label") },
+		"type mismatch":     func() { r.Gauge("ok_total", "fine") },
+		"label mismatch":    func() { r.CounterVec("ok_total", "fine", "extra") },
+		"wrong label arity": func() { r.CounterVec("cv_total", "x", "a", "b").With("only-one") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	v := r.CounterVec("cv_total", "c", "worker")
+	h := r.Histogram("h_seconds", "h", DefBuckets)
+	g := r.Gauge("g", "g")
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				v.With(label).Inc()
+				h.Observe(float64(i) / 1000)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	// A concurrent scraper must never corrupt or crash.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			if err := Lint(strings.NewReader(sb.String())); err != nil {
+				t.Errorf("concurrent scrape lint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %v, want 0", g.Value())
+	}
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/obs"
+)
+
+func TestPipelineMetrics(t *testing.T) {
+	store := toyStore(t, 1, 91)
+	reg := obs.NewRegistry()
+	opts := quickOpts()
+	opts.Metrics = reg
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.CheckpointDir = dir
+	cfg.MinDriftWindows = 1
+	p, err := New(opts, cfg, sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train up to four windows short of the newest so the drift check below
+	// has fresh telemetry to measure against.
+	trainTo := store.NumWindows() - 4
+	if _, err := p.TrainOnce(0, trainTo, []app.Pair{cpuPair}, "manual"); err != nil {
+		t.Fatal(err)
+	}
+	genOK := reg.CounterVec("deeprest_pipeline_generations_total",
+		"Training generations by trigger (manual, scheduled, drift) and result (ok, error).",
+		"trigger", "result")
+	if got := genOK.With("manual", "ok").Value(); got != 1 {
+		t.Fatalf("generations_total{manual,ok} = %d, want 1", got)
+	}
+	genDur := reg.HistogramVec("deeprest_pipeline_generation_seconds",
+		"Wall-clock duration of one training generation, train through publish.",
+		obs.DurationBuckets, "trigger")
+	if got := genDur.With("manual").Count(); got != 1 {
+		t.Fatalf("generation_seconds{manual} count = %d, want 1", got)
+	}
+	active := reg.Gauge("deeprest_active_generation",
+		"Version of the model generation currently serving queries (0 before the first publish).")
+	if got := active.Value(); got != 1 {
+		t.Fatalf("active_generation = %v, want 1", got)
+	}
+	ckpt := reg.CounterVec("deeprest_checkpoint_ops_total",
+		"Model checkpoint operations by kind (write, recover) and result (ok, error).",
+		"op", "result")
+	if got := ckpt.With("write", "ok").Value(); got != 1 {
+		t.Fatalf("checkpoint_ops_total{write,ok} = %d, want 1", got)
+	}
+
+	// A failing run (unknown pair) counts as an error, not a publish.
+	bad := app.Pair{Component: "NoSuch", Resource: app.CPU}
+	if _, err := p.TrainOnce(0, 0, []app.Pair{bad}, "manual"); err == nil {
+		t.Fatal("TrainOnce with unknown pair succeeded")
+	}
+	if got := genOK.With("manual", "error").Value(); got != 1 {
+		t.Fatalf("generations_total{manual,error} = %d, want 1", got)
+	}
+
+	// The four windows beyond trainedTo are fresh telemetry: a drift check
+	// must run and, drifted or not, touch the counter and gauges.
+	p.checkDrift()
+	checks := reg.CounterVec("deeprest_drift_checks_total",
+		"Drift measurements of the active model against fresh telemetry, by verdict.",
+		"drifted")
+	if got := checks.With("true").Value() + checks.With("false").Value(); got != 1 {
+		t.Fatalf("drift_checks_total = %d, want 1", got)
+	}
+
+	// A restarted pipeline recovers the checkpoint and restores the gauge.
+	reg2 := obs.NewRegistry()
+	opts2 := quickOpts()
+	opts2.Metrics = reg2
+	p2, err := New(opts2, cfg, sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p2.Recover()
+	if err != nil || n != 1 {
+		t.Fatalf("Recover = %d, %v; want 1 generation", n, err)
+	}
+	ckpt2 := reg2.CounterVec("deeprest_checkpoint_ops_total",
+		"Model checkpoint operations by kind (write, recover) and result (ok, error).",
+		"op", "result")
+	if got := ckpt2.With("recover", "ok").Value(); got != 1 {
+		t.Fatalf("checkpoint_ops_total{recover,ok} = %d, want 1", got)
+	}
+	active2 := reg2.Gauge("deeprest_active_generation",
+		"Version of the model generation currently serving queries (0 before the first publish).")
+	if got := active2.Value(); got != 1 {
+		t.Fatalf("recovered active_generation = %v, want 1", got)
+	}
+}
+
+func TestUninstrumentedPipelineIsNoOp(t *testing.T) {
+	store := toyStore(t, 1, 92)
+	p, err := New(quickOpts(), DefaultConfig(), sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metrics nil: every handle is a nil no-op; nothing may panic.
+	if _, err := p.TrainOnce(0, 0, []app.Pair{cpuPair}, "manual"); err != nil {
+		t.Fatal(err)
+	}
+	p.checkDrift()
+}

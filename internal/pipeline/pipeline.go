@@ -25,6 +25,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"strconv"
 	"sync"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/estimator"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -104,6 +107,16 @@ type Pipeline struct {
 	det    *drift.Detector
 	reg    *Registry
 	source func() Source
+	log    *slog.Logger // nil = no structured logging
+
+	// Self-instrumentation (all handles nil-safe no-ops when
+	// core.Options.Metrics is nil).
+	genDur        *obs.HistogramVec // generation train+publish duration, by trigger
+	genTotal      *obs.CounterVec   // generations by trigger and result
+	driftChecks   *obs.CounterVec   // drift measurements, by verdict
+	driftScore    *obs.Gauge        // mean MAPE of the last drift check
+	driftCoverage *obs.Gauge        // interval coverage of the last drift check
+	driftUnknown  *obs.Gauge        // unknown-path fraction of the last drift check
 
 	mu        sync.Mutex
 	inFlight  bool
@@ -140,7 +153,40 @@ func New(opts core.Options, cfg Config, source func() Source) (*Pipeline, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{opts: opts, cfg: cfg, det: det, reg: reg, source: source}, nil
+	reg.instrument(opts.Metrics)
+	p := &Pipeline{opts: opts, cfg: cfg, det: det, reg: reg, source: source, log: opts.Logger}
+	if m := opts.Metrics; m != nil {
+		p.genDur = m.HistogramVec("deeprest_pipeline_generation_seconds",
+			"Wall-clock duration of one training generation, train through publish.",
+			obs.DurationBuckets, "trigger")
+		p.genTotal = m.CounterVec("deeprest_pipeline_generations_total",
+			"Training generations by trigger (manual, scheduled, drift) and result (ok, error).",
+			"trigger", "result")
+		p.driftChecks = m.CounterVec("deeprest_drift_checks_total",
+			"Drift measurements of the active model against fresh telemetry, by verdict.",
+			"drifted")
+		p.driftScore = m.Gauge("deeprest_drift_score",
+			"Mean MAPE (percent) of the active model on fresh telemetry at the last drift check.")
+		p.driftCoverage = m.Gauge("deeprest_drift_coverage",
+			"Fraction of fresh observations inside the model's confidence interval at the last drift check.")
+		p.driftUnknown = m.Gauge("deeprest_drift_unknown_path_frac",
+			"Fraction of span visits on invocation paths unknown to the model at the last drift check.")
+	}
+	return p, nil
+}
+
+// info logs through the configured structured logger; a nil logger drops the
+// line (the pipeline is used headless in tests and library embeddings).
+func (p *Pipeline) info(msg string, args ...interface{}) {
+	if p.log != nil {
+		p.log.Info(msg, args...)
+	}
+}
+
+func (p *Pipeline) warn(msg string, args ...interface{}) {
+	if p.log != nil {
+		p.log.Warn(msg, args...)
+	}
 }
 
 // Registry exposes the versioned model store.
@@ -225,7 +271,9 @@ func (p *Pipeline) TrainOnce(from, to int, pairs []app.Pair, trigger string) (*G
 	}
 	p.mu.Unlock()
 
+	start := time.Now()
 	gen, err := p.train(src, from, to, pairs, trigger, warm, prevWarm)
+	elapsed := time.Since(start)
 
 	p.mu.Lock()
 	p.inFlight = false
@@ -237,6 +285,20 @@ func (p *Pipeline) TrainOnce(from, to int, pairs []app.Pair, trigger string) (*G
 		p.lastDrift = nil // the new generation resets the drift signal
 	}
 	p.mu.Unlock()
+
+	p.genDur.With(trigger).Observe(elapsed.Seconds())
+	if err != nil {
+		p.genTotal.With(trigger, "error").Inc()
+		p.warn("training generation failed",
+			"trigger", trigger, "from", from, "to", to,
+			"duration", elapsed, "error", err)
+	} else {
+		p.genTotal.With(trigger, "ok").Inc()
+		p.info("generation published",
+			"version", gen.Version, "trigger", trigger,
+			"from", gen.From, "to", gen.To, "experts", gen.Experts(),
+			"warm_started", gen.Warm, "duration", elapsed)
+	}
 
 	if err == nil && p.cfg.OnGeneration != nil {
 		p.cfg.OnGeneration(gen)
@@ -437,5 +499,15 @@ func (p *Pipeline) checkDrift() bool {
 	p.mu.Lock()
 	p.lastDrift = &sig
 	p.mu.Unlock()
+	p.driftChecks.With(strconv.FormatBool(sig.Drifted)).Inc()
+	p.driftScore.Set(sig.MeanMAPE)
+	p.driftCoverage.Set(sig.Coverage)
+	p.driftUnknown.Set(sig.UnknownPathFrac)
+	if sig.Drifted {
+		p.warn("drift detected; scheduling early retrain",
+			"reason", sig.Reason, "windows", sig.Windows,
+			"mean_mape", sig.MeanMAPE, "coverage", sig.Coverage,
+			"unknown_path_frac", sig.UnknownPathFrac)
+	}
 	return sig.Drifted
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/obs"
 )
 
 // Generation is one published model version. A Generation is immutable
@@ -51,11 +52,29 @@ func (g *Generation) Experts() int { return len(g.System.Pairs()) }
 type Registry struct {
 	active atomic.Pointer[Generation]
 
+	// Nil-safe instrumentation handles (see instrument).
+	activeGen *obs.Gauge
+	ckptOps   *obs.CounterVec
+
 	mu   sync.Mutex
 	gens []*Generation // ascending by version
 	max  int
 	dir  string
 	next int
+}
+
+// instrument registers the registry's metrics: the serving generation
+// version and checkpoint write/recover outcomes. A nil obs registry leaves
+// the handles as no-ops.
+func (r *Registry) instrument(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	r.activeGen = m.Gauge("deeprest_active_generation",
+		"Version of the model generation currently serving queries (0 before the first publish).")
+	r.ckptOps = m.CounterVec("deeprest_checkpoint_ops_total",
+		"Model checkpoint operations by kind (write, recover) and result (ok, error).",
+		"op", "result")
 }
 
 // NewRegistry returns a registry keeping at most maxHistory generations
@@ -90,13 +109,17 @@ func (r *Registry) Publish(g *Generation) (*Generation, error) {
 		g.TrainedAt = time.Now()
 	}
 	if r.dir != "" {
-		if err := r.writeCheckpoint(g); err != nil {
+		err := r.writeCheckpoint(g)
+		if err != nil {
+			r.ckptOps.With("write", "error").Inc()
 			return nil, err
 		}
+		r.ckptOps.With("write", "ok").Inc()
 	}
 	r.next++
 	r.gens = append(r.gens, g)
 	r.active.Store(g)
+	r.activeGen.Set(float64(g.Version))
 	r.evictLocked()
 	return g, nil
 }
@@ -133,6 +156,7 @@ func (r *Registry) Activate(version int) (*Generation, error) {
 	for _, g := range r.gens {
 		if g.Version == version {
 			r.active.Store(g)
+			r.activeGen.Set(float64(g.Version))
 			return g, nil
 		}
 	}
@@ -255,8 +279,10 @@ func (r *Registry) Recover(rebuild func(*estimator.Model) *core.System) (int, er
 	for _, p := range paths {
 		g, err := readCheckpoint(p, rebuild)
 		if err != nil {
+			r.ckptOps.With("recover", "error").Inc()
 			return 0, err
 		}
+		r.ckptOps.With("recover", "ok").Inc()
 		gens = append(gens, g)
 	}
 	if len(gens) == 0 {
@@ -275,6 +301,7 @@ func (r *Registry) Recover(rebuild func(*estimator.Model) *core.System) (int, er
 	r.gens = gens
 	newest := gens[len(gens)-1]
 	r.active.Store(newest)
+	r.activeGen.Set(float64(newest.Version))
 	if newest.Version >= r.next {
 		r.next = newest.Version + 1
 	}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// statusWriter captures the status code and body size that flowed through a
+// ResponseWriter, for metrics and the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming responses (the model
+// download) keep working through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// endpointLabel maps a request to a bounded metric label: one of the routed
+// patterns, or "other" for everything else so unroutable paths cannot mint
+// unbounded label values.
+func endpointLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/v1/telemetry", "/v1/learn", "/v1/status", "/v1/estimate",
+		"/v1/sanity", "/v1/influence", "/v1/model",
+		"/v1/pipeline/start", "/v1/pipeline/stop", "/v1/pipeline/status",
+		"/v1/models", "/metrics":
+		return p
+	}
+	if strings.HasPrefix(p, "/v1/models/") && strings.HasSuffix(p, "/activate") {
+		return "/v1/models/{version}/activate"
+	}
+	if strings.HasPrefix(p, "/debug/pprof") {
+		return "/debug/pprof/"
+	}
+	return "other"
+}
+
+// newRequestPrefix draws a random per-process prefix so request ids from
+// different daemon runs never collide in aggregated logs.
+func newRequestPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// nextRequestID mints a unique id: random process prefix + atomic sequence.
+func (s *Server) nextRequestID() string {
+	return s.reqPrefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 16)
+}
+
+// withObservability is the outermost HTTP middleware: it assigns (or
+// propagates) a request id, tracks in-flight requests, records per-endpoint
+// latency and status-code metrics, and emits one structured access-log line.
+// With nil Metrics and nil Logger every hook degrades to a no-op, leaving
+// only the id header and a timestamp read on the hot path.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = s.nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		s.httpInFlight.Add(1)
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.httpInFlight.Add(-1)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		ep := endpointLabel(r)
+		s.httpReqs.With(ep, strconv.Itoa(sw.code)).Inc()
+		s.httpDur.With(ep).Observe(elapsed.Seconds())
+		if s.log != nil {
+			s.log.Info("http request",
+				"method", r.Method, "path", r.URL.Path, "status", sw.code,
+				"bytes", sw.bytes, "duration", elapsed,
+				"request_id", id, "remote", r.RemoteAddr)
+		}
+	})
+}

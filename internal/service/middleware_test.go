@@ -1,0 +1,228 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// instrumentedService builds a quick service wired to a fresh metrics
+// registry and a JSON access log captured in logBuf.
+func instrumentedService(t *testing.T, cfg pipeline.Config) (*Server, *obs.Registry, *bytes.Buffer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	logBuf := &bytes.Buffer{}
+	opts := quickServiceOpts()
+	opts.Metrics = reg
+	opts.Logger = slog.New(slog.NewJSONHandler(logBuf, nil))
+	s, err := NewWithConfig(opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reg, logBuf
+}
+
+// TestMetricsScrape drives the service through ingest + learn and validates
+// the full /metrics exposition against the Prometheus text-format grammar,
+// then checks the promised series are all present.
+func TestMetricsScrape(t *testing.T) {
+	s, _, _ := instrumentedService(t, pipeline.DefaultConfig())
+	h := s.Handler()
+
+	if rec := do(t, h, "POST", "/v1/telemetry", telemetryBody(t, 1, 30, 61)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d", rec.Code)
+	}
+	if rec := do(t, h, "POST", "/v1/learn", bytes.NewBufferString(`{"pairs":["Service/cpu"]}`)); rec.Code != http.StatusOK {
+		t.Fatalf("learn = %d: %s", rec.Code, rec.Body)
+	}
+	// A request that routes nowhere must fold into the "other" endpoint
+	// label instead of minting a new one.
+	do(t, h, "GET", "/no/such/route", nil)
+
+	rec := do(t, h, "GET", "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type = %q, want %q", ct, obs.ContentType)
+	}
+	body := rec.Body.String()
+	if err := obs.Lint(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition fails Prometheus grammar: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`deeprest_http_request_duration_seconds_bucket{endpoint="/v1/learn",le="+Inf"}`,
+		`deeprest_http_requests_total{endpoint="/v1/telemetry",code="200"}`,
+		`deeprest_http_requests_total{endpoint="other",code="404"}`,
+		"deeprest_http_in_flight_requests 1", // the scrape itself is in flight
+		`deeprest_train_epochs_total{phase="train"}`,
+		"deeprest_train_epoch_loss{",
+		`deeprest_pipeline_generation_seconds_count{trigger="manual"} 1`,
+		`deeprest_pipeline_generations_total{trigger="manual",result="ok"} 1`,
+		"deeprest_drift_score 0",
+		"deeprest_active_generation 1",
+		"deeprest_telemetry_windows_total",
+		"deeprest_telemetry_spans_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+}
+
+// TestRequestIDs: every response carries an X-Request-ID, ids are unique,
+// an inbound id is propagated, and the access log links ids to statuses.
+func TestRequestIDs(t *testing.T) {
+	s, _, logBuf := instrumentedService(t, pipeline.DefaultConfig())
+	h := s.Handler()
+
+	r1 := do(t, h, "GET", "/v1/status", nil)
+	r2 := do(t, h, "GET", "/v1/status", nil)
+	id1, id2 := r1.Header().Get("X-Request-ID"), r2.Header().Get("X-Request-ID")
+	if id1 == "" || id2 == "" {
+		t.Fatalf("missing X-Request-ID: %q, %q", id1, id2)
+	}
+	if id1 == id2 {
+		t.Fatalf("request ids collide: %q", id1)
+	}
+
+	// An id supplied by the caller (e.g. an upstream proxy) is kept.
+	req := httptest.NewRequest("GET", "/v1/status", nil)
+	req.Header.Set("X-Request-ID", "upstream-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "upstream-42" {
+		t.Fatalf("inbound id not propagated: %q", got)
+	}
+
+	// Each request produced one structured access-log line carrying the id,
+	// method, path, and status.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("access log has %d lines, want 3:\n%s", len(lines), logBuf)
+	}
+	byID := map[string]map[string]interface{}{}
+	for _, line := range lines {
+		var entry map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("access log line is not JSON: %s", line)
+		}
+		byID[entry["request_id"].(string)] = entry
+	}
+	for _, id := range []string{id1, id2, "upstream-42"} {
+		e, ok := byID[id]
+		if !ok {
+			t.Fatalf("no access-log line for request %q", id)
+		}
+		if e["method"] != "GET" || e["path"] != "/v1/status" || e["status"] != float64(200) {
+			t.Errorf("access log for %q = %v", id, e)
+		}
+	}
+}
+
+// TestMiddlewareRecordsStatuses covers the metric paths for success, client
+// error, and the 409 returned to a learn racing an in-flight generation.
+func TestMiddlewareRecordsStatuses(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	enter, release := make(chan struct{}), make(chan struct{})
+	var gate sync.Once
+	cfg.BeforeTrain = func() {
+		gate.Do(func() {
+			close(enter)
+			<-release
+		})
+	}
+	s, reg, _ := instrumentedService(t, cfg)
+	h := s.Handler()
+
+	if rec := do(t, h, "POST", "/v1/telemetry", telemetryBody(t, 1, 30, 62)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d", rec.Code)
+	}
+	// 400: malformed learn body.
+	if rec := do(t, h, "POST", "/v1/learn", bytes.NewBufferString(`{"pairs":`)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad learn = %d", rec.Code)
+	}
+	// 409: second learn while the first holds the training slot.
+	firstDone := make(chan int, 1)
+	go func() {
+		rec := do(t, h, "POST", "/v1/learn", bytes.NewBufferString(`{"pairs":["Service/cpu"]}`))
+		firstDone <- rec.Code
+	}()
+	<-enter
+	if rec := do(t, h, "POST", "/v1/learn", nil); rec.Code != http.StatusConflict {
+		t.Fatalf("concurrent learn = %d", rec.Code)
+	}
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("first learn = %d", code)
+	}
+
+	reqs := reg.CounterVec("deeprest_http_requests_total",
+		"HTTP requests served, by endpoint pattern and status code.",
+		"endpoint", "code")
+	for _, tc := range []struct {
+		code string
+		want uint64
+	}{{"200", 1}, {"400", 1}, {"409", 1}} {
+		if got := reqs.With("/v1/learn", tc.code).Value(); got != tc.want {
+			t.Errorf("requests_total{/v1/learn,%s} = %d, want %d", tc.code, got, tc.want)
+		}
+	}
+	dur := reg.HistogramVec("deeprest_http_request_duration_seconds",
+		"HTTP request latency by endpoint pattern.",
+		obs.DefBuckets, "endpoint")
+	if got := dur.With("/v1/learn").Count(); got != 3 {
+		t.Errorf("latency observations for /v1/learn = %d, want 3", got)
+	}
+	if got := dur.With("/v1/learn").Sum(); got <= 0 {
+		t.Errorf("latency sum = %v, want > 0", got)
+	}
+}
+
+// TestPprofGating: the profiling mux is mounted only when EnablePprof is set.
+func TestPprofGating(t *testing.T) {
+	off, err := NewWithConfig(quickServiceOpts(), pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, off.Handler(), "GET", "/debug/pprof/cmdline", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof while disabled = %d, want 404", rec.Code)
+	}
+
+	on, err := NewWithConfig(quickServiceOpts(), pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	on.EnablePprof = true
+	if rec := do(t, on.Handler(), "GET", "/debug/pprof/cmdline", nil); rec.Code != http.StatusOK {
+		t.Fatalf("pprof while enabled = %d, want 200", rec.Code)
+	}
+}
+
+// TestUninstrumentedServiceServes: nil Metrics and Logger must not change
+// behaviour — no /metrics route, no panics, ids still assigned.
+func TestUninstrumentedServiceServes(t *testing.T) {
+	s, err := NewWithConfig(quickServiceOpts(), pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	rec := do(t, h, "GET", "/v1/status", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatal("request id missing without instrumentation")
+	}
+	if rec := do(t, h, "GET", "/metrics", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("metrics without registry = %d, want 404", rec.Code)
+	}
+}

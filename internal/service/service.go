@@ -19,6 +19,16 @@
 //	GET  /v1/models           list retained model generations
 //	POST /v1/models/{version}/activate  roll back (or forward) the serving model
 //
+// Observability (see internal/obs):
+//
+//	GET  /metrics             Prometheus text-format metrics (mounted when
+//	                          core.Options.Metrics is non-nil)
+//	GET  /debug/pprof/        net/http/pprof profiles (only with EnablePprof)
+//
+// Every response carries an X-Request-ID header (propagated from the request
+// when the caller set one), and with a configured Logger each request emits
+// one structured access-log line keyed by that id.
+//
 // Model lifecycle: every training run — manual /v1/learn, scheduled retrain,
 // or drift-triggered retrain — publishes a new generation into a versioned
 // registry. Serving reads (/v1/estimate, /v1/sanity, /v1/influence,
@@ -39,16 +49,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -60,10 +74,25 @@ import (
 type Server struct {
 	opts core.Options
 
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the service
+	// handler. Off by default — profiling endpoints are operator-facing and
+	// should not ship on the public listener unless explicitly requested.
+	// Set it before the first Handler call.
+	EnablePprof bool
+
 	mu    sync.RWMutex
 	store *telemetry.Server
 
 	pipe *pipeline.Pipeline
+
+	// Observability (all nil-safe no-ops when opts.Metrics / opts.Logger
+	// are nil; see withObservability).
+	log          *slog.Logger
+	httpReqs     *obs.CounterVec
+	httpDur      *obs.HistogramVec
+	httpInFlight *obs.Gauge
+	reqPrefix    string
+	reqSeq       atomic.Uint64
 }
 
 // New returns a service with the given learning options and the default
@@ -83,7 +112,17 @@ func New(opts core.Options) *Server {
 // configuration (checkpoint directory, retrain cadence, drift thresholds,
 // registry bound).
 func NewWithConfig(opts core.Options, pcfg pipeline.Config) (*Server, error) {
-	s := &Server{opts: opts}
+	s := &Server{opts: opts, log: opts.Logger, reqPrefix: newRequestPrefix()}
+	if m := opts.Metrics; m != nil {
+		s.httpReqs = m.CounterVec("deeprest_http_requests_total",
+			"HTTP requests served, by endpoint pattern and status code.",
+			"endpoint", "code")
+		s.httpDur = m.HistogramVec("deeprest_http_request_duration_seconds",
+			"HTTP request latency by endpoint pattern.",
+			obs.DefBuckets, "endpoint")
+		s.httpInFlight = m.Gauge("deeprest_http_in_flight_requests",
+			"Requests currently being served.")
+	}
 	p, err := pipeline.New(opts, pcfg, s.telemetrySource)
 	if err != nil {
 		return nil, err
@@ -121,7 +160,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/pipeline/status", s.handlePipelineStatus)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/models/{version}/activate", s.handleActivate)
-	return mux
+	if s.opts.Metrics != nil {
+		mux.Handle("GET /metrics", s.opts.Metrics.Handler())
+	}
+	if s.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.withObservability(mux)
 }
 
 // httpError is the uniform error body.
@@ -152,6 +201,9 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	if s.store == nil {
 		s.store = in
+		// Back-counts the imported windows, so ingestion metrics cover the
+		// stream that created the store too.
+		s.store.Instrument(s.opts.Metrics)
 	} else {
 		if s.store.WindowSeconds() != in.WindowSeconds() {
 			writeErr(w, http.StatusConflict, "window duration %vs does not match existing store (%vs)",

@@ -151,6 +151,29 @@ type WindowResult struct {
 	Usage Usage
 }
 
+// NumRequests returns the number of requests the window served (batches
+// expanded by their run-length counts).
+func (wr WindowResult) NumRequests() int {
+	return trace.TotalRequests(wr.Batches)
+}
+
+// NumSpans returns the number of spans the window's requests executed —
+// the volume a real tracing backend would have ingested. Each batch
+// contributes its template's span-tree size once per request.
+func (wr WindowResult) NumSpans() int {
+	return countSpans(wr.Batches)
+}
+
+func countSpans(batches []trace.Batch) int {
+	n := 0
+	for _, b := range batches {
+		if b.Trace.Root != nil {
+			n += b.Trace.Root.NumSpans() * b.Count
+		}
+	}
+	return n
+}
+
 // Step simulates one window serving the given per-API request counts and
 // returns its telemetry. windowSeconds is the window duration.
 func (c *Cluster) Step(requests map[string]int, windowSeconds float64) (WindowResult, error) {
@@ -311,6 +334,24 @@ type Run struct {
 	WindowSeconds float64
 	// WindowsPerDay is the day length in windows (informational).
 	WindowsPerDay int
+}
+
+// NumSpans returns the total spans across every window of the run.
+func (r *Run) NumSpans() int {
+	n := 0
+	for _, w := range r.Windows {
+		n += countSpans(w)
+	}
+	return n
+}
+
+// NumRequests returns the total requests across every window of the run.
+func (r *Run) NumRequests() int {
+	n := 0
+	for _, w := range r.Windows {
+		n += trace.TotalRequests(w)
+	}
+	return n
 }
 
 // Run simulates the full traffic program and collects its telemetry.

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// window returns a WindowResult with one two-span trace served `count` times.
+func window(count int) sim.WindowResult {
+	root := trace.NewSpan("A", "op")
+	root.Child("B", "sub")
+	return sim.WindowResult{
+		Batches: []trace.Batch{{Trace: trace.Trace{API: "/x", Root: root}, Count: count}},
+		Usage:   sim.Usage{app.Pair{Component: "A", Resource: app.CPU}: 1},
+	}
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) uint64 {
+	t.Helper()
+	return reg.Counter(name, helpFor(name)).Value()
+}
+
+func helpFor(name string) string {
+	switch name {
+	case "deeprest_telemetry_windows_total":
+		return "Telemetry windows ingested into the store."
+	case "deeprest_telemetry_spans_total":
+		return "Trace spans ingested (batches expanded by request count)."
+	default:
+		return "Traced requests ingested."
+	}
+}
+
+func TestInstrumentCountsIngestion(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer(60)
+	// One window before instrumentation: must be back-counted at attach.
+	s.Record(window(3))
+	s.Instrument(reg)
+	if got := counterValue(t, reg, "deeprest_telemetry_windows_total"); got != 1 {
+		t.Fatalf("windows after attach = %d, want 1", got)
+	}
+	if got := counterValue(t, reg, "deeprest_telemetry_spans_total"); got != 6 {
+		t.Fatalf("spans after attach = %d, want 6 (2 spans × 3 requests)", got)
+	}
+
+	// Live recording counts windows, spans (×count), and requests.
+	s.Record(window(5))
+	if got := counterValue(t, reg, "deeprest_telemetry_windows_total"); got != 2 {
+		t.Fatalf("windows = %d, want 2", got)
+	}
+	if got := counterValue(t, reg, "deeprest_telemetry_spans_total"); got != 16 {
+		t.Fatalf("spans = %d, want 16", got)
+	}
+	if got := counterValue(t, reg, "deeprest_telemetry_requests_total"); got != 8 {
+		t.Fatalf("requests = %d, want 8", got)
+	}
+
+	// RecordRun counts every window of the run.
+	run := &sim.Run{
+		Windows:       [][]trace.Batch{window(1).Batches, window(2).Batches},
+		Usage:         map[app.Pair][]float64{{Component: "A", Resource: app.CPU}: {1, 2}},
+		WindowSeconds: 60,
+	}
+	s.RecordRun(run)
+	if got := counterValue(t, reg, "deeprest_telemetry_windows_total"); got != 4 {
+		t.Fatalf("windows after run = %d, want 4", got)
+	}
+	if got := counterValue(t, reg, "deeprest_telemetry_spans_total"); got != 22 {
+		t.Fatalf("spans after run = %d, want 22", got)
+	}
+}
+
+func TestUninstrumentedServerIsNoOp(t *testing.T) {
+	s := NewServer(60)
+	s.Instrument(nil) // must not panic or allocate counters
+	s.Record(window(2))
+	if s.NumWindows() != 1 {
+		t.Fatalf("NumWindows = %d", s.NumWindows())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/app"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -22,6 +23,34 @@ type Server struct {
 	windowSeconds float64
 	traces        [][]trace.Batch
 	metrics       map[app.Pair][]float64
+
+	// Ingestion volume counters; nil (no-op) until Instrument is called.
+	windowsTotal  *obs.Counter
+	spansTotal    *obs.Counter
+	requestsTotal *obs.Counter
+}
+
+// Instrument registers ingestion-volume counters on reg and counts every
+// window already in the store, so attaching after an import loses nothing.
+// A nil registry leaves the server uninstrumented (the counters stay no-op).
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.windowsTotal = reg.Counter("deeprest_telemetry_windows_total",
+		"Telemetry windows ingested into the store.")
+	s.spansTotal = reg.Counter("deeprest_telemetry_spans_total",
+		"Trace spans ingested (batches expanded by request count).")
+	s.requestsTotal = reg.Counter("deeprest_telemetry_requests_total",
+		"Traced requests ingested.")
+	s.windowsTotal.Add(uint64(len(s.traces)))
+	for _, batches := range s.traces {
+		wr := sim.WindowResult{Batches: batches}
+		s.spansTotal.Add(uint64(wr.NumSpans()))
+		s.requestsTotal.Add(uint64(wr.NumRequests()))
+	}
 }
 
 // NewServer returns an empty telemetry server with the given scrape window
@@ -44,6 +73,9 @@ func (s *Server) Record(wr sim.WindowResult) {
 	defer s.mu.Unlock()
 	idx := len(s.traces)
 	s.traces = append(s.traces, wr.Batches)
+	s.windowsTotal.Inc()
+	s.spansTotal.Add(uint64(wr.NumSpans()))
+	s.requestsTotal.Add(uint64(wr.NumRequests()))
 	for p, v := range wr.Usage {
 		series, ok := s.metrics[p]
 		if !ok {
@@ -62,6 +94,9 @@ func (s *Server) RecordRun(r *sim.Run) {
 	defer s.mu.Unlock()
 	base := len(s.traces)
 	s.traces = append(s.traces, r.Windows...)
+	s.windowsTotal.Add(uint64(len(r.Windows)))
+	s.spansTotal.Add(uint64(r.NumSpans()))
+	s.requestsTotal.Add(uint64(r.NumRequests()))
 	for p, vs := range r.Usage {
 		series, ok := s.metrics[p]
 		if !ok {
