@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check cover bench experiments experiments-quick examples clean
+.PHONY: all build vet test test-race check cover bench bench-all experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -29,7 +29,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Hot-path benchmarks for the estimator (training epoch, expert forward,
+# end-to-end predict), recorded as BENCH_estimator.json for regression
+# tracking across PRs.
 bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/estimator | \
+		$(GO) run ./cmd/benchjson -out BENCH_estimator.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Full-scale reproduction of every table and figure (a few minutes).

@@ -145,6 +145,9 @@ func trainRAExpert(p app.Pair, series []float64, wpd int, cfg RAConfig, seed int
 		order[i] = i
 	}
 	tape := ad.NewTape()
+	zeroH := make([]float64, cfg.Hidden)
+	tgt := make([]float64, 1)
+	losses := make([]*ad.Value, 0, cfg.ChunkLen)
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, ci := range order {
@@ -154,13 +157,14 @@ func trainRAExpert(p app.Pair, series []float64, wpd int, cfg RAConfig, seed int
 				to = len(e.scaled)
 			}
 			tape.Reset()
-			h := tape.Const(make([]float64, cfg.Hidden))
-			var losses []*ad.Value
+			h := tape.Const(zeroH)
+			losses = losses[:0]
 			for t := from; t < to; t++ {
 				xt := tape.Const(e.input(t))
 				h = e.cell.Step(tape, xt, h)
 				y := e.head.Apply(tape, h)
-				losses = append(losses, tape.SquaredError(y, []float64{e.scaled[t]}))
+				tgt[0] = e.scaled[t]
+				losses = append(losses, tape.SquaredError(y, tgt))
 			}
 			total := tape.SumScalars(losses...)
 			mean := tape.ScaleConst(total, 1/float64(to-from))
@@ -196,28 +200,35 @@ func (e *raExpert) forecastInput(buf []float64, t int) []float64 {
 // forecast rolls the expert forward for `horizon` windows beyond its
 // training series and returns the descaled prediction.
 func (e *raExpert) forecast(horizon int) []float64 {
+	// Pure inference: run on a gradient-free eval tape. Reset recycles
+	// all tape memory each step, so the recurrent state is carried across
+	// steps in a buffer the tape does not own.
+	tape := ad.NewEvalTape()
+	hbuf := make([]float64, e.cell.Hidden)
 	// Warm the hidden state over the tail of the training series (one
 	// day is plenty: the GRU's memory horizon is far shorter).
-	tape := ad.NewTape()
-	h := tape.Const(make([]float64, e.cell.Hidden))
 	warmFrom := e.wpd
 	if len(e.scaled)-warmFrom > 2*e.wpd {
 		warmFrom = len(e.scaled) - 2*e.wpd
 	}
 	for t := warmFrom; t < len(e.scaled); t++ {
+		h := tape.Const(hbuf)
 		xt := tape.Const(e.input(t))
 		h = e.cell.Step(tape, xt, h)
+		copy(hbuf, h.Data)
 		tape.Reset()
 	}
 	buf := append([]float64{}, e.scaled...)
 	out := make([]float64, horizon)
 	acc := e.base
 	for t := 0; t < horizon; t++ {
+		h := tape.Const(hbuf)
 		xt := tape.Const(e.forecastInput(buf, t))
 		h = e.cell.Step(tape, xt, h)
 		y := e.head.Apply(tape, h)
 		pred := y.Data[0]
 		buf = append(buf, pred)
+		copy(hbuf, h.Data)
 		tape.Reset()
 		v := pred * e.scale
 		if e.delta {

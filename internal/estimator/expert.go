@@ -104,20 +104,23 @@ func (e *Expert) stepOutput(t *ad.Tape, xt, h, attn *ad.Value) *ad.Value {
 }
 
 // HiddenStates runs the recurrence over a scaled feature series and returns
-// the hidden-state trajectory [T][Hidden]. Gradients are not tracked; this
-// feeds the detached peer states consumed by other experts' attention.
+// the hidden-state trajectory [T][Hidden]. It runs on a gradient-free eval
+// tape; this feeds the detached peer states consumed by other experts'
+// attention.
 func (e *Expert) HiddenStates(x [][]float64) [][]float64 {
-	t := ad.NewTape()
-	h := t.Const(make([]float64, e.Hidden))
+	t := ad.NewEvalTape()
+	// Reset recycles all tape memory each step, so the recurrent state is
+	// carried across steps in a buffer the tape does not own.
+	hbuf := make([]float64, e.Hidden)
 	out := make([][]float64, len(x))
 	for i, row := range x {
+		h := t.Const(hbuf)
 		xt := e.maskedInput(t, row)
 		h = e.Cell.Step(t, xt, h)
 		cp := make([]float64, e.Hidden)
 		copy(cp, h.Data)
 		out[i] = cp
-		// The tape only exists to run the forward math; trim it so
-		// long series do not accumulate dead nodes.
+		copy(hbuf, h.Data)
 		t.Reset()
 	}
 	return out
@@ -132,11 +135,12 @@ func (e *Expert) Forward(x [][]float64, peerHidden [][][]float64) ([][3]float64,
 	if peerHidden != nil && len(peerHidden) != len(x) {
 		return nil, fmt.Errorf("estimator: expert %s: %d peer-state steps for %d inputs", e.Pair, len(peerHidden), len(x))
 	}
-	t := ad.NewTape()
-	h := t.Const(make([]float64, e.Hidden))
+	t := ad.NewEvalTape()
+	hbuf := make([]float64, e.Hidden)
 	zeroAttn := make([]float64, e.Hidden)
 	out := make([][3]float64, len(x))
 	for i, row := range x {
+		h := t.Const(hbuf)
 		xt := e.maskedInput(t, row)
 		h = e.Cell.Step(t, xt, h)
 		var attn *ad.Value
@@ -147,6 +151,7 @@ func (e *Expert) Forward(x [][]float64, peerHidden [][][]float64) ([][3]float64,
 		}
 		y := e.stepOutput(t, xt, h, attn)
 		out[i] = [3]float64{y.Data[0], y.Data[1], y.Data[2]}
+		copy(hbuf, h.Data)
 		t.Reset()
 	}
 	return out, nil

@@ -1,0 +1,103 @@
+package estimator
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/nn/loss"
+	"repro/internal/testutil"
+)
+
+// Hot-path benchmarks tracked in BENCH_estimator.json by `make bench`. They
+// measure the three loops everything sits on: one truncated-BPTT training
+// epoch of a single expert, a gradient-free forward pass, and end-to-end
+// multi-expert prediction. ReportAllocs makes the allocation trajectory part
+// of the recorded perf history.
+
+func benchFixture(b *testing.B, pairs ...app.Pair) (*Model, [][]float64, map[app.Pair][]float64) {
+	b.Helper()
+	_, _, run := testutil.ToyTelemetry(b, 3, 40, 21)
+	usage := run.Usage
+	if len(pairs) > 0 {
+		usage = testutil.FocusPairs(usage, pairs...)
+	}
+	cfg := DefaultConfig()
+	cfg.ChunkLen = 24
+	m, x, targets, err := buildModel(run.Windows, usage, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, x, targets
+}
+
+// BenchmarkTrainEpoch measures one full training epoch (chunked
+// forward+backward+optimizer) of a single expert.
+func BenchmarkTrainEpoch(b *testing.B) {
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	m, x, targets, cfg := benchExpertSetup(b, p)
+	q := loss.Quantiles(cfg.Delta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := trainExpert(m.Experts[p], x, targets[p], nil, cfg, 1, q[:], cfg.Seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchExpertSetup(b *testing.B, p app.Pair) (*Model, [][]float64, map[app.Pair][]float64, Config) {
+	b.Helper()
+	m, x, targets := benchFixture(b, p)
+	return m, x, targets, m.Cfg
+}
+
+// BenchmarkExpertForward measures the gradient-free forward pass of one
+// expert over one day of windows — the per-expert core of /v1/estimate.
+func BenchmarkExpertForward(b *testing.B) {
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	m, x, _, _ := benchExpertSetup(b, p)
+	day := x[:testutil.ToyDay]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Experts[p].Forward(day, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpertHiddenStates measures the detached recurrence used for
+// peer-state precompute (phase B and attention-enabled prediction).
+func BenchmarkExpertHiddenStates(b *testing.B) {
+	p := app.Pair{Component: "Service", Resource: app.CPU}
+	m, x, _, _ := benchExpertSetup(b, p)
+	day := x[:testutil.ToyDay]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Experts[p].HiddenStates(day)
+	}
+}
+
+// BenchmarkModelPredict measures end-to-end prediction of the full
+// multi-expert toy model (attention enabled) over one day — the serving
+// path behind /v1/estimate and /v1/sanity.
+func BenchmarkModelPredict(b *testing.B) {
+	_, _, run := testutil.ToyTelemetry(b, 3, 40, 21)
+	cfg := DefaultConfig()
+	cfg.Epochs = 2
+	cfg.AttentionEpochs = 1
+	cfg.ChunkLen = 24
+	m, err := Train(run.Windows, run.Usage, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := run.Windows[:testutil.ToyDay]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(day); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

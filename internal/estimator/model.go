@@ -226,6 +226,31 @@ type Model struct {
 	Experts map[app.Pair]*Expert
 	// TargetScales holds the per-pair descaling information.
 	TargetScales map[app.Pair]*TargetScale
+
+	// peerKeys caches, per pair, the attention peer-key list (every other
+	// pair's string form, in training order). It is derived once from
+	// Pairs at build/load time instead of re-deriving — and re-stringing
+	// every pair — on each gatherPeers call.
+	peerKeys map[app.Pair][]string
+}
+
+// initPeerKeys populates the peerKeys cache from Pairs. Call after Pairs is
+// final (model build or snapshot load).
+func (m *Model) initPeerKeys() {
+	m.peerKeys = make(map[app.Pair][]string, len(m.Pairs))
+	names := make([]string, len(m.Pairs))
+	for i, p := range m.Pairs {
+		names[i] = p.String()
+	}
+	for i, p := range m.Pairs {
+		keys := make([]string, 0, len(m.Pairs)-1)
+		for j := range m.Pairs {
+			if j != i {
+				keys = append(keys, names[j])
+			}
+		}
+		m.peerKeys[p] = keys
+	}
 }
 
 // Train learns a DeepRest model from application-learning telemetry: the
@@ -277,21 +302,12 @@ func buildModel(windows [][]trace.Batch, usage map[app.Pair][]float64, cfg Confi
 		TargetScales: make(map[app.Pair]*TargetScale, len(pairs)),
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	peerNames := make(map[app.Pair][]string, len(pairs))
-	for _, p := range pairs {
-		var peers []string
-		for _, q := range pairs {
-			if q != p {
-				peers = append(peers, q.String())
-			}
-		}
-		peerNames[p] = peers
-	}
+	m.initPeerKeys()
 	targets := make(map[app.Pair][]float64, len(pairs))
 	for _, p := range pairs {
 		m.TargetScales[p] = fitTargetScale(p, usage[p])
 		targets[p] = m.TargetScales[p].scaled(usage[p])
-		m.Experts[p] = newExpert(p, space.Dim(), cfg.Hidden, peerNames[p], cfg, rng)
+		m.Experts[p] = newExpert(p, space.Dim(), cfg.Hidden, m.peerKeys[p], cfg, rng)
 	}
 
 	return m, x, targets, nil
@@ -306,8 +322,8 @@ func (m *Model) trainAll(x [][]float64, targets map[app.Pair][]float64, cfg Conf
 	// Phase A: train every expert independently with attention disabled.
 	logf(cfg.Log, "phase A: training %d experts (%d epochs, dim=%d, hidden=%d)",
 		len(m.Pairs), cfg.Epochs, m.Space.Dim(), cfg.Hidden)
-	err := m.forEachExpert(func(p app.Pair) error {
-		return trainExpert(m.Experts[p], x, targets[p], nil, cfg, cfg.Epochs, q, cfg.Seed+int64(indexOf(m.Pairs, p)))
+	err := m.forEachExpert(func(i int, p app.Pair) error {
+		return trainExpert(m.Experts[p], x, targets[p], nil, cfg, cfg.Epochs, q, cfg.Seed+int64(i))
 	})
 	if err != nil {
 		return err
@@ -325,9 +341,9 @@ func (m *Model) trainAll(x [][]float64, targets map[app.Pair][]float64, cfg Conf
 		if err != nil {
 			return err
 		}
-		err = m.forEachExpert(func(p app.Pair) error {
-			peerStates := gatherPeers(m.Pairs, p, hidden)
-			return trainExpertHead(m.Experts[p], x, targets[p], peerStates, cfg, cfg.AttentionEpochs, q, cfg.Seed+1000+int64(indexOf(m.Pairs, p)))
+		err = m.forEachExpert(func(i int, p app.Pair) error {
+			peerStates := m.gatherPeers(p, hidden)
+			return trainExpertHead(m.Experts[p], x, targets[p], peerStates, cfg, cfg.AttentionEpochs, q, cfg.Seed+1000+int64(i))
 		})
 		if err != nil {
 			return err
@@ -336,23 +352,16 @@ func (m *Model) trainAll(x [][]float64, targets map[app.Pair][]float64, cfg Conf
 	return nil
 }
 
-func indexOf(pairs []app.Pair, p app.Pair) int {
-	for i, q := range pairs {
-		if q == p {
-			return i
-		}
-	}
-	return -1
-}
-
 func logf(w io.Writer, format string, args ...interface{}) {
 	if w != nil {
 		fmt.Fprintf(w, format+"\n", args...)
 	}
 }
 
-// forEachExpert runs fn for every pair with bounded parallelism.
-func (m *Model) forEachExpert(fn func(p app.Pair) error) error {
+// forEachExpert runs fn for every pair with bounded parallelism; fn
+// receives the pair's index in training order (the basis of its
+// deterministic per-expert seed).
+func (m *Model) forEachExpert(fn func(i int, p app.Pair) error) error {
 	par := m.Cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -361,20 +370,20 @@ func (m *Model) forEachExpert(fn func(p app.Pair) error) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
-	for _, p := range m.Pairs {
+	for i, p := range m.Pairs {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(p app.Pair) {
+		go func(i int, p app.Pair) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := fn(p); err != nil {
+			if err := fn(i, p); err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
 				mu.Unlock()
 			}
-		}(p)
+		}(i, p)
 	}
 	wg.Wait()
 	return firstErr
@@ -385,7 +394,7 @@ func (m *Model) forEachExpert(fn func(p app.Pair) error) error {
 func (m *Model) allHiddenStates(x [][]float64) (map[string][][]float64, error) {
 	out := make(map[string][][]float64, len(m.Pairs))
 	var mu sync.Mutex
-	err := m.forEachExpert(func(p app.Pair) error {
+	err := m.forEachExpert(func(_ int, p app.Pair) error {
 		hs := m.Experts[p].HiddenStates(x)
 		mu.Lock()
 		out[p.String()] = hs
@@ -396,12 +405,16 @@ func (m *Model) allHiddenStates(x [][]float64) (map[string][][]float64, error) {
 }
 
 // gatherPeers assembles, per time step, the peer hidden states of expert p
-// in the order of its attention peer list.
-func gatherPeers(pairs []app.Pair, p app.Pair, hidden map[string][][]float64) [][][]float64 {
-	var peerKeys []string
-	for _, q := range pairs {
-		if q != p {
-			peerKeys = append(peerKeys, q.String())
+// in the order of its attention peer list (precomputed in peerKeys).
+func (m *Model) gatherPeers(p app.Pair, hidden map[string][][]float64) [][][]float64 {
+	peerKeys := m.peerKeys[p]
+	if m.peerKeys == nil {
+		// Hand-assembled model (tests): derive locally without touching
+		// the cache — gatherPeers runs concurrently across experts.
+		for _, q := range m.Pairs {
+			if q != p {
+				peerKeys = append(peerKeys, q.String())
+			}
 		}
 	}
 	if len(peerKeys) == 0 {
@@ -454,6 +467,12 @@ func trainExpert(e *Expert, x [][]float64, target []float64, peerStates [][][]fl
 	}
 	tape := ad.NewTape()
 	zeroAttn := make([]float64, e.Hidden)
+	zeroH := make([]float64, e.Hidden)
+	// The target triple and per-chunk loss list are reused across chunks
+	// and epochs: Pinball copies the targets onto the tape, and the
+	// SumScalars operand slice is only read up to Backward below.
+	tgt := make([]float64, len(q))
+	losses := make([]*ad.Value, 0, cfg.ChunkLen)
 	useAttn := peerStates != nil && e.UseAttention && len(e.Attn.Peers) > 0
 
 	for ep := 0; ep < epochs; ep++ {
@@ -467,8 +486,8 @@ func trainExpert(e *Expert, x [][]float64, target []float64, peerStates [][][]fl
 				to = len(x)
 			}
 			tape.Reset()
-			h := tape.Const(make([]float64, e.Hidden))
-			var losses []*ad.Value
+			h := tape.Const(zeroH)
+			losses = losses[:0]
 			for t := from; t < to; t++ {
 				xt := e.maskedInput(tape, x[t])
 				h = e.Cell.Step(tape, xt, h)
@@ -479,7 +498,9 @@ func trainExpert(e *Expert, x [][]float64, target []float64, peerStates [][][]fl
 					attn = tape.Const(zeroAttn)
 				}
 				y := e.stepOutput(tape, xt, h, attn)
-				tgt := []float64{target[t], target[t], target[t]}
+				for j := range tgt {
+					tgt[j] = target[t]
+				}
 				losses = append(losses, tape.Pinball(y, tgt, q))
 			}
 			total := tape.SumScalars(losses...)
@@ -509,11 +530,12 @@ func trainExpertHead(e *Expert, x [][]float64, target []float64, peerStates [][]
 		return nil
 	}
 	// Precompute the frozen parts per step: own hidden state and the
-	// bypass contribution.
+	// bypass contribution. Both are pure forward passes, so they run on
+	// gradient-free eval tapes.
 	own := e.HiddenStates(x)
 	bypass := make([][]float64, len(x))
 	if e.UseBypass {
-		t := ad.NewTape()
+		t := ad.NewEvalTape()
 		for i, row := range x {
 			xt := e.maskedInput(t, row)
 			out := e.Bypass.Apply(t, xt)
@@ -533,6 +555,8 @@ func trainExpertHead(e *Expert, x [][]float64, target []float64, peerStates [][]
 		order[i] = i
 	}
 	tape := ad.NewTape()
+	tgt := make([]float64, len(q))
+	losses := make([]*ad.Value, 0, cfg.ChunkLen)
 	for ep := 0; ep < epochs; ep++ {
 		epochStart := time.Now()
 		epochLoss := 0.0
@@ -544,7 +568,7 @@ func trainExpertHead(e *Expert, x [][]float64, target []float64, peerStates [][]
 				to = len(x)
 			}
 			tape.Reset()
-			var losses []*ad.Value
+			losses = losses[:0]
 			for t := from; t < to; t++ {
 				h := tape.Const(own[t])
 				attn := e.Attn.Apply(tape, peerStates[t])
@@ -552,7 +576,9 @@ func trainExpertHead(e *Expert, x [][]float64, target []float64, peerStates [][]
 				if e.UseBypass {
 					y = tape.Add(y, tape.Const(bypass[t]))
 				}
-				tgt := []float64{target[t], target[t], target[t]}
+				for j := range tgt {
+					tgt[j] = target[t]
+				}
 				losses = append(losses, tape.Pinball(y, tgt, q))
 			}
 			total := tape.SumScalars(losses...)
@@ -644,10 +670,10 @@ func (m *Model) predictScaledInput(x [][]float64) (map[app.Pair]Estimate, error)
 	}
 	out := make(map[app.Pair]Estimate, len(m.Pairs))
 	var mu sync.Mutex
-	err := m.forEachExpert(func(p app.Pair) error {
+	err := m.forEachExpert(func(_ int, p app.Pair) error {
 		var peers [][][]float64
 		if hidden != nil {
-			peers = gatherPeers(m.Pairs, p, hidden)
+			peers = m.gatherPeers(p, hidden)
 		}
 		triples, err := m.Experts[p].Forward(x, peers)
 		if err != nil {

@@ -150,6 +150,7 @@ func Load(r io.Reader) (*Model, error) {
 			Base:  g.Scales[i].Base,
 		}
 	}
+	m.initPeerKeys()
 	return m, nil
 }
 

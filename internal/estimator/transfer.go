@@ -124,8 +124,8 @@ func (m *Model) Update(windows [][]trace.Batch, usage map[app.Pair][]float64, ep
 	cfg := m.Cfg
 	quant := loss.Quantiles(cfg.Delta)
 	q := quant[:]
-	err = m.forEachExpert(func(p app.Pair) error {
-		return trainExpert(m.Experts[p], x, targets[p], nil, cfg, epochs, q, cfg.Seed+7777+int64(indexOf(m.Pairs, p)))
+	err = m.forEachExpert(func(i int, p app.Pair) error {
+		return trainExpert(m.Experts[p], x, targets[p], nil, cfg, epochs, q, cfg.Seed+7777+int64(i))
 	})
 	if err != nil {
 		return unknownPaths, err
@@ -136,9 +136,9 @@ func (m *Model) Update(windows [][]trace.Batch, usage map[app.Pair][]float64, ep
 		if err != nil {
 			return unknownPaths, err
 		}
-		err = m.forEachExpert(func(p app.Pair) error {
-			peers := gatherPeers(m.Pairs, p, hidden)
-			return trainExpertHead(m.Experts[p], x, targets[p], peers, cfg, cfg.AttentionEpochs, q, cfg.Seed+8888+int64(indexOf(m.Pairs, p)))
+		err = m.forEachExpert(func(i int, p app.Pair) error {
+			peers := m.gatherPeers(p, hidden)
+			return trainExpertHead(m.Experts[p], x, targets[p], peers, cfg, cfg.AttentionEpochs, q, cfg.Seed+8888+int64(i))
 		})
 		if err != nil {
 			return unknownPaths, err

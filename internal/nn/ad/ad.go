@@ -9,6 +9,23 @@
 // tape rebuilds until an optimizer consumes and zeroes them, which is what
 // makes truncated backpropagation-through-time (and gradient accumulation)
 // straightforward.
+//
+// # Memory model
+//
+// The tape owns all node memory: Value structs come from a recycled node
+// pool and their Data/Grad vectors from a growable float64 slab arena.
+// Reset rewinds both, so a tape reused across truncated-BPTT chunks and
+// epochs reaches a steady state with zero heap allocations per operation.
+// The flip side is a strict lifetime rule: every *Value obtained from a
+// tape is invalidated by Reset — reading (or holding) one afterwards
+// observes recycled memory. Copy anything that must outlive the pass.
+//
+// Tapes come in two modes. NewTape records for training: every node gets a
+// gradient vector and a backward opcode. NewEvalTape is the gradient-free
+// inference lane: no gradient memory is allocated and no backward
+// bookkeeping is kept, making pure forward evaluation (serving, peer-state
+// precompute, drift checks) substantially cheaper. Backward on an eval
+// tape panics.
 package ad
 
 import (
@@ -61,17 +78,48 @@ func (p *Param) ZeroGrad() {
 	}
 }
 
+// opcode selects a node's backward rule. Opcode dispatch (instead of a
+// closure per node) keeps recording allocation-free and lets Reset recycle
+// nodes wholesale.
+type opcode uint8
+
+const (
+	opLeaf opcode = iota // Const / Use: nothing to do
+	opMatVec
+	opAdd
+	opSub
+	opMul
+	opScaleConst
+	opOneMinus
+	opSigmoid
+	opTanh
+	opReLU
+	opConcat
+	opWeightedSumConst
+	opPinball
+	opSquaredError
+	opSumScalars
+	opGRUStep
+)
+
 // Value is a node in the computation graph: the result of one operation (or
-// a leaf). Shapes: vectors are Rows×1; matrices Rows×Cols.
+// a leaf). Shapes: vectors are Rows×1; matrices Rows×Cols. Values are owned
+// by their tape: Reset invalidates every Value the tape has handed out.
 type Value struct {
 	// Data holds the node's value, row-major.
 	Data []float64
-	// Grad holds ∂loss/∂node after Backward.
+	// Grad holds ∂loss/∂node after Backward; nil on eval-mode tapes.
 	Grad []float64
 	// Rows and Cols give the logical shape.
 	Rows, Cols int
 
-	back func()
+	op   opcode
+	a, b *Value    // operand nodes
+	sc   float64   // ScaleConst factor
+	aux  []float64 // arena-owned payload (loss targets∥quantiles, GRU gates)
+	args []*Value  // SumScalars operands (caller slice; stable until Backward)
+	rows [][]float64
+	gru  *GRUParams
 }
 
 // Len returns the number of scalar elements.
@@ -85,18 +133,51 @@ func (v *Value) Scalar() float64 {
 	return v.Data[0]
 }
 
+// Arena growth quanta: float slabs hold Data/Grad vectors, node slabs hold
+// Value structs. Both grow on demand and are recycled by Reset.
+const (
+	slabFloats = 8192
+	slabNodes  = 512
+)
+
 // Tape records operations for reverse-mode differentiation. A Tape is not
 // safe for concurrent use; build one tape per goroutine.
+//
+// The tape arena-allocates all node memory and Reset recycles it, so any
+// *Value from before a Reset is dead. In particular, a recurrent state
+// carried across Reset calls must be copied out first and re-introduced
+// with Const.
 type Tape struct {
+	grad  bool
 	nodes []*Value
+
+	slabs    [][]float64
+	slab     int // index of the slab currently being carved
+	slabOff  int // next free float in slabs[slab]
+	nodeSlab [][]Value
+	nodeIdx  int
+	nodeOff  int
+
+	scratch []float64 // fused-op backward workspace
 }
 
-// NewTape returns an empty tape.
-func NewTape() *Tape { return &Tape{} }
+// NewTape returns an empty training tape: operations record gradients and
+// backward rules for Backward.
+func NewTape() *Tape { return &Tape{grad: true} }
 
-// Reset discards all recorded operations so the tape can be reused for the
-// next forward pass without reallocating the tape itself.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// NewEvalTape returns an empty gradient-free tape for pure inference: no
+// gradient vectors are allocated and no backward information is kept.
+// Backward panics on it; everything else behaves identically.
+func NewEvalTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded operations and recycles every node and data
+// vector the tape owns, so the next forward pass reuses the same memory.
+// All Values previously returned by this tape are invalidated.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	t.slab, t.slabOff = 0, 0
+	t.nodeIdx, t.nodeOff = 0, 0
+}
 
 // NumNodes returns the number of recorded graph nodes.
 func (t *Tape) NumNodes() int { return len(t.nodes) }
@@ -106,19 +187,67 @@ func (t *Tape) record(v *Value) *Value {
 	return v
 }
 
-func newValue(rows, cols int) *Value {
-	n := rows * cols
-	return &Value{
-		Data: make([]float64, n),
-		Grad: make([]float64, n),
-		Rows: rows, Cols: cols,
+// alloc carves a zeroed n-float vector out of the slab arena, growing it if
+// every recycled slab is exhausted.
+func (t *Tape) alloc(n int) []float64 {
+	if n == 0 {
+		return nil
 	}
+	for {
+		if t.slab < len(t.slabs) {
+			s := t.slabs[t.slab]
+			if t.slabOff+n <= len(s) {
+				out := s[t.slabOff : t.slabOff+n : t.slabOff+n]
+				t.slabOff += n
+				clear(out) // recycled memory: erase the previous pass
+				return out
+			}
+			// Tail of this slab is too small for the request; leave it
+			// and carve from the next one.
+			t.slab++
+			t.slabOff = 0
+			continue
+		}
+		size := slabFloats
+		if n > size {
+			size = n
+		}
+		t.slabs = append(t.slabs, make([]float64, size))
+	}
+}
+
+// newNode hands out a recycled (zeroed) Value struct from the node pool.
+func (t *Tape) newNode() *Value {
+	if t.nodeIdx >= len(t.nodeSlab) {
+		t.nodeSlab = append(t.nodeSlab, make([]Value, slabNodes))
+	}
+	v := &t.nodeSlab[t.nodeIdx][t.nodeOff]
+	t.nodeOff++
+	if t.nodeOff == len(t.nodeSlab[t.nodeIdx]) {
+		t.nodeIdx++
+		t.nodeOff = 0
+	}
+	*v = Value{}
+	return v
+}
+
+func (t *Tape) newValue(rows, cols int) *Value {
+	v := t.newNode()
+	n := rows * cols
+	if t.grad {
+		buf := t.alloc(2 * n)
+		v.Data, v.Grad = buf[:n:n], buf[n:]
+	} else {
+		v.Data = t.alloc(n)
+	}
+	v.Rows, v.Cols = rows, cols
+	return v
 }
 
 // Const introduces an input vector as a leaf. Gradients flowing into it are
 // accumulated but never used; the caller's slice is not aliased.
 func (t *Tape) Const(data []float64) *Value {
-	v := newValue(len(data), 1)
+	v := t.newValue(len(data), 1)
 	copy(v.Data, data)
 	return t.record(v)
 }
@@ -127,7 +256,9 @@ func (t *Tape) Const(data []float64) *Value {
 // parameter's Data and Grad, so Backward accumulates directly into the
 // parameter.
 func (t *Tape) Use(p *Param) *Value {
-	v := &Value{Data: p.Data, Grad: p.Grad, Rows: p.Rows, Cols: p.Cols}
+	v := t.newNode()
+	v.Data, v.Grad = p.Data, p.Grad
+	v.Rows, v.Cols = p.Rows, p.Cols
 	return t.record(v)
 }
 
@@ -136,18 +267,233 @@ func (t *Tape) MatVec(w, x *Value) *Value {
 	if w.Cols != x.Rows || x.Cols != 1 {
 		panic(fmt.Sprintf("ad: MatVec shape mismatch: %dx%d · %dx%d", w.Rows, w.Cols, x.Rows, x.Cols))
 	}
-	out := newValue(w.Rows, 1)
+	out := t.newValue(w.Rows, 1)
 	for i := 0; i < w.Rows; i++ {
-		row := w.Data[i*w.Cols : (i+1)*w.Cols]
-		s := 0.0
-		for j, r := range row {
-			s += r * x.Data[j]
-		}
-		out.Data[i] = s
+		out.Data[i] = dot(w.Data[i*w.Cols:(i+1)*w.Cols], x.Data)
 	}
-	out.back = func() {
+	out.op, out.a, out.b = opMatVec, w, x
+	return t.record(out)
+}
+
+// dot is the row·vector kernel shared by MatVec and the fused GRU step; a
+// single definition keeps their rounding behaviour identical.
+func dot(row, x []float64) float64 {
+	s := 0.0
+	for j, r := range row {
+		s += r * x[j]
+	}
+	return s
+}
+
+// Add computes a + b element-wise; shapes must match.
+func (t *Tape) Add(a, b *Value) *Value {
+	checkSameShape("Add", a, b)
+	out := t.newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	out.op, out.a, out.b = opAdd, a, b
+	return t.record(out)
+}
+
+// Sub computes a - b element-wise; shapes must match.
+func (t *Tape) Sub(a, b *Value) *Value {
+	checkSameShape("Sub", a, b)
+	out := t.newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	out.op, out.a, out.b = opSub, a, b
+	return t.record(out)
+}
+
+// Mul computes the Hadamard product a ⊙ b; shapes must match.
+func (t *Tape) Mul(a, b *Value) *Value {
+	checkSameShape("Mul", a, b)
+	out := t.newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	out.op, out.a, out.b = opMul, a, b
+	return t.record(out)
+}
+
+// ScaleConst computes s·a for a compile-time constant s.
+func (t *Tape) ScaleConst(a *Value, s float64) *Value {
+	out := t.newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = s * a.Data[i]
+	}
+	out.op, out.a, out.sc = opScaleConst, a, s
+	return t.record(out)
+}
+
+// OneMinus computes 1 - a element-wise (the GRU's (1 - z) gate complement).
+func (t *Tape) OneMinus(a *Value) *Value {
+	out := t.newValue(a.Rows, a.Cols)
+	for i := range out.Data {
+		out.Data[i] = 1 - a.Data[i]
+	}
+	out.op, out.a = opOneMinus, a
+	return t.record(out)
+}
+
+// Sigmoid applies the logistic function element-wise.
+func (t *Tape) Sigmoid(a *Value) *Value {
+	out := t.newValue(a.Rows, a.Cols)
+	for i, x := range a.Data {
+		out.Data[i] = stableSigmoid(x)
+	}
+	out.op, out.a = opSigmoid, a
+	return t.record(out)
+}
+
+// Tanh applies the hyperbolic tangent element-wise.
+func (t *Tape) Tanh(a *Value) *Value {
+	out := t.newValue(a.Rows, a.Cols)
+	for i, x := range a.Data {
+		out.Data[i] = math.Tanh(x)
+	}
+	out.op, out.a = opTanh, a
+	return t.record(out)
+}
+
+// ReLU applies max(0, x) element-wise.
+func (t *Tape) ReLU(a *Value) *Value {
+	out := t.newValue(a.Rows, a.Cols)
+	for i, x := range a.Data {
+		if x > 0 {
+			out.Data[i] = x
+		}
+	}
+	out.op, out.a = opReLU, a
+	return t.record(out)
+}
+
+// Concat stacks vectors a and b into one vector (the paper's a_t ∥ h_t).
+func (t *Tape) Concat(a, b *Value) *Value {
+	if a.Cols != 1 || b.Cols != 1 {
+		panic("ad: Concat requires vectors")
+	}
+	out := t.newValue(a.Rows+b.Rows, 1)
+	copy(out.Data, a.Data)
+	copy(out.Data[a.Rows:], b.Data)
+	out.op, out.a, out.b = opConcat, a, b
+	return t.record(out)
+}
+
+// WeightedSumConst computes Σ_k alpha[k] · rows[k] for constant row vectors
+// (the cross-component attention over detached peer hidden states). alpha is
+// a K-vector; all rows must share one length. The rows slices are retained
+// until the next Reset and must not be mutated before Backward.
+func (t *Tape) WeightedSumConst(alpha *Value, rows [][]float64) *Value {
+	if alpha.Cols != 1 || alpha.Rows != len(rows) {
+		panic(fmt.Sprintf("ad: WeightedSumConst wants %d weights, got %d", len(rows), alpha.Rows))
+	}
+	if len(rows) == 0 {
+		panic("ad: WeightedSumConst with no rows")
+	}
+	h := len(rows[0])
+	out := t.newValue(h, 1)
+	for k, row := range rows {
+		a := alpha.Data[k]
+		for i, x := range row {
+			out.Data[i] += a * x
+		}
+	}
+	out.op, out.a, out.rows = opWeightedSumConst, alpha, rows
+	return t.record(out)
+}
+
+// Pinball computes the quantile-regression (pinball) loss of the paper's
+// Equation 5/6: Σ_k Q(Δ_k | q_k) with Δ_k = target_k − pred_k, where
+// Q(Δ|δ) = δΔ for Δ ≥ 0 and (δ−1)Δ otherwise. This is the standard
+// orientation under which minimisation drives pred_k to the q_k-th quantile
+// of the target distribution (with Δ = pred − target the heads would
+// converge to the mirrored (1−q) quantiles). pred and target have length
+// len(q); the result is a scalar. target and q are copied, so callers may
+// reuse their buffers immediately.
+func (t *Tape) Pinball(pred *Value, target []float64, q []float64) *Value {
+	if pred.Len() != len(q) || len(target) != len(q) {
+		panic(fmt.Sprintf("ad: Pinball wants %d predictions and targets, got %d/%d", len(q), pred.Len(), len(target)))
+	}
+	out := t.newValue(1, 1)
+	for k, d := range q {
+		delta := target[k] - pred.Data[k]
+		if delta >= 0 {
+			out.Data[0] += d * delta
+		} else {
+			out.Data[0] += (d - 1) * delta
+		}
+	}
+	if t.grad {
+		aux := t.alloc(2 * len(q))
+		copy(aux, target)
+		copy(aux[len(q):], q)
+		out.op, out.a, out.aux = opPinball, pred, aux
+	}
+	return t.record(out)
+}
+
+// SquaredError computes Σ_k (pred_k − target_k)² as a scalar. target is
+// copied, so callers may reuse the buffer immediately.
+func (t *Tape) SquaredError(pred *Value, target []float64) *Value {
+	if pred.Len() != len(target) {
+		panic(fmt.Sprintf("ad: SquaredError length mismatch %d vs %d", pred.Len(), len(target)))
+	}
+	out := t.newValue(1, 1)
+	for k, y := range target {
+		d := pred.Data[k] - y
+		out.Data[0] += d * d
+	}
+	if t.grad {
+		aux := t.alloc(len(target))
+		copy(aux, target)
+		out.op, out.a, out.aux = opSquaredError, pred, aux
+	}
+	return t.record(out)
+}
+
+// SumScalars adds scalar values into one scalar. The operand slice is
+// retained until the next Reset; callers must not mutate it before
+// Backward.
+func (t *Tape) SumScalars(vs ...*Value) *Value {
+	out := t.newValue(1, 1)
+	for _, v := range vs {
+		if v.Len() != 1 {
+			panic("ad: SumScalars requires scalar operands")
+		}
+		out.Data[0] += v.Data[0]
+	}
+	out.op, out.args = opSumScalars, vs
+	return t.record(out)
+}
+
+// Backward runs reverse-mode accumulation from the scalar root, seeding its
+// gradient with 1. It panics on an eval-mode tape.
+func (t *Tape) Backward(root *Value) {
+	if !t.grad {
+		panic("ad: Backward on a gradient-free eval tape")
+	}
+	if root.Len() != 1 {
+		panic("ad: Backward root must be scalar")
+	}
+	root.Grad[0] += 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		t.backstep(t.nodes[i])
+	}
+}
+
+// backstep applies one node's backward rule. Each case reproduces, float
+// operation for float operation, the gradient arithmetic of the original
+// closure-based engine, so results are bit-identical.
+func (t *Tape) backstep(v *Value) {
+	switch v.op {
+	case opLeaf:
+	case opMatVec:
+		w, x := v.a, v.b
 		for i := 0; i < w.Rows; i++ {
-			g := out.Grad[i]
+			g := v.Grad[i]
 			if g == 0 {
 				continue
 			}
@@ -158,205 +504,75 @@ func (t *Tape) MatVec(w, x *Value) *Value {
 				x.Grad[j] += g * wrow[j]
 			}
 		}
-	}
-	return t.record(out)
-}
-
-// Add computes a + b element-wise; shapes must match.
-func (t *Tape) Add(a, b *Value) *Value {
-	checkSameShape("Add", a, b)
-	out := newValue(a.Rows, a.Cols)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
-	out.back = func() {
-		for i, g := range out.Grad {
+	case opAdd:
+		a, b := v.a, v.b
+		for i, g := range v.Grad {
 			a.Grad[i] += g
 			b.Grad[i] += g
 		}
-	}
-	return t.record(out)
-}
-
-// Sub computes a - b element-wise; shapes must match.
-func (t *Tape) Sub(a, b *Value) *Value {
-	checkSameShape("Sub", a, b)
-	out := newValue(a.Rows, a.Cols)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
-	}
-	out.back = func() {
-		for i, g := range out.Grad {
+	case opSub:
+		a, b := v.a, v.b
+		for i, g := range v.Grad {
 			a.Grad[i] += g
 			b.Grad[i] -= g
 		}
-	}
-	return t.record(out)
-}
-
-// Mul computes the Hadamard product a ⊙ b; shapes must match.
-func (t *Tape) Mul(a, b *Value) *Value {
-	checkSameShape("Mul", a, b)
-	out := newValue(a.Rows, a.Cols)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
-	}
-	out.back = func() {
-		for i, g := range out.Grad {
+	case opMul:
+		a, b := v.a, v.b
+		for i, g := range v.Grad {
 			a.Grad[i] += g * b.Data[i]
 			b.Grad[i] += g * a.Data[i]
 		}
-	}
-	return t.record(out)
-}
-
-// ScaleConst computes s·a for a compile-time constant s.
-func (t *Tape) ScaleConst(a *Value, s float64) *Value {
-	out := newValue(a.Rows, a.Cols)
-	for i := range out.Data {
-		out.Data[i] = s * a.Data[i]
-	}
-	out.back = func() {
-		for i, g := range out.Grad {
+	case opScaleConst:
+		a, s := v.a, v.sc
+		for i, g := range v.Grad {
 			a.Grad[i] += s * g
 		}
-	}
-	return t.record(out)
-}
-
-// OneMinus computes 1 - a element-wise (the GRU's (1 - z) gate complement).
-func (t *Tape) OneMinus(a *Value) *Value {
-	out := newValue(a.Rows, a.Cols)
-	for i := range out.Data {
-		out.Data[i] = 1 - a.Data[i]
-	}
-	out.back = func() {
-		for i, g := range out.Grad {
+	case opOneMinus:
+		a := v.a
+		for i, g := range v.Grad {
 			a.Grad[i] -= g
 		}
-	}
-	return t.record(out)
-}
-
-// Sigmoid applies the logistic function element-wise.
-func (t *Tape) Sigmoid(a *Value) *Value {
-	out := newValue(a.Rows, a.Cols)
-	for i, x := range a.Data {
-		out.Data[i] = stableSigmoid(x)
-	}
-	out.back = func() {
-		for i, g := range out.Grad {
-			s := out.Data[i]
+	case opSigmoid:
+		a := v.a
+		for i, g := range v.Grad {
+			s := v.Data[i]
 			a.Grad[i] += g * s * (1 - s)
 		}
-	}
-	return t.record(out)
-}
-
-// Tanh applies the hyperbolic tangent element-wise.
-func (t *Tape) Tanh(a *Value) *Value {
-	out := newValue(a.Rows, a.Cols)
-	for i, x := range a.Data {
-		out.Data[i] = math.Tanh(x)
-	}
-	out.back = func() {
-		for i, g := range out.Grad {
-			th := out.Data[i]
+	case opTanh:
+		a := v.a
+		for i, g := range v.Grad {
+			th := v.Data[i]
 			a.Grad[i] += g * (1 - th*th)
 		}
-	}
-	return t.record(out)
-}
-
-// ReLU applies max(0, x) element-wise.
-func (t *Tape) ReLU(a *Value) *Value {
-	out := newValue(a.Rows, a.Cols)
-	for i, x := range a.Data {
-		if x > 0 {
-			out.Data[i] = x
-		}
-	}
-	out.back = func() {
-		for i, g := range out.Grad {
+	case opReLU:
+		a := v.a
+		for i, g := range v.Grad {
 			if a.Data[i] > 0 {
 				a.Grad[i] += g
 			}
 		}
-	}
-	return t.record(out)
-}
-
-// Concat stacks vectors a and b into one vector (the paper's a_t ∥ h_t).
-func (t *Tape) Concat(a, b *Value) *Value {
-	if a.Cols != 1 || b.Cols != 1 {
-		panic("ad: Concat requires vectors")
-	}
-	out := newValue(a.Rows+b.Rows, 1)
-	copy(out.Data, a.Data)
-	copy(out.Data[a.Rows:], b.Data)
-	out.back = func() {
+	case opConcat:
+		a, b := v.a, v.b
 		for i := 0; i < a.Rows; i++ {
-			a.Grad[i] += out.Grad[i]
+			a.Grad[i] += v.Grad[i]
 		}
 		for i := 0; i < b.Rows; i++ {
-			b.Grad[i] += out.Grad[a.Rows+i]
+			b.Grad[i] += v.Grad[a.Rows+i]
 		}
-	}
-	return t.record(out)
-}
-
-// WeightedSumConst computes Σ_k alpha[k] · rows[k] for constant row vectors
-// (the cross-component attention over detached peer hidden states). alpha is
-// a K-vector; all rows must share one length.
-func (t *Tape) WeightedSumConst(alpha *Value, rows [][]float64) *Value {
-	if alpha.Cols != 1 || alpha.Rows != len(rows) {
-		panic(fmt.Sprintf("ad: WeightedSumConst wants %d weights, got %d", len(rows), alpha.Rows))
-	}
-	if len(rows) == 0 {
-		panic("ad: WeightedSumConst with no rows")
-	}
-	h := len(rows[0])
-	out := newValue(h, 1)
-	for k, row := range rows {
-		a := alpha.Data[k]
-		for i, x := range row {
-			out.Data[i] += a * x
-		}
-	}
-	out.back = func() {
-		for k, row := range rows {
+	case opWeightedSumConst:
+		alpha := v.a
+		for k, row := range v.rows {
 			s := 0.0
 			for i, x := range row {
-				s += out.Grad[i] * x
+				s += v.Grad[i] * x
 			}
 			alpha.Grad[k] += s
 		}
-	}
-	return t.record(out)
-}
-
-// Pinball computes the quantile-regression (pinball) loss of the paper's
-// Equation 5/6: Σ_k Q(Δ_k | q_k) with Δ_k = target_k − pred_k, where
-// Q(Δ|δ) = δΔ for Δ ≥ 0 and (δ−1)Δ otherwise. This is the standard
-// orientation under which minimisation drives pred_k to the q_k-th quantile
-// of the target distribution (with Δ = pred − target the heads would
-// converge to the mirrored (1−q) quantiles). pred and target have length
-// len(q); the result is a scalar.
-func (t *Tape) Pinball(pred *Value, target []float64, q []float64) *Value {
-	if pred.Len() != len(q) || len(target) != len(q) {
-		panic(fmt.Sprintf("ad: Pinball wants %d predictions and targets, got %d/%d", len(q), pred.Len(), len(target)))
-	}
-	out := newValue(1, 1)
-	for k, d := range q {
-		delta := target[k] - pred.Data[k]
-		if delta >= 0 {
-			out.Data[0] += d * delta
-		} else {
-			out.Data[0] += (d - 1) * delta
-		}
-	}
-	out.back = func() {
-		g := out.Grad[0]
+	case opPinball:
+		pred := v.a
+		n := len(v.aux) / 2
+		target, q := v.aux[:n], v.aux[n:]
+		g := v.Grad[0]
 		for k, d := range q {
 			delta := target[k] - pred.Data[k]
 			if delta >= 0 {
@@ -365,58 +581,21 @@ func (t *Tape) Pinball(pred *Value, target []float64, q []float64) *Value {
 				pred.Grad[k] -= g * (d - 1)
 			}
 		}
-	}
-	return t.record(out)
-}
-
-// SquaredError computes Σ_k (pred_k − target_k)² as a scalar.
-func (t *Tape) SquaredError(pred *Value, target []float64) *Value {
-	if pred.Len() != len(target) {
-		panic(fmt.Sprintf("ad: SquaredError length mismatch %d vs %d", pred.Len(), len(target)))
-	}
-	out := newValue(1, 1)
-	for k, y := range target {
-		d := pred.Data[k] - y
-		out.Data[0] += d * d
-	}
-	out.back = func() {
-		g := out.Grad[0]
-		for k, y := range target {
+	case opSquaredError:
+		pred := v.a
+		g := v.Grad[0]
+		for k, y := range v.aux {
 			pred.Grad[k] += g * 2 * (pred.Data[k] - y)
 		}
-	}
-	return t.record(out)
-}
-
-// SumScalars adds scalar values into one scalar.
-func (t *Tape) SumScalars(vs ...*Value) *Value {
-	out := newValue(1, 1)
-	for _, v := range vs {
-		if v.Len() != 1 {
-			panic("ad: SumScalars requires scalar operands")
+	case opSumScalars:
+		g := v.Grad[0]
+		for _, o := range v.args {
+			o.Grad[0] += g
 		}
-		out.Data[0] += v.Data[0]
-	}
-	out.back = func() {
-		g := out.Grad[0]
-		for _, v := range vs {
-			v.Grad[0] += g
-		}
-	}
-	return t.record(out)
-}
-
-// Backward runs reverse-mode accumulation from the scalar root, seeding its
-// gradient with 1.
-func (t *Tape) Backward(root *Value) {
-	if root.Len() != 1 {
-		panic("ad: Backward root must be scalar")
-	}
-	root.Grad[0] += 1
-	for i := len(t.nodes) - 1; i >= 0; i-- {
-		if t.nodes[i].back != nil {
-			t.nodes[i].back()
-		}
+	case opGRUStep:
+		t.gruBackward(v)
+	default:
+		panic(fmt.Sprintf("ad: unknown opcode %d", v.op))
 	}
 }
 
@@ -433,4 +612,13 @@ func stableSigmoid(x float64) float64 {
 	}
 	z := math.Exp(x)
 	return z / (1 + z)
+}
+
+// scratchBuf returns an n-float workspace owned by the tape. Contents are
+// undefined; callers overwrite or clear what they use.
+func (t *Tape) scratchBuf(n int) []float64 {
+	if cap(t.scratch) < n {
+		t.scratch = make([]float64, n)
+	}
+	return t.scratch[:n]
 }

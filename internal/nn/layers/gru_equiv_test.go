@@ -1,0 +1,98 @@
+package layers
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/nn/ad"
+)
+
+// TestFusedStepMatchesReference drives Step and StepReference through an
+// identical multi-step forward+backward round and compares outputs and
+// parameter gradients. On amd64 (no FMA contraction by the Go compiler)
+// the comparison is exact-bit; elsewhere a tight epsilon guards against
+// architecture-specific expression contraction.
+func TestFusedStepMatchesReference(t *testing.T) {
+	const in, hid, steps = 5, 7, 6
+	rng := rand.New(rand.NewSource(42))
+	g := NewGRUCell("equiv", in, hid, rng)
+	xs := make([][]float64, steps)
+	for i := range xs {
+		row := make([]float64, in)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		xs[i] = row
+	}
+	tgt := make([]float64, hid)
+	for i := range tgt {
+		tgt[i] = rng.NormFloat64()
+	}
+
+	run := func(step func(t *ad.Tape, x, h *ad.Value) *ad.Value) (out []float64, grads []float64) {
+		for _, p := range g.Params() {
+			p.ZeroGrad()
+		}
+		tape := ad.NewTape()
+		h := tape.Const(make([]float64, hid))
+		losses := make([]*ad.Value, 0, steps)
+		for _, x := range xs {
+			h = step(tape, tape.Const(x), h)
+			losses = append(losses, tape.SquaredError(h, tgt))
+		}
+		tape.Backward(tape.ScaleConst(tape.SumScalars(losses...), 1.0/steps))
+		out = append(out, h.Data...)
+		for _, p := range g.Params() {
+			grads = append(grads, p.Grad...)
+		}
+		return out, grads
+	}
+
+	refOut, refGrads := run(g.StepReference)
+	fusedOut, fusedGrads := run(g.Step)
+
+	compare := func(what string, ref, fused []float64) {
+		t.Helper()
+		if len(ref) != len(fused) {
+			t.Fatalf("%s: length %d vs %d", what, len(ref), len(fused))
+		}
+		for i := range ref {
+			if runtime.GOARCH == "amd64" {
+				if math.Float64bits(ref[i]) != math.Float64bits(fused[i]) {
+					t.Errorf("%s[%d]: reference %v (%#x) vs fused %v (%#x)",
+						what, i, ref[i], math.Float64bits(ref[i]), fused[i], math.Float64bits(fused[i]))
+				}
+			} else if diff := math.Abs(ref[i] - fused[i]); diff > 1e-12*(1+math.Abs(ref[i])) {
+				t.Errorf("%s[%d]: reference %v vs fused %v (diff %g)", what, i, ref[i], fused[i], diff)
+			}
+		}
+	}
+	compare("output", refOut, fusedOut)
+	compare("grad", refGrads, fusedGrads)
+}
+
+// TestFusedStepNodeCount pins the node-count reduction of the fused kernel:
+// one GRU step must record a single op beyond its two Const inputs, where
+// the reference chain records dozens.
+func TestFusedStepNodeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGRUCell("count", 3, 4, rng)
+
+	count := func(step func(t *ad.Tape, x, h *ad.Value) *ad.Value) int {
+		tape := ad.NewTape()
+		before := tape.NumNodes()
+		x := tape.Const([]float64{0.1, 0.2, 0.3})
+		h := tape.Const(make([]float64, 4))
+		step(tape, x, h)
+		return tape.NumNodes() - before - 2 // exclude the Const inputs
+	}
+
+	if n := count(g.Step); n != 1 {
+		t.Errorf("fused Step records %d nodes, want 1", n)
+	}
+	if n := count(g.StepReference); n < 5*count(g.Step) {
+		t.Errorf("reference chain records %d nodes; expected at least 5x the fused kernel", n)
+	}
+}

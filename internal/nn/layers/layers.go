@@ -90,11 +90,15 @@ type GRUCell struct {
 	Wz, Uz, Bz *ad.Param
 	Wk, Uk, Bk *ad.Param
 	Wh, Uh, Bh *ad.Param
+
+	// fused bundles the parameters for the single-node ad.GRUStep kernel;
+	// it is built once per cell so Step records no per-call garbage.
+	fused ad.GRUParams
 }
 
 // NewGRUCell returns a Glorot-initialised GRU cell.
 func NewGRUCell(name string, in, hidden int, rng *rand.Rand) *GRUCell {
-	return &GRUCell{
+	g := &GRUCell{
 		In: in, Hidden: hidden,
 		Wz: ad.NewParamInit(name+".Wz", hidden, in, rng),
 		Uz: ad.NewParamInit(name+".Uz", hidden, hidden, rng),
@@ -106,12 +110,14 @@ func NewGRUCell(name string, in, hidden int, rng *rand.Rand) *GRUCell {
 		Uh: ad.NewParamInit(name+".Uh", hidden, hidden, rng),
 		Bh: ad.NewParam(name+".bh", hidden, 1),
 	}
+	g.initFused()
+	return g
 }
 
 // NewGRUCellZero returns a zero-initialised GRU cell, used as a shell when
 // deserialising trained weights.
 func NewGRUCellZero(name string, in, hidden int) *GRUCell {
-	return &GRUCell{
+	g := &GRUCell{
 		In: in, Hidden: hidden,
 		Wz: ad.NewParam(name+".Wz", hidden, in),
 		Uz: ad.NewParam(name+".Uz", hidden, hidden),
@@ -123,6 +129,16 @@ func NewGRUCellZero(name string, in, hidden int) *GRUCell {
 		Uh: ad.NewParam(name+".Uh", hidden, hidden),
 		Bh: ad.NewParam(name+".bh", hidden, 1),
 	}
+	g.initFused()
+	return g
+}
+
+func (g *GRUCell) initFused() {
+	g.fused = ad.GRUParams{
+		Wz: g.Wz, Uz: g.Uz, Bz: g.Bz,
+		Wk: g.Wk, Uk: g.Uk, Bk: g.Bk,
+		Wh: g.Wh, Uh: g.Uh, Bh: g.Bh,
+	}
 }
 
 // Params returns the trainable parameters.
@@ -131,8 +147,17 @@ func (g *GRUCell) Params() []*ad.Param {
 }
 
 // Step advances the cell one time step on the tape: given input x̃_t and the
-// previous hidden state h_{t−1}, it returns h_t.
+// previous hidden state h_{t−1}, it returns h_t. It records a single fused
+// tape op; StepReference is the equivalent primitive-op chain.
 func (g *GRUCell) Step(t *ad.Tape, x, hPrev *ad.Value) *ad.Value {
+	return t.GRUStep(&g.fused, x, hPrev)
+}
+
+// StepReference is the original composition of Step from primitive tape
+// ops. It computes the same mathematics as Step node by node and exists as
+// the readable specification the fused kernel is tested against
+// (bit-identical values and gradients).
+func (g *GRUCell) StepReference(t *ad.Tape, x, hPrev *ad.Value) *ad.Value {
 	z := t.Sigmoid(t.Add(t.Add(t.MatVec(t.Use(g.Wz), x), t.MatVec(t.Use(g.Uz), hPrev)), t.Use(g.Bz)))
 	k := t.Sigmoid(t.Add(t.Add(t.MatVec(t.Use(g.Wk), x), t.MatVec(t.Use(g.Uk), hPrev)), t.Use(g.Bk)))
 	cand := t.Tanh(t.Add(t.Add(t.MatVec(t.Use(g.Wh), x), t.MatVec(t.Use(g.Uh), t.Mul(k, hPrev))), t.Use(g.Bh)))
