@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check cover bench bench-all experiments experiments-quick examples clean
+.PHONY: all build vet test test-race check cover fuzz bench bench-all experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -16,6 +16,16 @@ check: vet test-race cover
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
+
+# Short-budget native fuzzing smoke over the decoders that accept external
+# bytes and the fault-spec parser. `go test -fuzz` takes one target per
+# invocation, so this runs the high-value targets back to back. Raise
+# FUZZTIME for a longer hunt.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults
+	$(GO) test -run='^$$' -fuzz=FuzzIngestSpans -fuzztime=$(FUZZTIME) ./internal/telemetry
+	$(GO) test -run='^$$' -fuzz=FuzzImportJSON -fuzztime=$(FUZZTIME) ./internal/telemetry
 
 build:
 	$(GO) build ./...

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
@@ -79,11 +80,12 @@ func usage() {
 
 // labFlags bundles the options shared by subcommands.
 type labFlags struct {
-	app   string
-	seed  int64
-	quick bool
-	days  int
-	model string
+	app       string
+	seed      int64
+	quick     bool
+	days      int
+	model     string
+	faultSpec string
 }
 
 func addLabFlags(fs *flag.FlagSet) *labFlags {
@@ -93,6 +95,8 @@ func addLabFlags(fs *flag.FlagSet) *labFlags {
 	fs.BoolVar(&lf.quick, "quick", false, "reduced scale for fast runs")
 	fs.IntVar(&lf.days, "days", 0, "learning days (default 7, or 3 with -quick)")
 	fs.StringVar(&lf.model, "model", "deeprest.model", "model file path")
+	fs.StringVar(&lf.faultSpec, "fault-spec", "",
+		"deterministic fault scenario for the simulation, e.g. \"seed=42;crash:comp=DB,from=10,to=15\" (see internal/faults)")
 	return lf
 }
 
@@ -138,6 +142,13 @@ func simulateLearning(lf *labFlags) (*sim.Cluster, *telemetry.Server, *workload.
 	cluster, err := sim.NewCluster(spec, lf.seed+100)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if lf.faultSpec != "" {
+		sched, err := faults.Compile(lf.faultSpec)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("-fault-spec: %w", err)
+		}
+		cluster.SetFaults(sched)
 	}
 	prog := workload.Uniform(days, workload.DaySpec{Shape: workload.TwoPeak{}, Mix: mix, PeakRPS: peak})
 	prog.WindowsPerDay = wpd

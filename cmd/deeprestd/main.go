@@ -6,6 +6,7 @@
 //
 //	deeprestd -addr :8080 [-anonymize] [-salt S] [-hidden N] [-epochs N]
 //	          [-retrain-every D] [-window N] [-checkpoint-dir DIR] [-history N]
+//	          [-max-inflight N] [-request-timeout D] [-fault-spec SPEC]
 //	          [-log-level L] [-log-format text|json] [-pprof] [-debug-addr A]
 //
 // Endpoints (see internal/service):
@@ -22,6 +23,12 @@
 // keep serving the previous one. With -checkpoint-dir every generation is
 // checkpointed to disk and recovered at the next boot, so a restart comes
 // back serving the exact model it went down with.
+//
+// Resilience: -max-inflight bounds admitted requests (excess is shed with
+// 503 + Retry-After), -request-timeout puts a deadline on every request's
+// context, and -fault-spec arms a deterministic control-plane fault schedule
+// (injected retrain failures, checkpoint corruption) for resilience drills —
+// while faults fire, queries keep serving the last good model generation.
 //
 // Observability: the daemon self-instruments through internal/obs and
 // serves the registry at GET /metrics on the main listener. -pprof
@@ -56,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/service"
@@ -71,6 +79,9 @@ func main() {
 	window := flag.Int("window", 0, "sliding window: train on the last N telemetry windows (0 = all)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for model checkpoints (empty = in-memory only)")
 	history := flag.Int("history", 0, "model generations to retain (0 = default)")
+	maxInflight := flag.Int("max-inflight", 0, "admission bound: concurrent API requests before shedding with 503 (0 = unbounded)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline propagated through handler contexts (0 = none)")
+	faultSpec := flag.String("fault-spec", "", "deterministic control-plane fault scenario, e.g. \"seed=1;retrainfail:prob=0.3\" (see internal/faults; for resilience drills)")
 	logLevel := flag.String("log-level", "info", "log severity: debug, info, warn, or error")
 	logFormat := flag.String("log-format", "text", "log rendering: text or json")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ on the main listener")
@@ -111,12 +122,25 @@ func main() {
 	if *history > 0 {
 		pcfg.MaxHistory = *history
 	}
+	if *faultSpec != "" {
+		sched, err := faults.Compile(*faultSpec)
+		if err != nil {
+			fatal("bad -fault-spec", "error", err)
+		}
+		pcfg.Faults = sched
+		if sched.TouchesSim() {
+			logger.Warn("fault spec contains simulator-facing injectors; the daemon only applies control-plane faults (retrainfail, ckptcorrupt)")
+		}
+		logger.Warn("fault injection armed — this daemon will deliberately fail", "spec", *faultSpec)
+	}
 
 	svc, err := service.NewWithConfig(opts, pcfg)
 	if err != nil {
 		fatal("service construction failed", "error", err)
 	}
 	svc.EnablePprof = *pprofOn
+	svc.MaxInflight = *maxInflight
+	svc.RequestTimeout = *requestTimeout
 	pipe := svc.Pipeline()
 	if *checkpointDir != "" {
 		n, err := pipe.Recover()

@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec hammers the fault-spec parser with arbitrary input: it must
+// reject garbage with an error — never panic — and anything it accepts must
+// have a stable canonical form (Parse ∘ String is the identity on accepted
+// specs). The canonical form is what operators see echoed back and what the
+// golden scenario tests pin, so instability would silently change fault
+// schedules between runs.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42")
+	f.Add("seed=42;crash:comp=DB,from=10,to=15")
+	f.Add("throttle:comp=Svc,factor=0.5;latency:comp=Svc,factor=2")
+	f.Add("dropspans:factor=0.2;dupspans:factor=0.1;scrapegap:prob=0.25")
+	f.Add("clockskew:skew=2,from=30;retrainfail:prob=0.5;ckptcorrupt:from=3,to=4")
+	f.Add("seed=-9;scrapegap")
+	f.Add("crash:comp=a=b,from=1")
+	f.Add(";;;")
+	f.Add("seed=42;;crash:comp= spaced name ,from=1")
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := Parse(input)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %q: %v", canon, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("canonical form unstable: %q → %q", canon, got)
+		}
+		// An accepted spec must compile, and the schedule must answer a
+		// sample of queries without panicking, including for extreme
+		// windows.
+		s := NewSchedule(spec)
+		for _, w := range []int{0, 1, maxBound} {
+			s.Crashed("X", w)
+			s.CPUFactor("X", w)
+			s.LatencyFactor("X", w)
+			s.ScrapeGapped("", w)
+			s.DroppedSpans(w, 0, 100)
+			s.DuplicatedSpans(w, 1, 100)
+			s.Skew(w)
+			s.FailTraining(w)
+			s.CorruptCheckpoint(w)
+		}
+		// Determinism: recompiling from the canonical form answers alike.
+		s2 := NewSchedule(again)
+		for w := 0; w < 32; w++ {
+			if s.ScrapeGapped("A", w) != s2.ScrapeGapped("A", w) ||
+				s.DroppedSpans(w, 2, 9) != s2.DroppedSpans(w, 2, 9) {
+				t.Fatalf("recompiled schedule diverged at window %d", w)
+			}
+		}
+		// Canonical forms must survive clause reordering-free reserialization
+		// even with surrounding whitespace in the original input.
+		if strings.TrimSpace(input) == "" && canon != "" {
+			t.Fatalf("empty input produced canonical form %q", canon)
+		}
+	})
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/drift"
 	"repro/internal/estimator"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -42,6 +43,11 @@ import (
 // previous generation is still training. The HTTP layer maps it to
 // 409 Conflict.
 var ErrTrainingInFlight = errors.New("pipeline: a training generation is already in flight")
+
+// ErrFaultInjected is the failure produced by a retrainfail injector in the
+// configured fault schedule. It exists so tests (and operators reading
+// Status.LastError) can tell an injected failure from an organic one.
+var ErrFaultInjected = errors.New("pipeline: training failure injected by fault schedule")
 
 // Source supplies telemetry to train and drift-check over.
 // *telemetry.Server satisfies it.
@@ -73,6 +79,17 @@ type Config struct {
 	MaxHistory int
 	// CheckpointDir enables on-disk checkpoints when non-empty.
 	CheckpointDir string
+	// MaxRetries bounds how many times a failed scheduled/drift retrain is
+	// retried before the loop gives up until the next tick (default 2).
+	// Manual TrainOnce calls are never retried: the caller gets the error.
+	MaxRetries int
+	// RetryBackoff is the initial delay before the first retry; it doubles
+	// after every failed attempt (default 1s).
+	RetryBackoff time.Duration
+	// Faults, when non-nil, injects deterministic control-plane failures:
+	// retrainfail makes training attempts fail, ckptcorrupt rots checkpoint
+	// files after a successful write. Nil disables injection.
+	Faults *faults.Schedule
 	// Drift overrides the drift detector thresholds; nil uses defaults.
 	Drift *drift.Detector
 	// BeforeTrain, when non-nil, runs after a training slot is acquired
@@ -96,6 +113,8 @@ func DefaultConfig() Config {
 		MinDriftWindows: 8,
 		WarmStart:       true,
 		MaxHistory:      4,
+		MaxRetries:      2,
+		RetryBackoff:    time.Second,
 	}
 }
 
@@ -113,20 +132,25 @@ type Pipeline struct {
 	// core.Options.Metrics is nil).
 	genDur        *obs.HistogramVec // generation train+publish duration, by trigger
 	genTotal      *obs.CounterVec   // generations by trigger and result
+	genRetries    *obs.CounterVec   // retrain retry attempts, by trigger
+	degradedGauge *obs.Gauge        // 1 while serving last-good through failures
+	consecFailsG  *obs.Gauge        // consecutive training failures
 	driftChecks   *obs.CounterVec   // drift measurements, by verdict
 	driftScore    *obs.Gauge        // mean MAPE of the last drift check
 	driftCoverage *obs.Gauge        // interval coverage of the last drift check
 	driftUnknown  *obs.Gauge        // unknown-path fraction of the last drift check
 
-	mu        sync.Mutex
-	inFlight  bool
-	pairs     []app.Pair // pair restriction of the last manual learn
-	trainedTo int        // store index the latest generation trained up to
-	lastErr   string
-	lastDrift *drift.Signal
-	running   bool
-	cancel    context.CancelFunc
-	done      chan struct{}
+	mu          sync.Mutex
+	inFlight    bool
+	pairs       []app.Pair // pair restriction of the last manual learn
+	trainedTo   int        // store index the latest generation trained up to
+	lastErr     string
+	lastDrift   *drift.Signal
+	attempts    int // lifetime training attempts, feeds the retrainfail injector
+	consecFails int // training failures since the last successful publish
+	running     bool
+	cancel      context.CancelFunc
+	done        chan struct{}
 }
 
 // New builds a pipeline over a telemetry source. The source getter is
@@ -145,6 +169,12 @@ func New(opts core.Options, cfg Config, source func() Source) (*Pipeline, error)
 	if cfg.MaxHistory <= 0 {
 		cfg.MaxHistory = DefaultConfig().MaxHistory
 	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultConfig().RetryBackoff
+	}
 	det := cfg.Drift
 	if det == nil {
 		det = drift.NewDetector()
@@ -154,6 +184,7 @@ func New(opts core.Options, cfg Config, source func() Source) (*Pipeline, error)
 		return nil, err
 	}
 	reg.instrument(opts.Metrics)
+	reg.injected = cfg.Faults
 	p := &Pipeline{opts: opts, cfg: cfg, det: det, reg: reg, source: source, log: opts.Logger}
 	if m := opts.Metrics; m != nil {
 		p.genDur = m.HistogramVec("deeprest_pipeline_generation_seconds",
@@ -162,6 +193,13 @@ func New(opts core.Options, cfg Config, source func() Source) (*Pipeline, error)
 		p.genTotal = m.CounterVec("deeprest_pipeline_generations_total",
 			"Training generations by trigger (manual, scheduled, drift) and result (ok, error).",
 			"trigger", "result")
+		p.genRetries = m.CounterVec("deeprest_pipeline_retries_total",
+			"Retry attempts after a failed scheduled or drift retrain, by trigger.",
+			"trigger")
+		p.degradedGauge = m.Gauge("deeprest_pipeline_degraded",
+			"1 while the pipeline is degraded (training is failing and queries are served from the last good generation), else 0.")
+		p.consecFailsG = m.Gauge("deeprest_pipeline_consecutive_failures",
+			"Training failures since the last successfully published generation.")
 		p.driftChecks = m.CounterVec("deeprest_drift_checks_total",
 			"Drift measurements of the active model against fresh telemetry, by verdict.",
 			"drifted")
@@ -205,6 +243,13 @@ type Status struct {
 	TrainedTo     int           `json:"trained_to_window"`
 	LastError     string        `json:"last_error,omitempty"`
 	LastDrift     *drift.Signal `json:"last_drift,omitempty"`
+	// ConsecutiveFailures counts training failures since the last
+	// successful publish; Degraded is true while that count is non-zero,
+	// meaning queries are being answered from the last good generation.
+	ConsecutiveFailures int  `json:"consecutive_failures,omitempty"`
+	Degraded            bool `json:"degraded,omitempty"`
+	// Quarantined lists checkpoint files set aside as corrupt at recovery.
+	Quarantined []string `json:"quarantined_checkpoints,omitempty"`
 }
 
 // Status reports the pipeline state.
@@ -212,17 +257,28 @@ func (p *Pipeline) Status() Status {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := Status{
-		Running:     p.running,
-		InFlight:    p.inFlight,
-		Generations: len(p.reg.Generations()),
-		TrainedTo:   p.trainedTo,
-		LastError:   p.lastErr,
-		LastDrift:   p.lastDrift,
+		Running:             p.running,
+		InFlight:            p.inFlight,
+		Generations:         len(p.reg.Generations()),
+		TrainedTo:           p.trainedTo,
+		LastError:           p.lastErr,
+		LastDrift:           p.lastDrift,
+		ConsecutiveFailures: p.consecFails,
+		Degraded:            p.consecFails > 0,
+		Quarantined:         p.reg.Quarantined(),
 	}
 	if g := p.reg.Active(); g != nil {
 		st.ActiveVersion = g.Version
 	}
 	return st
+}
+
+// Degraded reports whether training is currently failing while the service
+// keeps answering from the last good generation.
+func (p *Pipeline) Degraded() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.consecFails > 0
 }
 
 // Running reports whether the background loop is live.
@@ -242,6 +298,14 @@ func (p *Pipeline) Running() bool {
 // generation trains at a time: concurrent calls fail fast with
 // ErrTrainingInFlight instead of queueing behind a long training run.
 func (p *Pipeline) TrainOnce(from, to int, pairs []app.Pair, trigger string) (*Generation, error) {
+	return p.TrainOnceCtx(context.Background(), from, to, pairs, trigger)
+}
+
+// TrainOnceCtx is TrainOnce with cancellation: the context is checked at
+// phase boundaries (before fetching telemetry and before publishing), so a
+// cancelled request abandons the generation without publishing a
+// half-trained model. The serving generation is untouched on any failure.
+func (p *Pipeline) TrainOnceCtx(ctx context.Context, from, to int, pairs []app.Pair, trigger string) (*Generation, error) {
 	src := p.source()
 	if src == nil {
 		return nil, fmt.Errorf("pipeline: no telemetry ingested")
@@ -256,6 +320,8 @@ func (p *Pipeline) TrainOnce(from, to int, pairs []app.Pair, trigger string) (*G
 		return nil, ErrTrainingInFlight
 	}
 	p.inFlight = true
+	p.attempts++
+	attempt := p.attempts
 	if trigger == "manual" {
 		p.pairs = pairs
 	} else if pairs == nil {
@@ -272,19 +338,28 @@ func (p *Pipeline) TrainOnce(from, to int, pairs []app.Pair, trigger string) (*G
 	p.mu.Unlock()
 
 	start := time.Now()
-	gen, err := p.train(src, from, to, pairs, trigger, warm, prevWarm)
+	gen, err := p.train(ctx, src, from, to, pairs, trigger, warm, prevWarm, attempt)
 	elapsed := time.Since(start)
 
 	p.mu.Lock()
 	p.inFlight = false
 	if err != nil {
 		p.lastErr = err.Error()
+		p.consecFails++
 	} else {
 		p.lastErr = ""
 		p.trainedTo = to
 		p.lastDrift = nil // the new generation resets the drift signal
+		p.consecFails = 0
 	}
+	degraded := p.consecFails
 	p.mu.Unlock()
+	p.consecFailsG.Set(float64(degraded))
+	if degraded > 0 {
+		p.degradedGauge.Set(1)
+	} else {
+		p.degradedGauge.Set(0)
+	}
 
 	p.genDur.With(trigger).Observe(elapsed.Seconds())
 	if err != nil {
@@ -307,9 +382,15 @@ func (p *Pipeline) TrainOnce(from, to int, pairs []app.Pair, trigger string) (*G
 }
 
 // train runs one training generation. The in-flight slot is already held.
-func (p *Pipeline) train(src Source, from, to int, pairs []app.Pair, trigger string, warm estimator.WarmStart, warmed bool) (*Generation, error) {
+func (p *Pipeline) train(ctx context.Context, src Source, from, to int, pairs []app.Pair, trigger string, warm estimator.WarmStart, warmed bool, attempt int) (*Generation, error) {
 	if p.cfg.BeforeTrain != nil {
 		p.cfg.BeforeTrain()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: training cancelled: %w", err)
+	}
+	if p.cfg.Faults.FailTraining(attempt) {
+		return nil, fmt.Errorf("%w (attempt %d)", ErrFaultInjected, attempt)
 	}
 	windows, err := src.Traces(from, to)
 	if err != nil {
@@ -333,6 +414,9 @@ func (p *Pipeline) train(src Source, from, to int, pairs []app.Pair, trigger str
 	sys, err := core.LearnFromDataWarm(windows, usage, p.opts, warm)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: training cancelled before publish: %w", err)
 	}
 	g := &Generation{Trigger: trigger, From: from, To: to, Warm: warmed, System: sys}
 	return p.reg.Publish(g)
@@ -361,6 +445,13 @@ func (p *Pipeline) Recover() (int, error) {
 	n, err := p.reg.Recover(func(m *estimator.Model) *core.System {
 		return core.Restore(m, windows, p.opts)
 	})
+	if q := p.reg.Quarantined(); len(q) > 0 {
+		p.warn("corrupt checkpoints quarantined during recovery",
+			"files", q, "recovered", n)
+		p.mu.Lock()
+		p.lastErr = fmt.Sprintf("quarantined corrupt checkpoint(s): %v", q)
+		p.mu.Unlock()
+	}
 	if err != nil || n == 0 {
 		return n, err
 	}
@@ -419,10 +510,10 @@ func (p *Pipeline) loop(ctx context.Context, done chan struct{}) {
 		case <-ctx.Done():
 			return
 		case <-retrain.C:
-			p.scheduledRetrain("scheduled")
+			p.scheduledRetrain(ctx, "scheduled")
 		case <-driftTick.C:
 			if p.checkDrift() {
-				p.scheduledRetrain("drift")
+				p.scheduledRetrain(ctx, "drift")
 			}
 		}
 	}
@@ -445,8 +536,11 @@ func (p *Pipeline) rebaseTrainedTo(n int) int {
 
 // scheduledRetrain retrains over the sliding window when enough fresh
 // telemetry has arrived. Errors (including a manual learn holding the
-// training slot) are recorded in Status, never fatal to the loop.
-func (p *Pipeline) scheduledRetrain(trigger string) {
+// training slot) are recorded in Status, never fatal to the loop. A failed
+// attempt is retried up to MaxRetries times with doubling backoff; while
+// failures persist the pipeline is degraded — queries keep being served
+// from the last good generation.
+func (p *Pipeline) scheduledRetrain(ctx context.Context, trigger string) {
 	src := p.source()
 	if src == nil {
 		return
@@ -460,10 +554,31 @@ func (p *Pipeline) scheduledRetrain(trigger string) {
 	if n == 0 || (p.reg.Active() != nil && n-trainedTo < minNew) {
 		return
 	}
-	if _, err := p.TrainOnce(p.slidingFrom(n), n, nil, trigger); err != nil && !errors.Is(err, ErrTrainingInFlight) {
+	backoff := p.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		_, err := p.TrainOnceCtx(ctx, p.slidingFrom(n), n, nil, trigger)
+		if err == nil || errors.Is(err, ErrTrainingInFlight) {
+			// A manual learn holding the slot is not a training failure;
+			// the next tick will pick the fresh windows up.
+			return
+		}
 		p.mu.Lock()
 		p.lastErr = err.Error()
 		p.mu.Unlock()
+		if attempt >= p.cfg.MaxRetries || ctx.Err() != nil {
+			p.warn("retrain failed; serving last good generation until next tick",
+				"trigger", trigger, "attempts", attempt+1, "error", err)
+			return
+		}
+		p.genRetries.With(trigger).Inc()
+		p.info("retrain failed; backing off before retry",
+			"trigger", trigger, "attempt", attempt+1, "backoff", backoff, "error", err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
 	}
 }
 

@@ -4,15 +4,18 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -56,11 +59,16 @@ type Registry struct {
 	activeGen *obs.Gauge
 	ckptOps   *obs.CounterVec
 
-	mu   sync.Mutex
-	gens []*Generation // ascending by version
-	max  int
-	dir  string
-	next int
+	mu          sync.Mutex
+	gens        []*Generation // ascending by version
+	max         int
+	dir         string
+	next        int
+	quarantined []string // checkpoint files set aside as corrupt at recovery
+
+	// injected is the fault schedule rotting checkpoints after write
+	// (nil in production; see faults.CkptCorrupt).
+	injected *faults.Schedule
 }
 
 // instrument registers the registry's metrics: the serving generation
@@ -197,13 +205,26 @@ func (r *Registry) versionsLocked() []int {
 // checkpointGob is the on-disk layout: generation metadata plus the
 // estimator snapshot as produced by Model.Save. The model bytes are nested
 // rather than streamed so the metadata and model decode independently.
+// Checksum guards the model bytes against silent disk corruption that gob
+// would happily decode into a garbage model; Checksummed distinguishes a
+// real zero checksum from a pre-checksum checkpoint (verification is
+// skipped for those legacy files).
 type checkpointGob struct {
-	Version   int
-	Trigger   string
-	From, To  int
-	Warm      bool
-	TrainedAt time.Time
-	Model     []byte
+	Version     int
+	Trigger     string
+	From, To    int
+	Warm        bool
+	TrainedAt   time.Time
+	Model       []byte
+	Checksum    uint64
+	Checksummed bool
+}
+
+// modelChecksum is the FNV-64a digest of the serialized model bytes.
+func modelChecksum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
 }
 
 func (r *Registry) checkpointPath(version int) string {
@@ -221,6 +242,7 @@ func (r *Registry) writeCheckpoint(g *Generation) error {
 	ck := checkpointGob{
 		Version: g.Version, Trigger: g.Trigger, From: g.From, To: g.To,
 		Warm: g.Warm, TrainedAt: g.TrainedAt, Model: model.Bytes(),
+		Checksum: modelChecksum(model.Bytes()), Checksummed: true,
 	}
 	tmp, err := os.CreateTemp(r.dir, "ckpt-*")
 	if err != nil {
@@ -234,7 +256,30 @@ func (r *Registry) writeCheckpoint(g *Generation) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("pipeline: checkpoint generation %d: %w", g.Version, err)
 	}
-	return os.Rename(tmp.Name(), r.checkpointPath(g.Version))
+	if err := os.Rename(tmp.Name(), r.checkpointPath(g.Version)); err != nil {
+		return err
+	}
+	if r.injected.CorruptCheckpoint(g.Version) {
+		// Latent fault: rot the file on disk after a successful write, the
+		// way real bit rot presents — the publish succeeds, the damage only
+		// surfaces at the next recovery.
+		r.rotCheckpoint(g.Version)
+	}
+	return nil
+}
+
+// rotCheckpoint flips bytes in the middle of a checkpoint file, simulating
+// silent on-disk corruption for fault-injection tests.
+func (r *Registry) rotCheckpoint(version int) {
+	p := r.checkpointPath(version)
+	b, err := os.ReadFile(p)
+	if err != nil || len(b) == 0 {
+		return
+	}
+	for i := len(b) / 2; i < len(b) && i < len(b)/2+16; i++ {
+		b[i] ^= 0xff
+	}
+	_ = os.WriteFile(p, b, 0o644)
 }
 
 // readCheckpoint loads one checkpoint file and rebuilds its generation via
@@ -251,6 +296,9 @@ func readCheckpoint(path string, rebuild func(*estimator.Model) *core.System) (*
 	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
 		return nil, fmt.Errorf("pipeline: corrupt checkpoint %s: %w", filepath.Base(path), err)
 	}
+	if ck.Checksummed && modelChecksum(ck.Model) != ck.Checksum {
+		return nil, fmt.Errorf("pipeline: corrupt checkpoint %s: model checksum mismatch", filepath.Base(path))
+	}
 	model, err := estimator.Load(bytes.NewReader(ck.Model))
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: corrupt checkpoint %s: %w", filepath.Base(path), err)
@@ -264,8 +312,14 @@ func readCheckpoint(path string, rebuild func(*estimator.Model) *core.System) (*
 // Recover loads every checkpoint in the registry directory (a simulated or
 // real process restart), retaining up to the history bound and activating
 // the newest generation. It returns the number of generations recovered.
-// Any unreadable checkpoint fails the whole recovery with an error naming
-// the file.
+//
+// Corrupt checkpoints (truncated gob, model checksum mismatch, undecodable
+// model) are quarantined — renamed to <name>.corrupt so the next recovery
+// does not trip over them again — and recovery falls back to the remaining
+// valid generations. Corruption is still loud: the quarantined files are
+// listed via Quarantined, and if *no* valid checkpoint survives, Recover
+// fails with an error naming the corrupt files rather than silently
+// starting empty.
 func (r *Registry) Recover(rebuild func(*estimator.Model) *core.System) (int, error) {
 	if r.dir == "" {
 		return 0, nil
@@ -276,16 +330,30 @@ func (r *Registry) Recover(rebuild func(*estimator.Model) *core.System) (int, er
 	}
 	sort.Strings(paths)
 	var gens []*Generation
+	var corrupt []string
 	for _, p := range paths {
 		g, err := readCheckpoint(p, rebuild)
 		if err != nil {
-			r.ckptOps.With("recover", "error").Inc()
-			return 0, err
+			r.ckptOps.With("recover", "corrupt").Inc()
+			// Quarantine: .corrupt files escape the gen-*.ckpt glob, so
+			// the damage is preserved for inspection without blocking
+			// future recoveries.
+			if renameErr := os.Rename(p, p+".corrupt"); renameErr == nil {
+				corrupt = append(corrupt, filepath.Base(p))
+			}
+			continue
 		}
 		r.ckptOps.With("recover", "ok").Inc()
 		gens = append(gens, g)
 	}
+	r.mu.Lock()
+	r.quarantined = append(r.quarantined, corrupt...)
+	r.mu.Unlock()
 	if len(gens) == 0 {
+		if len(corrupt) > 0 {
+			return 0, fmt.Errorf("pipeline: corrupt checkpoint(s) %s and no valid generation to fall back to",
+				strings.Join(corrupt, ", "))
+		}
 		return 0, nil
 	}
 	sort.Slice(gens, func(i, j int) bool { return gens[i].Version < gens[j].Version })
@@ -306,4 +374,14 @@ func (r *Registry) Recover(rebuild func(*estimator.Model) *core.System) (int, er
 		r.next = newest.Version + 1
 	}
 	return len(gens), nil
+}
+
+// Quarantined returns the base names of checkpoint files set aside as
+// corrupt during recovery, in the order they were found.
+func (r *Registry) Quarantined() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.quarantined))
+	copy(out, r.quarantined)
+	return out
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -173,7 +174,7 @@ func TestScheduledRetrainAfterRebasedStore(t *testing.T) {
 
 	// Re-ingested history alone is not "fresh": no retrain, but the mark
 	// rebases to the store size instead of stalling at the old count.
-	p2.scheduledRetrain("scheduled")
+	p2.scheduledRetrain(context.Background(), "scheduled")
 	if got := len(p2.Registry().Generations()); got != 1 {
 		t.Fatalf("retrained on re-ingested history: %d generations", got)
 	}
@@ -183,7 +184,7 @@ func TestScheduledRetrainAfterRebasedStore(t *testing.T) {
 
 	// One genuinely fresh window re-arms the loop.
 	record(20)
-	p2.scheduledRetrain("scheduled")
+	p2.scheduledRetrain(context.Background(), "scheduled")
 	if got := len(p2.Registry().Generations()); got != 2 {
 		t.Fatalf("fresh window did not trigger a retrain: %d generations", got)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
@@ -48,7 +49,7 @@ func endpointLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
 	case "/v1/telemetry", "/v1/learn", "/v1/status", "/v1/estimate",
-		"/v1/sanity", "/v1/influence", "/v1/model",
+		"/v1/predict", "/v1/sanity", "/v1/influence", "/v1/model",
 		"/v1/pipeline/start", "/v1/pipeline/stop", "/v1/pipeline/status",
 		"/v1/models", "/metrics":
 		return p
@@ -75,6 +76,54 @@ func newRequestPrefix() string {
 // nextRequestID mints a unique id: random process prefix + atomic sequence.
 func (s *Server) nextRequestID() string {
 	return s.reqPrefix + "-" + strconv.FormatUint(s.reqSeq.Add(1), 16)
+}
+
+// operatorPath reports whether a path serves operator tooling that must stay
+// reachable even when the service sheds API load.
+func operatorPath(p string) bool {
+	return p == "/metrics" || strings.HasPrefix(p, "/debug/pprof")
+}
+
+// withAdmission is the bounded-admission middleware: at most MaxInflight
+// requests are in the handler stack at once, and requests beyond the bound
+// are shed immediately with 503 + Retry-After. Shedding beats unbounded
+// queueing: a saturated estimator answering late is indistinguishable from
+// an outage to its callers, while a fast 503 lets them back off and retry.
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	if s.MaxInflight <= 0 {
+		return next
+	}
+	admit := make(chan struct{}, s.MaxInflight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if operatorPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case admit <- struct{}{}:
+			defer func() { <-admit }()
+			next.ServeHTTP(w, r)
+		default:
+			s.httpShed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable,
+				"at capacity (%d requests in flight); retry later", s.MaxInflight)
+		}
+	})
+}
+
+// withDeadline attaches the configured per-request deadline to the request
+// context. Handlers observe it wherever they block or cross a phase
+// boundary (training checks it before fetch and before publish).
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // withObservability is the outermost HTTP middleware: it assigns (or

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/pipeline"
+)
+
+// TestPredictRaceUnderGenerationSwaps is the race wall: many goroutines
+// hammer /v1/predict and the active Model.Predict directly while the
+// pipeline publishes fresh generations — some succeeding, some failing from
+// an injected fault schedule — and rollbacks flip the active pointer. Run
+// under -race (make check does), this proves the RCU read side: queries
+// never block on training, never observe a half-swapped model, and keep
+// succeeding through injected retrain failures.
+func TestPredictRaceUnderGenerationSwaps(t *testing.T) {
+	pcfg := pipeline.DefaultConfig()
+	// Roughly every other training attempt fails, deterministically.
+	pcfg.Faults = faults.NewSchedule(faults.MustParse("seed=17;retrainfail:prob=0.5,from=2"))
+	s := newFaultService(t, pcfg)
+	h := s.Handler()
+
+	if rec := do(t, h, "POST", "/v1/telemetry", telemetryBody(t, 1, 30, 64)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "POST", "/v1/learn", bytes.NewBufferString(`{"pairs":["Service/cpu"]}`)); rec.Code != http.StatusOK {
+		t.Fatalf("learn = %d: %s", rec.Code, rec.Body)
+	}
+	store := s.telemetrySource()
+	windows, err := store.Traces(0, store.NumWindows())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers  = 8
+		queries  = 40
+		retrains = 12
+	)
+	var served atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: retrains (half of which fail by injection) and rollbacks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < retrains; i++ {
+			_, err := s.Pipeline().TrainOnce(0, 0, nil, "manual")
+			if err != nil && !isInjected(err) {
+				t.Errorf("retrain %d: %v", i, err)
+				return
+			}
+			if gens := s.Pipeline().Registry().Generations(); len(gens) > 1 && i%3 == 2 {
+				if _, err := s.Pipeline().Registry().Activate(gens[0].Version); err != nil {
+					t.Errorf("rollback: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers: HTTP predictions and direct model reads, concurrently with
+	// the swaps above.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					if i >= queries {
+						return
+					}
+				default:
+				}
+				if g%2 == 0 {
+					rec := do(t, h, "POST", "/v1/predict", bytes.NewBufferString(predictBody))
+					if rec.Code != http.StatusOK {
+						t.Errorf("predict = %d: %s", rec.Code, rec.Body)
+						return
+					}
+					var resp estimateResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+						t.Error(err)
+						return
+					}
+					if resp.Version < 1 {
+						t.Errorf("predict served version %d", resp.Version)
+						return
+					}
+				} else {
+					gen := s.Pipeline().Active()
+					if gen == nil {
+						t.Error("active generation vanished")
+						return
+					}
+					if _, err := gen.Model().Predict(windows); err != nil {
+						t.Errorf("Predict: %v", err)
+						return
+					}
+				}
+				served.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if served.Load() < readers*queries {
+		t.Fatalf("served %d queries, want at least %d", served.Load(), readers*queries)
+	}
+	// The injected schedule must have actually exercised the failure path.
+	failed := false
+	for a := 2; a < 2+retrains; a++ {
+		if pcfg.Faults.FailTraining(a) {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("fault schedule never injected a failure; tighten the spec")
+	}
+}
+
+func isInjected(err error) bool {
+	return errors.Is(err, pipeline.ErrFaultInjected)
+}

@@ -7,6 +7,7 @@
 //	POST /v1/learn            train and publish one model generation
 //	GET  /v1/status           learning state, window counts, expert inventory
 //	POST /v1/estimate         Mode 1: resources for hypothetical API traffic
+//	POST /v1/predict          alias for /v1/estimate
 //	POST /v1/sanity           Mode 2: sanity-check a served period
 //	GET  /v1/influence        learned API→resource dependencies for one pair
 //	GET  /v1/model            download the serialized active model
@@ -40,12 +41,21 @@
 // training run is in flight fails fast with 409 Conflict instead of queueing
 // behind (or racing with) the running generation.
 //
+// Overload and failure behavior: with MaxInflight set, requests beyond the
+// bound are shed with 503 + Retry-After rather than queueing without bound;
+// with RequestTimeout set, each request carries a context deadline that
+// long-running handlers observe. When retraining fails (including injected
+// failures from a fault schedule), queries keep being served from the last
+// good generation and /v1/status reports degraded=true — graceful
+// degradation rather than an outage.
+//
 // Privacy note: when the server is created with anonymisation enabled, all
 // component, operation, and API names are hashed before entering the model,
 // matching the paper's DeepRest-as-a-service threat model.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -80,6 +90,20 @@ type Server struct {
 	// Set it before the first Handler call.
 	EnablePprof bool
 
+	// MaxInflight bounds concurrently admitted API requests. Once the bound
+	// is reached further requests are shed immediately with 503 and a
+	// Retry-After header instead of queueing without bound. 0 disables
+	// admission control. Operator endpoints (/metrics, /debug/pprof) are
+	// exempt so the service stays observable under overload. Set before the
+	// first Handler call.
+	MaxInflight int
+
+	// RequestTimeout bounds each request's wall-clock handling time via its
+	// context; long-running handlers (training) observe the deadline at
+	// phase boundaries and abandon work cleanly. 0 disables per-request
+	// deadlines. Set before the first Handler call.
+	RequestTimeout time.Duration
+
 	mu    sync.RWMutex
 	store *telemetry.Server
 
@@ -91,6 +115,7 @@ type Server struct {
 	httpReqs     *obs.CounterVec
 	httpDur      *obs.HistogramVec
 	httpInFlight *obs.Gauge
+	httpShed     *obs.Counter
 	reqPrefix    string
 	reqSeq       atomic.Uint64
 }
@@ -122,6 +147,8 @@ func NewWithConfig(opts core.Options, pcfg pipeline.Config) (*Server, error) {
 			obs.DefBuckets, "endpoint")
 		s.httpInFlight = m.Gauge("deeprest_http_in_flight_requests",
 			"Requests currently being served.")
+		s.httpShed = m.Counter("deeprest_http_shed_total",
+			"Requests rejected with 503 because the admission bound (MaxInflight) was reached.")
 	}
 	p, err := pipeline.New(opts, pcfg, s.telemetrySource)
 	if err != nil {
@@ -152,6 +179,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/learn", s.handleLearn)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/predict", s.handleEstimate) // alias
 	mux.HandleFunc("POST /v1/sanity", s.handleSanity)
 	mux.HandleFunc("GET /v1/influence", s.handleInfluence)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
@@ -170,7 +198,10 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s.withObservability(mux)
+	var h http.Handler = mux
+	h = s.withDeadline(h)
+	h = s.withAdmission(h)
+	return s.withObservability(h)
 }
 
 // httpError is the uniform error body.
@@ -263,10 +294,15 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		}
 		pairs = append(pairs, p)
 	}
-	gen, err := s.pipe.TrainOnce(req.From, to, pairs, "manual")
+	gen, err := s.pipe.TrainOnceCtx(r.Context(), req.From, to, pairs, "manual")
 	switch {
 	case errors.Is(err, pipeline.ErrTrainingInFlight):
 		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The request deadline fired (or the client went away) before the
+		// generation could publish; the previous generation keeps serving.
+		writeErr(w, http.StatusGatewayTimeout, "learn: %v", err)
 		return
 	case err != nil:
 		writeErr(w, http.StatusUnprocessableEntity, "learn: %v", err)
@@ -289,6 +325,9 @@ type statusResponse struct {
 	Version int `json:"version,omitempty"`
 	// Generations counts the retained registry entries.
 	Generations int `json:"generations,omitempty"`
+	// Degraded is true while retraining is failing and queries are being
+	// answered from the last good generation.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
@@ -307,6 +346,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		sort.Strings(resp.Experts)
 	}
 	resp.Generations = len(s.pipe.Registry().Generations())
+	resp.Degraded = s.pipe.Degraded()
 	writeJSON(w, resp)
 }
 

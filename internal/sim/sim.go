@@ -20,6 +20,15 @@
 //
 // Attack injectors add resource consumption that the API traffic cannot
 // justify, reproducing the ransomware and cryptojacking scenarios of §5.4.
+//
+// Fault injection (internal/faults) perturbs the cluster the other way:
+// instead of unexplained extra consumption, it produces the partial
+// failures a real deployment suffers — component crashes that fail requests
+// and cold-start caches, CPU throttles and latency spikes that amplify
+// queuing, trace collectors that drop or duplicate spans, metric scrapes
+// that go missing, and clock skew that desynchronises traces from metrics.
+// All fault decisions derive from the schedule's own seed, so the same
+// cluster seed + fault spec emits bit-identical telemetry.
 package sim
 
 import (
@@ -29,6 +38,7 @@ import (
 	"sort"
 
 	"repro/internal/app"
+	"repro/internal/faults"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -62,6 +72,12 @@ type Cluster struct {
 	diskMiB   map[string]float64
 	attacks   []Attack
 	window    int
+
+	// faults is the armed fault schedule (nil = healthy cluster); pending
+	// buffers trace batches the clock-skew injector has delayed, keyed by
+	// their delivery window.
+	faults  *faults.Schedule
+	pending map[int][]trace.Batch
 }
 
 // Option configures a Cluster.
@@ -77,6 +93,17 @@ func WithQueueFactor(q float64) Option {
 func WithMeasurementNoise(cv float64) Option {
 	return func(c *Cluster) { c.noiseCV = cv }
 }
+
+// WithFaults arms a fault-injection schedule at deployment time. A nil
+// schedule leaves the cluster healthy.
+func WithFaults(s *faults.Schedule) Option {
+	return func(c *Cluster) { c.faults = s }
+}
+
+// SetFaults arms (or, with nil, disarms) a fault schedule mid-run. Fault
+// decisions are indexed by the cluster's global window counter, so a
+// schedule armed late still fires at its spec'd windows.
+func (c *Cluster) SetFaults(s *faults.Schedule) { c.faults = s }
 
 // NewCluster deploys spec with the given random seed.
 func NewCluster(spec *app.Spec, seed int64, opts ...Option) (*Cluster, error) {
@@ -205,6 +232,11 @@ func (c *Cluster) Step(requests map[string]int, windowSeconds float64) (WindowRe
 			if cnt == 0 {
 				continue
 			}
+			if c.crashedOnPath(infos[ti].costs) {
+				// Requests routed through a crashed component fail: no
+				// trace is recorded and no resource demand accrues.
+				continue
+			}
 			res.Batches = append(res.Batches, trace.Batch{
 				Trace: trace.Trace{API: api, Root: infos[ti].spans},
 				Count: cnt,
@@ -228,10 +260,24 @@ func (c *Cluster) Step(requests map[string]int, windowSeconds float64) (WindowRe
 	for _, comp := range c.spec.Components {
 		d := demand[comp.Name]
 
-		// CPU: raw demand in millicores plus queuing inflation.
+		if c.faults.Crashed(comp.Name, c.window) {
+			// Container down: scrapes read zero and the cache restarts
+			// cold, so the post-restart windows show the warm-up
+			// transient a real redeploy would.
+			c.cacheMiB[comp.Name] = 0
+			c.zeroUsage(comp, res.Usage)
+			continue
+		}
+
+		// CPU: raw demand in millicores plus queuing inflation. A CPU
+		// throttle shrinks the effective capacity; a latency spike
+		// amplifies the queuing coefficient — both inflate consumption
+		// superlinearly, exactly like an overloaded real component.
 		reqCPU := d.CPUms / (windowSeconds * 1000)
 		if comp.CPUCapacity > 0 {
-			reqCPU *= 1 + c.queue*(reqCPU/comp.CPUCapacity)
+			capacity := comp.CPUCapacity * c.faults.CPUFactor(comp.Name, c.window)
+			queue := c.queue * c.faults.LatencyFactor(comp.Name, c.window)
+			reqCPU *= 1 + queue*(reqCPU/capacity)
 		}
 		cpu := comp.BaseCPU + reqCPU
 
@@ -266,13 +312,82 @@ func (c *Cluster) Step(requests map[string]int, windowSeconds float64) (WindowRe
 			res.Usage[app.Pair{Component: comp.Name, Resource: app.WriteTput}] = c.noisy(tput)
 			res.Usage[app.Pair{Component: comp.Name, Resource: app.DiskUsage}] = c.noisy(c.diskMiB[comp.Name])
 		}
+
+		if c.faults.ScrapeGapped(comp.Name, c.window) {
+			// The scrape failed: the telemetry store sees a zero sample,
+			// while the component's internal state (cache, disk) moves on.
+			c.zeroUsage(comp, res.Usage)
+		}
 	}
 
 	for _, a := range c.attacks {
 		a.Apply(c.window, windowSeconds, res.Usage)
 	}
+	c.applyCollectorFaults(&res)
 	c.window++
 	return res, nil
+}
+
+// crashedOnPath reports whether any component a request template touches is
+// currently crashed (such requests fail end to end).
+func (c *Cluster) crashedOnPath(costs map[string]app.Cost) bool {
+	if c.faults == nil {
+		return false
+	}
+	for comp := range costs {
+		if c.faults.Crashed(comp, c.window) {
+			return true
+		}
+	}
+	return false
+}
+
+// zeroUsage writes zero samples for every resource of comp — what the
+// metrics backend records when a container is down or a scrape is lost.
+func (c *Cluster) zeroUsage(comp app.Component, u Usage) {
+	u[app.Pair{Component: comp.Name, Resource: app.CPU}] = 0
+	u[app.Pair{Component: comp.Name, Resource: app.Memory}] = 0
+	if comp.Stateful {
+		u[app.Pair{Component: comp.Name, Resource: app.WriteIOps}] = 0
+		u[app.Pair{Component: comp.Name, Resource: app.WriteTput}] = 0
+		u[app.Pair{Component: comp.Name, Resource: app.DiskUsage}] = 0
+	}
+}
+
+// applyCollectorFaults perturbs the window's emitted traces the way a lossy
+// tracing backend would: dropped and duplicated spans change batch counts
+// without touching the resources the requests actually consumed, and clock
+// skew delays whole batches to a later delivery window.
+func (c *Cluster) applyCollectorFaults(res *WindowResult) {
+	if c.faults == nil {
+		return
+	}
+	w := c.window
+	kept := res.Batches[:0]
+	for bi, b := range res.Batches {
+		n := b.Count
+		n -= c.faults.DroppedSpans(w, bi, b.Count)
+		n += c.faults.DuplicatedSpans(w, bi, b.Count)
+		if n <= 0 {
+			continue
+		}
+		b.Count = n
+		kept = append(kept, b)
+	}
+	res.Batches = kept
+	if k := c.faults.Skew(w); k > 0 {
+		if c.pending == nil {
+			c.pending = make(map[int][]trace.Batch)
+		}
+		c.pending[w+k] = append(c.pending[w+k], res.Batches...)
+		res.Batches = nil
+	}
+	if delayed, ok := c.pending[w]; ok {
+		// Late batches surface ahead of the window's own: the collector
+		// flushes its backlog in arrival order.
+		res.Batches = append(delayed, res.Batches...)
+		delete(c.pending, w)
+	}
 }
 
 // noisy applies multiplicative scrape noise.
