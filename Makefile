@@ -40,11 +40,16 @@ test-race:
 	$(GO) test -race ./...
 
 # Hot-path benchmarks for the estimator (training epoch, expert forward,
-# end-to-end predict), recorded as BENCH_estimator.json for regression
-# tracking across PRs.
+# end-to-end predict), recorded as BENCH_estimator.json, plus the ingestion
+# path (bounded Record, cached vs uncached feature reads, zero-alloc
+# extraction, warm vs cold /v1/estimate), recorded as BENCH_ingest.json —
+# both for regression tracking across PRs.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/estimator | \
 		$(GO) run ./cmd/benchjson -out BENCH_estimator.json
+	$(GO) test -run='^$$' -bench='Record|Features|Extract|Estimate' -benchmem \
+		./internal/telemetry ./internal/features ./internal/service | \
+		$(GO) run ./cmd/benchjson -out BENCH_ingest.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,8 +5,8 @@
 // checks over JSON.
 //
 //	deeprestd -addr :8080 [-anonymize] [-salt S] [-hidden N] [-epochs N]
-//	          [-retrain-every D] [-window N] [-checkpoint-dir DIR] [-history N]
-//	          [-max-inflight N] [-request-timeout D] [-fault-spec SPEC]
+//	          [-retrain-every D] [-window N] [-retention N] [-checkpoint-dir DIR]
+//	          [-history N] [-max-inflight N] [-request-timeout D] [-fault-spec SPEC]
 //	          [-log-level L] [-log-format text|json] [-pprof] [-debug-addr A]
 //
 // Endpoints (see internal/service):
@@ -77,6 +77,7 @@ func main() {
 	epochs := flag.Int("epochs", 0, "training epochs override (0 = default)")
 	retrainEvery := flag.Duration("retrain-every", 0, "background retrain cadence (0 = loop not started)")
 	window := flag.Int("window", 0, "sliding window: train on the last N telemetry windows (0 = all)")
+	retention := flag.Int("retention", 0, "telemetry retention horizon in windows: the store is a ring buffer evicting the oldest window past this bound (0 = 2x -window when -window is set, else unbounded; negative = unbounded)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for model checkpoints (empty = in-memory only)")
 	history := flag.Int("history", 0, "model generations to retain (0 = default)")
 	maxInflight := flag.Int("max-inflight", 0, "admission bound: concurrent API requests before shedding with 503 (0 = unbounded)")
@@ -141,6 +142,22 @@ func main() {
 	svc.EnablePprof = *pprofOn
 	svc.MaxInflight = *maxInflight
 	svc.RequestTimeout = *requestTimeout
+	// The default horizon keeps the training window plus the same again as
+	// query slack, so scheduled retrains and recent-range sanity checks
+	// always find their telemetry resident.
+	switch {
+	case *retention > 0:
+		svc.Retention = *retention
+	case *retention == 0 && *window > 0:
+		svc.Retention = 2 * *window
+	}
+	if svc.Retention > 0 && *window > svc.Retention {
+		logger.Warn("-window exceeds -retention; training degrades to the resident windows",
+			"window", *window, "retention", svc.Retention)
+	}
+	if svc.Retention > 0 {
+		logger.Info("telemetry retention armed", "windows", svc.Retention)
+	}
 	pipe := svc.Pipeline()
 	if *checkpointDir != "" {
 		n, err := pipe.Recover()

@@ -21,6 +21,7 @@ import (
 	"repro/internal/anomaly"
 	"repro/internal/app"
 	"repro/internal/estimator"
+	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
@@ -175,13 +176,17 @@ func trainProgress(reg *obs.Registry) func(estimator.ProgressEvent) {
 func anonymizeWindows(h *trace.Hasher, windows [][]trace.Batch) [][]trace.Batch {
 	out := make([][]trace.Batch, len(windows))
 	for w, batches := range windows {
-		ab := make([]trace.Batch, len(batches))
-		for i, b := range batches {
-			ab[i] = trace.Batch{Trace: h.AnonymizeTrace(b.Trace), Count: b.Count}
-		}
-		out[w] = ab
+		out[w] = anonymizeBatches(h, batches)
 	}
 	return out
+}
+
+func anonymizeBatches(h *trace.Hasher, batches []trace.Batch) []trace.Batch {
+	ab := make([]trace.Batch, len(batches))
+	for i, b := range batches {
+		ab[i] = trace.Batch{Trace: h.AnonymizeTrace(b.Trace), Count: b.Count}
+	}
+	return ab
 }
 
 // Model exposes the trained estimator, e.g. for interpretation reports and
@@ -239,6 +244,41 @@ func (s *System) ExpectedUtilization(windows [][]trace.Batch) (map[app.Pair]esti
 		windows = anonymizeWindows(s.hasher, windows)
 	}
 	return s.model.Predict(windows)
+}
+
+// Extractor returns the function that maps one raw telemetry window to this
+// system's feature space, applying anonymisation when the system was
+// learned with it. It is what the telemetry store caches per-window feature
+// vectors with (telemetry.Server.SetExtractor), so extraction happens once
+// at ingest instead of on every query; vectors it produces feed the
+// *Vectors query variants bit-identically to the trace-walking paths.
+func (s *System) Extractor() func([]trace.Batch) features.Vector {
+	sp := s.model.Space
+	h := s.hasher
+	return func(batches []trace.Batch) features.Vector {
+		if h != nil {
+			batches = anonymizeBatches(h, batches)
+		}
+		return sp.Extract(batches)
+	}
+}
+
+// ExpectedUtilizationVectors is ExpectedUtilization over pre-extracted
+// feature vectors (see Extractor); no further anonymisation is applied.
+func (s *System) ExpectedUtilizationVectors(series []features.Vector) (map[app.Pair]estimator.Estimate, error) {
+	return s.model.PredictVectors(series)
+}
+
+// SanityCheckVectors is SanityCheck over pre-extracted feature vectors.
+func (s *System) SanityCheckVectors(series []features.Vector, actual map[app.Pair][]float64, det *anomaly.Detector) ([]anomaly.Event, error) {
+	expected, err := s.ExpectedUtilizationVectors(series)
+	if err != nil {
+		return nil, err
+	}
+	if det == nil {
+		det = anomaly.NewDetector()
+	}
+	return det.Detect(actual, expected)
 }
 
 // SanityCheck is query Mode 2 end-to-end: it estimates the expected

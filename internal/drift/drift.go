@@ -23,6 +23,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/estimator"
 	"repro/internal/eval"
+	"repro/internal/features"
 	"repro/internal/trace"
 )
 
@@ -77,14 +78,25 @@ func NewDetector() *Detector {
 // measurement. The returned Signal has Drifted/Reason filled in per the
 // detector thresholds.
 func (d *Detector) Measure(m *estimator.Model, windows [][]trace.Batch, actual map[app.Pair][]float64) (Signal, error) {
-	sig := Signal{Windows: len(windows), PairMAPE: make(map[app.Pair]float64)}
-	if len(windows) == 0 {
+	return d.MeasureVectors(m, m.Space.ExtractSeries(windows), actual)
+}
+
+// MeasureVectors is Measure over pre-extracted feature vectors — the
+// telemetry store caches them per window (extracted once at Record time), so
+// the continuous-learning pipeline's periodic drift checks stop re-walking
+// the same trace trees. The vectors must come from m.Space; extraction and
+// prediction each happen exactly once here, where Measure previously
+// extracted the series twice (once for the unknown tally, once inside
+// Predict).
+func (d *Detector) MeasureVectors(m *estimator.Model, series []features.Vector, actual map[app.Pair][]float64) (Signal, error) {
+	sig := Signal{Windows: len(series), PairMAPE: make(map[app.Pair]float64)}
+	if len(series) == 0 {
 		return sig, fmt.Errorf("drift: no windows to measure")
 	}
 
 	// Topology drift: unknown-path fraction from the feature extractor.
 	var known, unknown float64
-	for _, v := range m.Space.ExtractSeries(windows) {
+	for _, v := range series {
 		unknown += v.Unknown
 		for _, c := range v.Counts {
 			known += c
@@ -95,24 +107,24 @@ func (d *Detector) Measure(m *estimator.Model, windows [][]trace.Batch, actual m
 	}
 
 	// Concept drift: estimation error and interval coverage.
-	est, err := m.Predict(windows)
+	est, err := m.PredictVectors(series)
 	if err != nil {
 		return sig, fmt.Errorf("drift: predict: %w", err)
 	}
 	var covered, observations int
 	for _, p := range m.Pairs {
-		series, ok := actual[p]
-		if !ok || len(series) != len(windows) || p.Resource == app.DiskUsage {
+		measured, ok := actual[p]
+		if !ok || len(measured) != len(series) || p.Resource == app.DiskUsage {
 			continue
 		}
 		e := est[p]
-		for i, v := range series {
+		for i, v := range measured {
 			observations++
 			if v >= e.Low[i] && v <= e.Up[i] {
 				covered++
 			}
 		}
-		mape := eval.MAPE(e.Exp, series)
+		mape := eval.MAPE(e.Exp, measured)
 		sig.PairMAPE[p] = mape
 		sig.MeanMAPE += mape
 		if mape > sig.WorstMAPE {

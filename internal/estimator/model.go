@@ -407,10 +407,13 @@ func (m *Model) allHiddenStates(x [][]float64) (map[string][][]float64, error) {
 // gatherPeers assembles, per time step, the peer hidden states of expert p
 // in the order of its attention peer list (precomputed in peerKeys).
 func (m *Model) gatherPeers(p app.Pair, hidden map[string][][]float64) [][][]float64 {
-	peerKeys := m.peerKeys[p]
-	if m.peerKeys == nil {
-		// Hand-assembled model (tests): derive locally without touching
-		// the cache — gatherPeers runs concurrently across experts.
+	peerKeys, cached := m.peerKeys[p]
+	if !cached {
+		// Hand-assembled model (tests) or a pair absent from the cache:
+		// derive locally without touching the cache — gatherPeers runs
+		// concurrently across experts. Falling back on a missing entry (not
+		// just a nil map) keeps a stale or partial cache from silently
+		// zeroing the attention peers.
 		for _, q := range m.Pairs {
 			if q != p {
 				peerKeys = append(peerKeys, q.String())
@@ -654,7 +657,15 @@ func sigmoid(x float64) float64 {
 // (real or synthetic) trace batches. The returned estimates are in raw
 // resource units; monotone counters resume from their TargetScale base.
 func (m *Model) Predict(windows [][]trace.Batch) (map[app.Pair]Estimate, error) {
-	raw := features.Matrix(m.Space.ExtractSeries(windows))
+	return m.PredictVectors(m.Space.ExtractSeries(windows))
+}
+
+// PredictVectors is Predict for callers that already hold the windows'
+// feature vectors — e.g. the telemetry store's per-window extraction cache —
+// so the trace trees are not re-walked on every query. The vectors must have
+// been extracted against m.Space.
+func (m *Model) PredictVectors(series []features.Vector) (map[app.Pair]Estimate, error) {
+	raw := features.Matrix(series)
 	x := m.FeatScaler.Apply(raw)
 	return m.predictScaledInput(x)
 }

@@ -330,3 +330,59 @@ func TestLRSchedules(t *testing.T) {
 		t.Error("unknown schedule must fail")
 	}
 }
+
+// TestGatherPeersMissingCacheEntry pins the fallback in gatherPeers: a
+// non-nil peerKeys cache that lacks an entry for the queried pair (stale or
+// partial cache, hand-assembled model) must still derive the peer list from
+// Pairs instead of silently dropping the attention context.
+func TestGatherPeersMissingCacheEntry(t *testing.T) {
+	a := app.Pair{Component: "a", Resource: app.CPU}
+	b := app.Pair{Component: "b", Resource: app.CPU}
+	c := app.Pair{Component: "c", Resource: app.CPU}
+	m := &Model{Pairs: []app.Pair{a, b, c}}
+	hidden := map[string][][]float64{
+		a.String(): {{1}, {10}},
+		b.String(): {{2}, {20}},
+		c.String(): {{3}, {30}},
+	}
+	want := [][][]float64{{{2}, {3}}, {{20}, {30}}}
+
+	check := func(label string, got [][][]float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d steps, want %d", label, len(got), len(want))
+		}
+		for ts := range want {
+			if len(got[ts]) != len(want[ts]) {
+				t.Fatalf("%s: step %d has %d peers, want %d", label, ts, len(got[ts]), len(want[ts]))
+			}
+			for k := range want[ts] {
+				if got[ts][k][0] != want[ts][k][0] {
+					t.Fatalf("%s: step %d peer %d = %v, want %v", label, ts, k, got[ts][k], want[ts][k])
+				}
+			}
+		}
+	}
+
+	// Nil cache: the historical fallback path.
+	check("nil cache", m.gatherPeers(a, hidden))
+
+	// Non-nil cache missing the entry for a: the regression — this used to
+	// yield no peers at all because only the nil-map case fell back.
+	m.peerKeys = map[app.Pair][]string{b: {a.String(), c.String()}}
+	check("partial cache", m.gatherPeers(a, hidden))
+	if got := m.gatherPeers(a, hidden); got == nil {
+		t.Fatal("partial cache: gatherPeers returned nil (fallback only honoured a nil map)")
+	}
+
+	// A cached entry, when present, is used verbatim (b attends to a then c).
+	gotB := m.gatherPeers(b, hidden)
+	wantB := [][][]float64{{{1}, {3}}, {{10}, {30}}}
+	for ts := range wantB {
+		for k := range wantB[ts] {
+			if gotB[ts][k][0] != wantB[ts][k][0] {
+				t.Fatalf("cached entry: step %d peer %d = %v, want %v", ts, k, gotB[ts][k], wantB[ts][k])
+			}
+		}
+	}
+}

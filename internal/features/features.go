@@ -98,22 +98,49 @@ func (s *Space) Paths() []string {
 // root-to-node path is incremented by the batch multiplicity. Paths never
 // seen during application learning are counted in the Unknown tally instead
 // of silently dropped, so callers can detect topology drift.
+//
+// This is the ingestion hot path: the path key is built incrementally in a
+// byte buffer shared across the whole window, and the index lookup converts
+// it without allocating, so extraction costs two allocations per window
+// (the count vector and the buffer) instead of one string per span.
 func (s *Space) Extract(window []trace.Batch) Vector {
 	v := Vector{Counts: make([]float64, s.Dim())}
+	// Start at a capacity that covers typical path keys; deeper paths regrow
+	// once and the larger buffer is kept for the rest of the window.
+	buf := make([]byte, 0, 128)
 	for _, b := range window {
 		if b.Trace.Root == nil {
 			continue
 		}
-		n := float64(b.Count)
-		b.Trace.Root.Walk(func(_ *trace.Span, path []string) {
-			if i, ok := s.index[trace.PathKey(path)]; ok {
-				v.Counts[i] += n
-			} else {
-				v.Unknown += n
-			}
-		})
+		buf = s.countSpans(b.Trace.Root, buf[:0], float64(b.Count), &v)
 	}
 	return v
+}
+
+// pathSep is the separator trace.PathKey joins span IDs with.
+const pathSep = "→"
+
+// countSpans walks the span tree depth-first, extending the path key of the
+// current node in prefix. It returns the (possibly regrown) buffer so the
+// caller keeps the larger backing array for subsequent trees; siblings
+// truncate back to their parent's length before appending their own ID.
+func (s *Space) countSpans(sp *trace.Span, prefix []byte, n float64, v *Vector) []byte {
+	if len(prefix) > 0 {
+		prefix = append(prefix, pathSep...)
+	}
+	prefix = append(prefix, sp.Component...)
+	prefix = append(prefix, ':')
+	prefix = append(prefix, sp.Operation...)
+	if i, ok := s.index[string(prefix)]; ok { // no-alloc map lookup
+		v.Counts[i] += n
+	} else {
+		v.Unknown += n
+	}
+	base := len(prefix)
+	for _, c := range sp.Children {
+		prefix = s.countSpans(c, prefix[:base], n, v)
+	}
+	return prefix
 }
 
 // ExtractSeries transforms a sequence of windows into the time-series of

@@ -35,6 +35,7 @@ import (
 	"repro/internal/drift"
 	"repro/internal/estimator"
 	"repro/internal/faults"
+	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -55,6 +56,34 @@ type Source interface {
 	NumWindows() int
 	Traces(from, to int) ([][]trace.Batch, error)
 	Metrics(from, to int) (map[app.Pair][]float64, error)
+}
+
+// BoundedSource is an optional Source extension for retention-bounded
+// stores: OldestWindow is the first window index still resident. The
+// pipeline clamps training and drift ranges to it so a sliding window wider
+// than the retention horizon degrades to "all resident telemetry" instead
+// of erroring forever.
+type BoundedSource interface {
+	OldestWindow() int
+}
+
+// FeatureSource is an optional Source extension for stores that cache
+// per-window feature vectors (telemetry.Server). After every publish the
+// pipeline installs the new generation's extractor so ingestion extracts
+// each window exactly once, and drift checks read the cached vectors
+// instead of re-walking trace trees.
+type FeatureSource interface {
+	SetExtractor(gen int, fn func([]trace.Batch) features.Vector)
+	Features(gen int, fn func([]trace.Batch) features.Vector, from, to int) ([]features.Vector, error)
+}
+
+// oldestWindow returns the source's retention floor (0 for unbounded
+// stores).
+func oldestWindow(src Source) int {
+	if b, ok := src.(BoundedSource); ok {
+		return b.OldestWindow()
+	}
+	return 0
 }
 
 // Config tunes the continuous-learning loop. Start from DefaultConfig.
@@ -313,6 +342,12 @@ func (p *Pipeline) TrainOnceCtx(ctx context.Context, from, to int, pairs []app.P
 	if to <= 0 {
 		to = src.NumWindows()
 	}
+	// Clamp to the retention horizon: on a bounded store, "from the
+	// beginning" (and any sliding window wider than the horizon) means
+	// "from the oldest resident window".
+	if o := oldestWindow(src); from < o {
+		from = o
+	}
 
 	p.mu.Lock()
 	if p.inFlight {
@@ -419,7 +454,17 @@ func (p *Pipeline) train(ctx context.Context, src Source, from, to int, pairs []
 		return nil, fmt.Errorf("pipeline: training cancelled before publish: %w", err)
 	}
 	g := &Generation{Trigger: trigger, From: from, To: to, Warm: warmed, System: sys}
-	return p.reg.Publish(g)
+	pub, err := p.reg.Publish(g)
+	if err != nil {
+		return nil, err
+	}
+	// Swap the ingestion-time feature extractor to the new generation's
+	// space: windows recorded from here on are extracted once, at Record
+	// time, and cached vectors of the old space lazily invalidate on read.
+	if fs, ok := src.(FeatureSource); ok {
+		fs.SetExtractor(pub.Version, pub.System.Extractor())
+	}
+	return pub, nil
 }
 
 // slidingFrom maps "train up to n" to the configured sliding-window start.
@@ -436,15 +481,21 @@ func (p *Pipeline) slidingFrom(n int) int {
 // holds; sanity-check serving works immediately, traffic queries once
 // telemetry for the relevant APIs is ingested again.
 func (p *Pipeline) Recover() (int, error) {
+	src := p.source()
 	var windows [][]trace.Batch
-	if src := p.source(); src != nil {
-		if w, err := src.Traces(0, src.NumWindows()); err == nil {
+	if src != nil {
+		if w, err := src.Traces(oldestWindow(src), src.NumWindows()); err == nil {
 			windows = w
 		}
 	}
 	n, err := p.reg.Recover(func(m *estimator.Model) *core.System {
 		return core.Restore(m, windows, p.opts)
 	})
+	if g := p.reg.Active(); g != nil {
+		if fs, ok := src.(FeatureSource); ok {
+			fs.SetExtractor(g.Version, g.System.Extractor())
+		}
+	}
 	if q := p.reg.Quarantined(); len(q) > 0 {
 		p.warn("corrupt checkpoints quarantined during recovery",
 			"files", q, "recovered", n)
@@ -593,18 +644,32 @@ func (p *Pipeline) checkDrift() bool {
 	}
 	n := src.NumWindows()
 	from := p.rebaseTrainedTo(n)
-	if n-from < p.cfg.MinDriftWindows {
-		return false
+	if o := oldestWindow(src); from < o {
+		from = o
 	}
-	windows, err := src.Traces(from, n)
-	if err != nil {
+	if n-from < p.cfg.MinDriftWindows {
 		return false
 	}
 	usage, err := src.Metrics(from, n)
 	if err != nil {
 		return false
 	}
-	sig, err := p.det.Measure(g.Model(), windows, usage)
+	var sig drift.Signal
+	if fs, ok := src.(FeatureSource); ok {
+		// Retention-aware store: score the cached per-window vectors
+		// instead of re-walking every trace tree on every drift tick.
+		series, ferr := fs.Features(g.Version, g.System.Extractor(), from, n)
+		if ferr != nil {
+			return false
+		}
+		sig, err = p.det.MeasureVectors(g.Model(), series, usage)
+	} else {
+		var windows [][]trace.Batch
+		if windows, err = src.Traces(from, n); err != nil {
+			return false
+		}
+		sig, err = p.det.Measure(g.Model(), windows, usage)
+	}
 	if err != nil {
 		p.mu.Lock()
 		p.lastErr = err.Error()

@@ -275,3 +275,41 @@ func TestTrainOnceWithoutTelemetry(t *testing.T) {
 		t.Fatalf("pipeline unusable after failed generation: %v", err)
 	}
 }
+
+// The telemetry store must satisfy the pipeline's optional source
+// extensions — a signature drift here fails the type assertions silently
+// (no extractor installed, drift checks on the slow path), so pin it at
+// compile time.
+var (
+	_ Source        = (*telemetry.Server)(nil)
+	_ BoundedSource = (*telemetry.Server)(nil)
+	_ FeatureSource = (*telemetry.Server)(nil)
+)
+
+// TestTrainInstallsExtractor: publishing a generation through the pipeline
+// must arm Record-time extraction on a real telemetry store, tagged with
+// the published version.
+func TestTrainInstallsExtractor(t *testing.T) {
+	store := toyStore(t, 1, 86)
+	p, err := New(quickOpts(), DefaultConfig(), sourceOf(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.ExtractorGen(); got != 0 {
+		t.Fatalf("extractor generation before training = %d, want 0", got)
+	}
+	g1, err := p.TrainOnce(0, 0, []app.Pair{cpuPair}, "manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.ExtractorGen(); got != g1.Version {
+		t.Fatalf("extractor generation after publish = %d, want %d", got, g1.Version)
+	}
+	g2, err := p.TrainOnce(0, 0, nil, "manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.ExtractorGen(); got != g2.Version {
+		t.Fatalf("extractor generation after second publish = %d, want %d", got, g2.Version)
+	}
+}

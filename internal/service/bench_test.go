@@ -1,12 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
+	"repro/internal/testutil"
 )
 
 // nopRW discards the response; the benchmark measures the middleware, not
@@ -64,3 +67,62 @@ func BenchmarkHandlerBaseline(b *testing.B) {
 
 func BenchmarkMiddlewareUninstrumented(b *testing.B) { benchMiddleware(b, false) }
 func BenchmarkMiddlewareInstrumented(b *testing.B)   { benchMiddleware(b, true) }
+
+// benchLearnedService trains one quick generation so estimate benchmarks
+// run against a live model.
+func benchLearnedService(b *testing.B) http.Handler {
+	b.Helper()
+	s, err := NewWithConfig(quickServiceOpts(), pipeline.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	_, _, run := testutil.ToyTelemetry(b, 1, 30, 91)
+	store := telemetry.NewServer(run.WindowSeconds)
+	store.RecordRun(run)
+	var buf bytes.Buffer
+	if err := store.ExportJSON(&buf); err != nil {
+		b.Fatal(err)
+	}
+	post := func(path string, body *bytes.Buffer) {
+		req := httptest.NewRequest("POST", path, body)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("%s = %d: %s", path, rec.Code, rec.Body)
+		}
+	}
+	post("/v1/telemetry", &buf)
+	post("/v1/learn", bytes.NewBufferString(`{}`))
+	return h
+}
+
+// BenchmarkEstimateWarm repeats one identical /v1/estimate: after the first
+// iteration every request is a prediction-cache hit, skipping trace
+// synthesis, feature extraction, and inference entirely.
+func BenchmarkEstimateWarm(b *testing.B) {
+	h := benchLearnedService(b)
+	body := []byte(`{"windows":[{"/read":10},{"/read":25},{"/read":40}]}`)
+	w := nopRW{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/estimate", bytes.NewReader(body))
+		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkEstimateCold sends a distinct request every iteration, so each
+// one pays the full synthesize→extract→predict path — the pre-cache cost
+// of every estimate.
+func BenchmarkEstimateCold(b *testing.B) {
+	h := benchLearnedService(b)
+	w := nopRW{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := []byte(`{"windows":[{"/read":` + itoa(10+i%1000000) + `},{"/read":25}]}`)
+		req := httptest.NewRequest("POST", "/v1/estimate", bytes.NewReader(body))
+		h.ServeHTTP(w, req)
+	}
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"hash/fnv"
+	"strconv"
+	"sync"
+)
+
+// predCache memoises marshaled /v1/estimate responses keyed by
+// (model generation, canonical request). Estimates are deterministic given
+// a generation — trace synthesis is seeded and inference is pure — so
+// repeated identical queries (dashboards refreshing a capacity plan,
+// autoscalers polling the same traffic hypothesis) can short-circuit the
+// whole synthesize→extract→predict path. Keys embed the generation version,
+// so a publish or rollback naturally invalidates: stale entries stop being
+// referenced and age out of the FIFO.
+type predCache struct {
+	mu  sync.Mutex
+	cap int
+	// entries maps the request hash to the stored request (collision
+	// guard) and the marshaled response body.
+	entries map[uint64]predEntry
+	order   []uint64 // insertion order for FIFO eviction
+}
+
+type predEntry struct {
+	req  string
+	body []byte
+}
+
+func newPredCache(capacity int) *predCache {
+	return &predCache{cap: capacity, entries: make(map[uint64]predEntry, capacity)}
+}
+
+// key hashes the generation version and the canonical (re-marshaled)
+// request body.
+func (c *predCache) key(version int, req []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(strconv.Itoa(version)))
+	h.Write([]byte{0})
+	h.Write(req)
+	return h.Sum64()
+}
+
+// get returns the cached response body for the key, verifying the stored
+// request bytes so a hash collision can never serve the wrong estimate.
+func (c *predCache) get(key uint64, req []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.req != string(req) {
+		return nil, false
+	}
+	return e.body, true
+}
+
+// put stores a response body, evicting the oldest entry once capacity is
+// reached.
+func (c *predCache) put(key uint64, req, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = predEntry{req: string(req), body: body}
+		return
+	}
+	for len(c.entries) >= c.cap && len(c.order) > 0 {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[key] = predEntry{req: string(req), body: body}
+	c.order = append(c.order, key)
+}
+
+// len reports the number of cached responses.
+func (c *predCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -104,10 +104,24 @@ type Server struct {
 	// deadlines. Set before the first Handler call.
 	RequestTimeout time.Duration
 
+	// Retention bounds the telemetry store to the most recent N windows
+	// (ring-buffer eviction; see telemetry.Server.SetRetention). 0 keeps
+	// every window forever. Set before the first ingest.
+	Retention int
+
+	// EstimateCache sizes the /v1/estimate response cache (entries).
+	// 0 uses the default (512); negative disables caching. Set before the
+	// first Handler call.
+	EstimateCache int
+
 	mu    sync.RWMutex
 	store *telemetry.Server
 
 	pipe *pipeline.Pipeline
+
+	estCache       *predCache
+	estCacheHits   *obs.Counter
+	estCacheMisses *obs.Counter
 
 	// Observability (all nil-safe no-ops when opts.Metrics / opts.Logger
 	// are nil; see withObservability).
@@ -149,6 +163,10 @@ func NewWithConfig(opts core.Options, pcfg pipeline.Config) (*Server, error) {
 			"Requests currently being served.")
 		s.httpShed = m.Counter("deeprest_http_shed_total",
 			"Requests rejected with 503 because the admission bound (MaxInflight) was reached.")
+		s.estCacheHits = m.Counter("deeprest_estimate_cache_hits_total",
+			"Estimate requests answered from the prediction cache.")
+		s.estCacheMisses = m.Counter("deeprest_estimate_cache_misses_total",
+			"Estimate requests that had to run the full synthesize-extract-predict path.")
 	}
 	p, err := pipeline.New(opts, pcfg, s.telemetrySource)
 	if err != nil {
@@ -174,6 +192,13 @@ func (s *Server) telemetrySource() pipeline.Source {
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
+	if s.estCache == nil && s.EstimateCache >= 0 {
+		size := s.EstimateCache
+		if size == 0 {
+			size = 512
+		}
+		s.estCache = newPredCache(size)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
 	mux.HandleFunc("POST /v1/learn", s.handleLearn)
@@ -232,9 +257,17 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	if s.store == nil {
 		s.store = in
+		if s.Retention > 0 {
+			s.store.SetRetention(s.Retention)
+		}
 		// Back-counts the imported windows, so ingestion metrics cover the
 		// stream that created the store too.
 		s.store.Instrument(s.opts.Metrics)
+		// A recovered generation may predate the store: arm its extractor
+		// so Record-time feature extraction starts with the first window.
+		if gen := s.pipe.Active(); gen != nil {
+			s.store.SetExtractor(gen.Version, gen.System.Extractor())
+		}
 	} else {
 		if s.store.WindowSeconds() != in.WindowSeconds() {
 			writeErr(w, http.StatusConflict, "window duration %vs does not match existing store (%vs)",
@@ -318,9 +351,14 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 
 // statusResponse reports the service state.
 type statusResponse struct {
-	Windows int      `json:"windows"`
-	Learned bool     `json:"learned"`
-	Experts []string `json:"experts,omitempty"`
+	Windows int  `json:"windows"`
+	Learned bool `json:"learned"`
+	// ResidentWindows and OldestWindow describe the retention ring: how
+	// many windows are held in memory and the first absolute index still
+	// queryable. They match Windows/0 on an unbounded store.
+	ResidentWindows int      `json:"resident_windows"`
+	OldestWindow    int      `json:"oldest_window"`
+	Experts         []string `json:"experts,omitempty"`
 	// Version is the active model generation (0 before the first learn).
 	Version int `json:"version,omitempty"`
 	// Generations counts the retained registry entries.
@@ -335,6 +373,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	resp := statusResponse{}
 	if s.store != nil {
 		resp.Windows = s.store.NumWindows()
+		resp.ResidentWindows = s.store.ResidentWindows()
+		resp.OldestWindow = s.store.OldestWindow()
 	}
 	s.mu.RUnlock()
 	if gen := s.pipe.Active(); gen != nil {
@@ -390,6 +430,27 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
 		return
 	}
+
+	// Prediction cache: estimates are deterministic per generation, so an
+	// identical request against the same model version can be answered
+	// from the marshaled response of the first one. The canonical
+	// re-marshal of the decoded request normalises field order and
+	// whitespace.
+	var key uint64
+	var canon []byte
+	if s.estCache != nil {
+		canon, _ = json.Marshal(req)
+		key = s.estCache.key(gen.Version, canon)
+		if body, ok := s.estCache.get(key, canon); ok {
+			s.estCacheHits.Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-DeepRest-Cache", "hit")
+			_, _ = w.Write(body)
+			return
+		}
+		s.estCacheMisses.Inc()
+	}
+
 	s.mu.RLock()
 	var ws float64
 	if s.store != nil {
@@ -406,7 +467,18 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "estimate: %v", err)
 		return
 	}
-	writeJSON(w, toEstimateResponse(gen.Version, est))
+	resp := toEstimateResponse(gen.Version, est)
+	if s.estCache != nil {
+		body, err := json.Marshal(resp)
+		if err == nil {
+			body = append(body, '\n')
+			s.estCache.put(key, canon, body)
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func toEstimateResponse(version int, est map[app.Pair]estimator.Estimate) estimateResponse {
@@ -458,19 +530,22 @@ func (s *Server) handleSanity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sys := gen.System
-	windows, err := store.Traces(req.From, req.To)
+	// Serve from the per-window feature cache: each window was extracted
+	// once at Record time (or on the first read after a generation swap),
+	// so the sanity check never re-walks the stored trace trees.
+	series, err := store.Features(gen.Version, sys.Extractor(), req.From, req.To)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	actual := make(map[app.Pair][]float64)
 	for _, p := range sys.Pairs() {
-		series, err := store.Metric(p, req.From, req.To)
+		ms, err := store.Metric(p, req.From, req.To)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		actual[p] = series
+		actual[p] = ms
 	}
 	det := anomaly.NewDetector()
 	if req.Threshold > 0 {
@@ -479,7 +554,7 @@ func (s *Server) handleSanity(w http.ResponseWriter, r *http.Request) {
 	if req.MinLen > 0 {
 		det.MinLen = req.MinLen
 	}
-	events, err := sys.SanityCheck(windows, actual, det)
+	events, err := sys.SanityCheckVectors(series, actual, det)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "sanity: %v", err)
 		return
@@ -525,7 +600,7 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusPreconditionFailed, "not learned yet")
 		return
 	}
-	windows, err := store.Traces(0, store.NumWindows())
+	windows, err := store.Traces(store.OldestWindow(), store.NumWindows())
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -610,6 +685,14 @@ func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
+	}
+	// Rollback (or roll-forward) changes the serving feature space; point
+	// Record-time extraction at it so the cache follows the active model.
+	s.mu.RLock()
+	store := s.store
+	s.mu.RUnlock()
+	if store != nil {
+		store.SetExtractor(gen.Version, gen.System.Extractor())
 	}
 	writeJSON(w, map[string]int{"active": gen.Version})
 }

@@ -68,23 +68,25 @@ type jsonWindow struct {
 	Usage  map[string]float64 `json:"usage"`
 }
 
-// ExportJSON writes the server's full contents as a telemetry stream.
+// ExportJSON writes the server's resident contents as a telemetry stream.
+// On a retention-bounded store only the windows inside the horizon are
+// exported; the importer re-bases them at window 0.
 func (s *Server) ExportJSON(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(codecHeader{Format: codecFormat, Version: codecVersion, WindowSeconds: s.WindowSeconds()}); err != nil {
 		return fmt.Errorf("telemetry: encode header: %w", err)
 	}
-	n := s.NumWindows()
-	traces, err := s.Traces(0, n)
+	oldest, n := s.OldestWindow(), s.NumWindows()
+	traces, err := s.Traces(oldest, n)
 	if err != nil {
 		return err
 	}
-	metrics, err := s.Metrics(0, n)
+	metrics, err := s.Metrics(oldest, n)
 	if err != nil {
 		return err
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n-oldest; i++ {
 		jw := jsonWindow{Usage: make(map[string]float64, len(metrics))}
 		for _, b := range traces[i] {
 			if b.Trace.Root == nil {

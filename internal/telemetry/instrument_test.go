@@ -83,3 +83,26 @@ func TestUninstrumentedServerIsNoOp(t *testing.T) {
 		t.Fatalf("NumWindows = %d", s.NumWindows())
 	}
 }
+
+func TestInstrumentIsIdempotent(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer(60)
+	s.Record(window(3))
+	s.Instrument(reg)
+	// A second attach must not back-count the resident windows again.
+	s.Instrument(reg)
+	if got := counterValue(t, reg, "deeprest_telemetry_windows_total"); got != 1 {
+		t.Fatalf("windows after double attach = %d, want 1 (Instrument double-counted)", got)
+	}
+	if got := counterValue(t, reg, "deeprest_telemetry_spans_total"); got != 6 {
+		t.Fatalf("spans after double attach = %d, want 6 (Instrument double-counted)", got)
+	}
+	if got := counterValue(t, reg, "deeprest_telemetry_requests_total"); got != 3 {
+		t.Fatalf("requests after double attach = %d, want 3 (Instrument double-counted)", got)
+	}
+	// Live recording still counts exactly once per window.
+	s.Record(window(5))
+	if got := counterValue(t, reg, "deeprest_telemetry_windows_total"); got != 2 {
+		t.Fatalf("windows after record = %d, want 2", got)
+	}
+}

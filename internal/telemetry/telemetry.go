@@ -5,6 +5,29 @@
 //
 // The store is safe for concurrent use: a scraper goroutine can Record
 // windows while DeepRest reads ranges.
+//
+// # Retention
+//
+// A long-running deployment cannot append windows forever. With a retention
+// horizon set (SetRetention), the store behaves as a ring buffer over
+// windows: once more than `retention` windows are resident, the oldest are
+// evicted — traces and every metric series drop the same windows in
+// lockstep, so ranges stay aligned. Window indices are absolute and
+// monotone: NumWindows keeps counting every window ever recorded, and
+// OldestWindow reports the first index still resident. Reads below the
+// horizon fail with a range error instead of silently returning shifted
+// data.
+//
+// # Incremental feature extraction
+//
+// Re-walking every span of every retained trace on each query is the other
+// unbounded cost of a naive store. With an extractor installed
+// (SetExtractor), each window's feature vector is computed once — at Record
+// time, before the store lock is taken — and cached alongside the raw
+// batches, keyed by the model generation whose feature space produced it.
+// Features serves ranges from that cache and lazily re-extracts only the
+// windows whose cached generation does not match (e.g. after a
+// continuous-learning generation swap installed a new feature space).
 package telemetry
 
 import (
@@ -12,49 +35,97 @@ import (
 	"sync"
 
 	"repro/internal/app"
+	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
+// Extractor turns one window of trace batches into its feature vector. The
+// continuous-learning pipeline installs the active generation's extractor
+// (feature space plus optional anonymisation) via SetExtractor.
+//
+// It is an alias, not a defined type: pipeline.FeatureSource declares its
+// methods against the literal func type, and a defined type here would
+// make Server's method set silently fail that interface assertion.
+type Extractor = func([]trace.Batch) features.Vector
+
+// featEntry is the cached feature vector of one resident window.
+type featEntry struct {
+	// gen identifies the feature space (model generation) that produced
+	// vec; a read for a different generation re-extracts.
+	gen int
+	vec features.Vector
+	ok  bool
+}
+
 // Server stores aligned windows of trace batches and resource metrics.
 type Server struct {
 	mu            sync.RWMutex
 	windowSeconds float64
-	traces        [][]trace.Batch
-	metrics       map[app.Pair][]float64
 
-	// Ingestion volume counters; nil (no-op) until Instrument is called.
+	// retention bounds resident windows (0 = unbounded); base is the
+	// absolute index of the oldest resident window. traces[i], feats[i],
+	// and metrics[p][i] all describe absolute window base+i.
+	retention int
+	base      int
+	traces    [][]trace.Batch
+	feats     []featEntry
+	metrics   map[app.Pair][]float64
+
+	// extractor powers eager Record-time feature extraction; extractorGen
+	// keys the cache entries it produces.
+	extractor    Extractor
+	extractorGen int
+
+	// Ingestion metrics; nil (no-op) until Instrument is called.
+	instrumented  bool
 	windowsTotal  *obs.Counter
 	spansTotal    *obs.Counter
 	requestsTotal *obs.Counter
+	evictedTotal  *obs.Counter
+	residentGauge *obs.Gauge
+	extractsTotal *obs.Counter
 }
 
 // Instrument registers ingestion-volume counters on reg and counts every
-// window already in the store, so attaching after an import loses nothing.
-// A nil registry leaves the server uninstrumented (the counters stay no-op).
+// window currently resident in the store, so attaching after an import loses
+// nothing. A nil registry leaves the server uninstrumented (the counters
+// stay no-op). Instrument is idempotent: repeated calls keep the handles of
+// the first call and never re-add the resident windows to the counters.
 func (s *Server) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.instrumented {
+		return
+	}
+	s.instrumented = true
 	s.windowsTotal = reg.Counter("deeprest_telemetry_windows_total",
 		"Telemetry windows ingested into the store.")
 	s.spansTotal = reg.Counter("deeprest_telemetry_spans_total",
 		"Trace spans ingested (batches expanded by request count).")
 	s.requestsTotal = reg.Counter("deeprest_telemetry_requests_total",
 		"Traced requests ingested.")
+	s.evictedTotal = reg.Counter("deeprest_telemetry_evicted_total",
+		"Telemetry windows evicted past the retention horizon.")
+	s.residentGauge = reg.Gauge("deeprest_telemetry_resident_windows",
+		"Telemetry windows currently resident in the store.")
+	s.extractsTotal = reg.Counter("deeprest_telemetry_feature_extractions_total",
+		"Window feature extractions performed (Record-time plus cache fills).")
 	s.windowsTotal.Add(uint64(len(s.traces)))
 	for _, batches := range s.traces {
 		wr := sim.WindowResult{Batches: batches}
 		s.spansTotal.Add(uint64(wr.NumSpans()))
 		s.requestsTotal.Add(uint64(wr.NumRequests()))
 	}
+	s.residentGauge.Set(float64(len(s.traces)))
 }
 
-// NewServer returns an empty telemetry server with the given scrape window
-// duration in seconds.
+// NewServer returns an empty, unbounded telemetry server with the given
+// scrape window duration in seconds.
 func NewServer(windowSeconds float64) *Server {
 	return &Server{
 		windowSeconds: windowSeconds,
@@ -67,12 +138,64 @@ func (s *Server) WindowSeconds() float64 {
 	return s.windowSeconds
 }
 
-// Record appends one window of telemetry.
+// SetRetention bounds the store to the most recent n windows (0 restores
+// unbounded growth). If more than n windows are already resident the oldest
+// are evicted immediately.
+func (s *Server) SetRetention(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.retention = n
+	s.evictLocked()
+}
+
+// Retention returns the configured retention horizon (0 = unbounded).
+func (s *Server) Retention() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.retention
+}
+
+// SetExtractor installs the feature extractor used for eager extraction at
+// Record time; gen identifies the feature space (model generation) so later
+// Features reads can tell cached vectors of an old generation from current
+// ones. A nil fn disables eager extraction.
+func (s *Server) SetExtractor(gen int, fn Extractor) {
+	s.mu.Lock()
+	s.extractorGen, s.extractor = gen, fn
+	s.mu.Unlock()
+}
+
+// ExtractorGen reports the generation of the installed Record-time
+// extractor (0 when none was ever installed).
+func (s *Server) ExtractorGen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.extractorGen
+}
+
+// Record appends one window of telemetry. With an extractor installed the
+// window's feature vector is computed here — once, outside the store lock —
+// so queries never have to re-walk the trace batches. The whole call is
+// O(window): appending is amortised O(1) and eviction drops at most one
+// window.
 func (s *Server) Record(wr sim.WindowResult) {
+	s.mu.RLock()
+	gen, fn := s.extractorGen, s.extractor
+	s.mu.RUnlock()
+	fe := featEntry{}
+	if fn != nil {
+		fe = featEntry{gen: gen, vec: fn(wr.Batches), ok: true}
+		s.extractsTotal.Inc()
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	idx := len(s.traces)
 	s.traces = append(s.traces, wr.Batches)
+	s.feats = append(s.feats, fe)
 	s.windowsTotal.Inc()
 	s.spansTotal.Add(uint64(wr.NumSpans()))
 	s.requestsTotal.Add(uint64(wr.NumRequests()))
@@ -86,14 +209,27 @@ func (s *Server) Record(wr sim.WindowResult) {
 		}
 		s.metrics[p] = append(series, v)
 	}
+	s.evictLocked()
 }
 
 // RecordRun appends every window of a simulation run.
 func (s *Server) RecordRun(r *sim.Run) {
+	s.mu.RLock()
+	gen, fn := s.extractorGen, s.extractor
+	s.mu.RUnlock()
+	fes := make([]featEntry, len(r.Windows))
+	if fn != nil {
+		for i, w := range r.Windows {
+			fes[i] = featEntry{gen: gen, vec: fn(w), ok: true}
+		}
+		s.extractsTotal.Add(uint64(len(r.Windows)))
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	base := len(s.traces)
 	s.traces = append(s.traces, r.Windows...)
+	s.feats = append(s.feats, fes...)
 	s.windowsTotal.Add(uint64(len(r.Windows)))
 	s.spansTotal.Add(uint64(r.NumSpans()))
 	s.requestsTotal.Add(uint64(r.NumRequests()))
@@ -107,10 +243,60 @@ func (s *Server) RecordRun(r *sim.Run) {
 		}
 		s.metrics[p] = append(series, vs...)
 	}
+	s.evictLocked()
 }
 
-// NumWindows returns the number of recorded windows.
+// evictLocked drops the oldest windows beyond the retention horizon —
+// traces, cached features, and every metric series in lockstep. The slices
+// are re-sliced forward (evicted trace payloads are nil'ed so they can be
+// collected immediately); appends reallocate the backing arrays once their
+// capacity is consumed, so resident memory stays O(retention) without a
+// compaction pass. Callers must hold s.mu.
+func (s *Server) evictLocked() {
+	if s.retention <= 0 {
+		return
+	}
+	excess := len(s.traces) - s.retention
+	if excess <= 0 {
+		if s.residentGauge != nil {
+			s.residentGauge.Set(float64(len(s.traces)))
+		}
+		return
+	}
+	s.base += excess
+	for i := 0; i < excess; i++ {
+		s.traces[i] = nil
+		s.feats[i] = featEntry{}
+	}
+	s.traces = s.traces[excess:]
+	s.feats = s.feats[excess:]
+	for p, series := range s.metrics {
+		s.metrics[p] = series[excess:]
+	}
+	s.evictedTotal.Add(uint64(excess))
+	if s.residentGauge != nil {
+		s.residentGauge.Set(float64(len(s.traces)))
+	}
+}
+
+// NumWindows returns the absolute number of windows ever recorded; window
+// indices are absolute, so valid read ranges are [OldestWindow, NumWindows).
 func (s *Server) NumWindows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base + len(s.traces)
+}
+
+// OldestWindow returns the absolute index of the oldest resident window
+// (0 until retention evicts anything).
+func (s *Server) OldestWindow() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base
+}
+
+// ResidentWindows returns the number of windows currently held in memory.
+func (s *Server) ResidentWindows() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.traces)
@@ -136,7 +322,7 @@ func (s *Server) Traces(from, to int) ([][]trace.Batch, error) {
 		return nil, err
 	}
 	out := make([][]trace.Batch, to-from)
-	copy(out, s.traces[from:to])
+	copy(out, s.traces[from-s.base:to-s.base])
 	return out, nil
 }
 
@@ -152,7 +338,7 @@ func (s *Server) Metric(p app.Pair, from, to int) ([]float64, error) {
 		return nil, fmt.Errorf("telemetry: no metric recorded for %s", p)
 	}
 	out := make([]float64, to-from)
-	copy(out, series[from:to])
+	copy(out, series[from-s.base:to-s.base])
 	return out, nil
 }
 
@@ -166,15 +352,69 @@ func (s *Server) Metrics(from, to int) (map[app.Pair][]float64, error) {
 	out := make(map[app.Pair][]float64, len(s.metrics))
 	for p, series := range s.metrics {
 		cp := make([]float64, to-from)
-		copy(cp, series[from:to])
+		copy(cp, series[from-s.base:to-s.base])
 		out[p] = cp
 	}
 	return out, nil
 }
 
+// Features returns the feature vectors of windows [from, to) for the given
+// generation, serving cached vectors where possible. Windows whose cached
+// vector belongs to a different generation (or was never extracted) are
+// re-extracted with fn — outside the store lock — and the results are
+// written back to the cache, so a generation swap costs one extraction pass
+// over the resident range instead of one per query forever after.
+//
+// The returned vectors are shared with the cache: callers must treat
+// Counts as read-only.
+func (s *Server) Features(gen int, fn Extractor, from, to int) ([]features.Vector, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("telemetry: nil feature extractor")
+	}
+	s.mu.RLock()
+	if err := s.checkRange(from, to); err != nil {
+		s.mu.RUnlock()
+		return nil, err
+	}
+	out := make([]features.Vector, to-from)
+	var missing []int // absolute window indices needing extraction
+	var raw [][]trace.Batch
+	for i := from; i < to; i++ {
+		e := s.feats[i-s.base]
+		if e.ok && e.gen == gen {
+			out[i-from] = e.vec
+		} else {
+			missing = append(missing, i)
+			raw = append(raw, s.traces[i-s.base])
+		}
+	}
+	s.mu.RUnlock()
+	if len(missing) == 0 {
+		return out, nil
+	}
+
+	for k, idx := range missing {
+		out[idx-from] = fn(raw[k])
+	}
+	s.extractsTotal.Add(uint64(len(missing)))
+
+	// Write back; windows evicted while extracting are simply skipped.
+	s.mu.Lock()
+	for _, idx := range missing {
+		if idx >= s.base && idx-s.base < len(s.feats) {
+			s.feats[idx-s.base] = featEntry{gen: gen, vec: out[idx-from], ok: true}
+		}
+	}
+	s.mu.Unlock()
+	return out, nil
+}
+
 func (s *Server) checkRange(from, to int) error {
-	if from < 0 || to > len(s.traces) || from > to {
-		return fmt.Errorf("telemetry: window range [%d, %d) out of bounds (have %d windows)", from, to, len(s.traces))
+	if from < s.base {
+		return fmt.Errorf("telemetry: window range [%d, %d) reaches below the retention horizon (oldest resident window is %d)", from, to, s.base)
+	}
+	if to > s.base+len(s.traces) || from > to {
+		return fmt.Errorf("telemetry: window range [%d, %d) out of bounds (windows [%d, %d) resident)", from, to, s.base, s.base+len(s.traces))
 	}
 	return nil
 }
