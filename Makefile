@@ -26,6 +26,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/faults
 	$(GO) test -run='^$$' -fuzz=FuzzIngestSpans -fuzztime=$(FUZZTIME) ./internal/telemetry
 	$(GO) test -run='^$$' -fuzz=FuzzImportJSON -fuzztime=$(FUZZTIME) ./internal/telemetry
+	$(GO) test -run='^$$' -fuzz=FuzzParseTopology -fuzztime=$(FUZZTIME) ./internal/topo
 
 build:
 	$(GO) build ./...
@@ -42,14 +43,18 @@ test-race:
 # Hot-path benchmarks for the estimator (training epoch, expert forward,
 # end-to-end predict), recorded as BENCH_estimator.json, plus the ingestion
 # path (bounded Record, cached vs uncached feature reads, zero-alloc
-# extraction, warm vs cold /v1/estimate), recorded as BENCH_ingest.json —
-# both for regression tracking across PRs.
+# extraction, warm vs cold /v1/estimate), recorded as BENCH_ingest.json,
+# plus the topology path (generate, DSL parse/encode, simulate at 30/100/300
+# components), recorded as BENCH_topo.json — all for regression tracking
+# across PRs.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/estimator | \
 		$(GO) run ./cmd/benchjson -out BENCH_estimator.json
 	$(GO) test -run='^$$' -bench='Record|Features|Extract|Estimate' -benchmem \
 		./internal/telemetry ./internal/features ./internal/service | \
 		$(GO) run ./cmd/benchjson -out BENCH_ingest.json
+	$(GO) test -run='^$$' -bench='Topo' -benchmem ./internal/topo | \
+		$(GO) run ./cmd/benchjson -out BENCH_topo.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -32,6 +32,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -55,6 +56,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "topology":
 		err = cmdTopology(os.Args[2:])
+	case "spec":
+		err = cmdSpec(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -69,13 +72,19 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: deeprest <learn|estimate|sanity|synth> [flags]
-  learn     -app social|hotel -days N -model FILE [-seed N] [-quick]
-  estimate  -app social|hotel -model FILE -scale F [-shape 2peak|flat] [-days N]
-  sanity    -app social|hotel -attack ransomware|cryptojack|memleak [-quick]
-  synth     -app social|hotel [-quick]
-  export    -app social|hotel -o FILE [-quick]   (dump simulated telemetry as JSON)
-  topology  -app social|hotel [-o FILE] [-quick] (execution topology graph as Graphviz DOT)`)
+	fmt.Fprintln(os.Stderr, `usage: deeprest <learn|estimate|sanity|synth|spec> [flags]
+
+APP is social|hotel|media, @FILE (a topology DSL document), or
+gen:seed=N,components=N[,apis=N,depth=N,fanout=N] (a generated topology).
+
+  learn     -app APP -days N -model FILE [-seed N] [-quick]
+  estimate  -app APP -model FILE -scale F [-shape 2peak|flat] [-days N]
+  sanity    -app APP -attack ransomware|cryptojack|memleak [-quick]
+  synth     -app APP [-quick]
+  export    -app APP -o FILE [-quick]   (dump simulated telemetry as JSON)
+  topology  -app APP [-o FILE] [-quick] (execution topology graph as Graphviz DOT)
+  spec      validate FILE... | export -app APP [-o FILE] | generate -seed N -components N [-o FILE]
+            (work with topology DSL documents; see examples/topologies/)`)
 }
 
 // labFlags bundles the options shared by subcommands.
@@ -90,7 +99,8 @@ type labFlags struct {
 
 func addLabFlags(fs *flag.FlagSet) *labFlags {
 	lf := &labFlags{}
-	fs.StringVar(&lf.app, "app", "social", "application: social or hotel")
+	fs.StringVar(&lf.app, "app", "social",
+		"application: social|hotel|media, @spec.json, or gen:seed=N,components=N")
 	fs.Int64Var(&lf.seed, "seed", 1, "random seed")
 	fs.BoolVar(&lf.quick, "quick", false, "reduced scale for fast runs")
 	fs.IntVar(&lf.days, "days", 0, "learning days (default 7, or 3 with -quick)")
@@ -101,14 +111,7 @@ func addLabFlags(fs *flag.FlagSet) *labFlags {
 }
 
 func (lf *labFlags) spec() (*app.Spec, workload.Mix, error) {
-	switch lf.app {
-	case "social":
-		return app.SocialNetwork(), workload.SocialDefaultMix(), nil
-	case "hotel":
-		return app.HotelReservation(), workload.HotelDefaultMix(), nil
-	default:
-		return nil, nil, fmt.Errorf("unknown app %q (want social or hotel)", lf.app)
-	}
+	return topo.Resolve(lf.app)
 }
 
 func (lf *labFlags) geometry() (wpd int, windowSeconds float64, days int, peak float64) {
@@ -377,9 +380,9 @@ func cmdSanity(args []string) error {
 	prog.Seed = lf.seed + 950
 	check := prog.Generate()
 
-	victim := "PostStorageMongoDB"
-	if lf.app == "hotel" {
-		victim = "ReserveMongoDB"
+	victim := attackVictim(lf.app, spec)
+	if victim == "" {
+		return fmt.Errorf("app %s has no stateful component to attack", spec.Name)
 	}
 	start := cluster.Window() + wpd + wpd/2
 	switch *attackKind {
@@ -415,6 +418,24 @@ func cmdSanity(args []string) error {
 		fmt.Println(e.Format(nil))
 	}
 	return nil
+}
+
+// attackVictim picks the component the sanity-check attack targets: the
+// storage components the scenario docs name for the bundled apps, or the
+// first stateful component of any other topology.
+func attackVictim(appArg string, spec *app.Spec) string {
+	switch appArg {
+	case "social":
+		return "PostStorageMongoDB"
+	case "hotel":
+		return "ReserveMongoDB"
+	}
+	for _, c := range spec.Components {
+		if c.Stateful {
+			return c.Name
+		}
+	}
+	return ""
 }
 
 func cmdExport(args []string) error {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topo"
+)
+
+// cmdSpec works with topology DSL documents:
+//
+//	spec validate FILE...                      strict-parse and validate documents
+//	spec export -app APP [-o FILE]             export an app to the DSL
+//	spec generate -seed N -components N [...]  emit a generated topology
+func cmdSpec(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: deeprest spec <validate|export|generate> ...")
+	}
+	switch args[0] {
+	case "validate":
+		return specValidate(args[1:])
+	case "export":
+		return specExport(args[1:])
+	case "generate":
+		return specGenerate(args[1:])
+	default:
+		return fmt.Errorf("unknown spec subcommand %q (want validate, export, or generate)", args[0])
+	}
+}
+
+func specValidate(files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("usage: deeprest spec validate FILE...")
+	}
+	failed := 0
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed++
+			continue
+		}
+		doc, err := topo.Parse(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s: ok (%s: %d components, %d APIs)\n",
+			path, doc.Name, len(doc.Components), len(doc.APIs))
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d documents failed validation", failed, len(files))
+	}
+	return nil
+}
+
+func specExport(args []string) error {
+	fs := flag.NewFlagSet("spec export", flag.ExitOnError)
+	appArg := fs.String("app", "social",
+		"application: social|hotel|media, @spec.json, or gen:seed=N,components=N")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, mix, err := topo.Resolve(*appArg)
+	if err != nil {
+		return err
+	}
+	return writeDoc(topo.FromSpec(spec, mix), *out)
+}
+
+func specGenerate(args []string) error {
+	fs := flag.NewFlagSet("spec generate", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "generator seed")
+	components := fs.Int("components", 60, "total component count")
+	apis := fs.Int("apis", 0, "API count (default components/8, min 3)")
+	depth := fs.Int("depth", 0, "max logic-tier call depth (default 4)")
+	fanout := fs.Int("fanout", 0, "max fan-out per logic node (default 3)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc := topo.Generate(topo.Config{
+		Seed:       *seed,
+		Components: *components,
+		APIs:       *apis,
+		MaxDepth:   *depth,
+		MaxFanout:  *fanout,
+	})
+	return writeDoc(doc, *out)
+}
+
+func writeDoc(doc *topo.Document, out string) error {
+	data := topo.Encode(doc)
+	if out == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d components, %d APIs written to %s\n",
+		doc.Name, len(doc.Components), len(doc.APIs), out)
+	return nil
+}

@@ -4,10 +4,18 @@
 // learning, and any tool can then query resource allocations or sanity
 // checks over JSON.
 //
-//	deeprestd -addr :8080 [-anonymize] [-salt S] [-hidden N] [-epochs N]
+//	deeprestd -addr :8080 [-app APP] [-bootstrap-days N] [-anonymize] [-salt S]
+//	          [-hidden N] [-epochs N]
 //	          [-retrain-every D] [-window N] [-retention N] [-checkpoint-dir DIR]
 //	          [-history N] [-max-inflight N] [-request-timeout D] [-fault-spec SPEC]
 //	          [-log-level L] [-log-format text|json] [-pprof] [-debug-addr A]
+//
+// With -app the daemon bootstraps its telemetry store from a simulated
+// deployment of the named application before listening — APP is
+// social|hotel|media, @FILE (a topology DSL document), or
+// gen:seed=N,components=N for a generated topology — so `deeprestd -app
+// gen:seed=7,components=60 -retrain-every 15m` is a self-contained demo of
+// the full service against a production-scale topology.
 //
 // Endpoints (see internal/service):
 //
@@ -67,10 +75,16 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	appArg := flag.String("app", "",
+		"bootstrap the telemetry store from a simulated application before listening: social|hotel|media, @spec.json, or gen:seed=N,components=N (empty = start with no telemetry)")
+	bootstrapDays := flag.Int("bootstrap-days", 2, "days of simulated telemetry to bootstrap with (-app only)")
 	anonymize := flag.Bool("anonymize", false, "hash component/operation/API names before learning")
 	salt := flag.String("salt", "", "anonymisation salt")
 	hidden := flag.Int("hidden", 0, "GRU width override (0 = default)")
@@ -169,6 +183,19 @@ func main() {
 				"generations", n, "serving_version", pipe.Active().Version)
 		}
 	}
+	// Bootstrap after checkpoint recovery so the store picks up the
+	// recovered generation's feature extractor on adoption.
+	if *appArg != "" {
+		run, err := bootstrapRun(*appArg, *bootstrapDays)
+		if err != nil {
+			fatal("bootstrap simulation failed", "app", *appArg, "error", err)
+		}
+		if err := svc.Bootstrap(run); err != nil {
+			fatal("bootstrap ingest failed", "app", *appArg, "error", err)
+		}
+		logger.Info("telemetry store bootstrapped from simulation",
+			"app", *appArg, "days", *bootstrapDays, "windows", len(run.Windows))
+	}
 	if *retrainEvery > 0 {
 		if err := pipe.Start(); err != nil {
 			fatal("continuous-learning loop failed to start", "error", err)
@@ -221,6 +248,28 @@ func main() {
 			logger.Warn("debug shutdown incomplete", "error", err)
 		}
 	}
+}
+
+// bootstrapRun simulates a learning period for the -app flag: diurnal
+// traffic over the requested days against the resolved application, with
+// the same window geometry the CLI's quick mode uses.
+func bootstrapRun(appArg string, days int) (*sim.Run, error) {
+	if days < 1 {
+		days = 1
+	}
+	spec, mix, err := topo.Resolve(appArg)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := sim.NewCluster(spec, 101)
+	if err != nil {
+		return nil, err
+	}
+	prog := workload.Uniform(days, workload.DaySpec{Shape: workload.TwoPeak{}, Mix: mix, PeakRPS: 30})
+	prog.WindowsPerDay = 48
+	prog.WindowSeconds = 60
+	prog.Seed = 301
+	return cluster.Run(prog.Generate())
 }
 
 // buildLogger assembles the daemon's structured logger from the -log-level

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	loadgen [-app social|hotel] [-days N] [-shape 2peak|flat|1peak|high]
+//	loadgen [-app APP] [-days N] [-shape 2peak|flat|1peak|high]
 //	        [-peak RPS] [-scale F] [-format csv|summary] [-seed N]
+//
+// APP is social|hotel|media, @FILE (a topology DSL document), or
+// gen:seed=N,components=N (a generated topology); the mix comes from the
+// resolved application's per-API traffic weights.
 package main
 
 import (
@@ -16,11 +20,13 @@ import (
 	"strings"
 
 	"repro/internal/eval"
+	"repro/internal/topo"
 	"repro/internal/workload"
 )
 
 func main() {
-	appName := flag.String("app", "social", "application mix: social or hotel")
+	appName := flag.String("app", "social",
+		"application mix: social|hotel|media, @spec.json, or gen:seed=N,components=N")
 	days := flag.Int("days", 1, "number of days to generate")
 	shapeName := flag.String("shape", "2peak", "traffic shape: 2peak, flat, 1peak, or high")
 	peak := flag.Float64("peak", 60, "peak total requests per second")
@@ -31,14 +37,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	var mix workload.Mix
-	switch *appName {
-	case "social":
-		mix = workload.SocialDefaultMix()
-	case "hotel":
-		mix = workload.HotelDefaultMix()
-	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown app %q\n", *appName)
+	_, mix, err := topo.Resolve(*appName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(2)
 	}
 	var shape workload.Shape

@@ -30,6 +30,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
+	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -175,3 +176,36 @@ func MediaMicroservices() *AppSpec { return app.MediaMicroservices() }
 func NewCluster(spec *AppSpec, seed int64) (*Cluster, error) {
 	return sim.NewCluster(spec, seed)
 }
+
+// Topology as data: the declarative topology DSL and the seeded generator
+// (see internal/topo), so applications can be loaded from JSON documents or
+// synthesized at production scale instead of hand-coded in Go.
+type (
+	// Topology is a topology DSL document: an AppSpec plus per-API
+	// traffic weights.
+	Topology = topo.Document
+	// TopologyConfig sizes a generated topology.
+	TopologyConfig = topo.Config
+	// TopologyError locates a problem in a topology document by line and
+	// JSON path.
+	TopologyError = topo.ParseError
+)
+
+// ParseTopology strictly decodes and validates a topology DSL document.
+func ParseTopology(data []byte) (*Topology, error) { return topo.Parse(data) }
+
+// EncodeTopology renders a document as canonical DSL JSON; the encoding
+// round-trips through ParseTopology bit-identically.
+func EncodeTopology(d *Topology) []byte { return topo.Encode(d) }
+
+// GenerateTopology synthesizes a production-like topology from a seed and
+// size knobs; the same config always yields the same document.
+func GenerateTopology(cfg TopologyConfig) *Topology { return topo.Generate(cfg) }
+
+// TopologyFromSpec lifts an application spec (plus an optional traffic mix)
+// into a DSL document.
+func TopologyFromSpec(spec *AppSpec, mix Mix) *Topology { return topo.FromSpec(spec, mix) }
+
+// ResolveApp turns a CLI-style application argument — social|hotel|media,
+// "@file.json", or "gen:seed=N,components=N" — into a spec and default mix.
+func ResolveApp(arg string) (*AppSpec, Mix, error) { return topo.Resolve(arg) }

@@ -12,6 +12,7 @@ package app
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -288,19 +289,31 @@ type Pair struct {
 // String renders the pair as "Component/resource".
 func (p Pair) String() string { return p.Component + "/" + p.Resource.String() }
 
-// Validate checks internal consistency of the spec: template probabilities
-// sum to 1 per API, every referenced component is declared, storage costs
-// only land on stateful components, and no API shares a name.
+// Validate checks internal consistency of the spec: component parameters are
+// finite and non-negative, template probabilities sum to 1 per API, every
+// referenced component is declared, per-visit costs are non-negative, storage
+// costs only land on stateful components, and no component or API shares a
+// name. Errors name the offending component or API (and template index) so a
+// failure in a large spec is actionable.
 func (s *Spec) Validate() error {
 	comps := make(map[string]Component, len(s.Components))
 	for _, c := range s.Components {
+		if c.Name == "" {
+			return fmt.Errorf("app %s: component with empty name", s.Name)
+		}
 		if _, dup := comps[c.Name]; dup {
 			return fmt.Errorf("app %s: duplicate component %q", s.Name, c.Name)
+		}
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("app %s: component %q: %w", s.Name, c.Name, err)
 		}
 		comps[c.Name] = c
 	}
 	seen := make(map[string]bool, len(s.APIs))
 	for _, a := range s.APIs {
+		if a.Name == "" {
+			return fmt.Errorf("app %s: API with empty name", s.Name)
+		}
 		if seen[a.Name] {
 			return fmt.Errorf("app %s: duplicate API %q", s.Name, a.Name)
 		}
@@ -308,16 +321,19 @@ func (s *Spec) Validate() error {
 		if len(a.Templates) == 0 {
 			return fmt.Errorf("app %s: API %q has no templates", s.Name, a.Name)
 		}
+		if a.PayloadCV < 0 || !isFinite(a.PayloadCV) {
+			return fmt.Errorf("app %s: API %q has invalid payload CV %v", s.Name, a.Name, a.PayloadCV)
+		}
 		sum := 0.0
 		for ti, t := range a.Templates {
-			if t.Prob < 0 {
-				return fmt.Errorf("app %s: API %q template %d has negative probability", s.Name, a.Name, ti)
+			if t.Prob < 0 || !isFinite(t.Prob) {
+				return fmt.Errorf("app %s: API %q template %d has invalid probability %v", s.Name, a.Name, ti, t.Prob)
 			}
 			sum += t.Prob
 			if t.Root == nil {
 				return fmt.Errorf("app %s: API %q template %d has nil root", s.Name, a.Name, ti)
 			}
-			if err := validateNode(s.Name, a.Name, t.Root, comps); err != nil {
+			if err := validateNode(s.Name, a.Name, ti, t.Root, comps); err != nil {
 				return err
 			}
 		}
@@ -328,20 +344,70 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-func validateNode(app, api string, n *PathNode, comps map[string]Component) error {
+// validate checks one component's scalar parameters.
+func (c Component) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"base CPU", c.BaseCPU},
+		{"base memory", c.BaseMemory},
+		{"CPU capacity", c.CPUCapacity},
+		{"cache max", c.CacheMax},
+	} {
+		if f.v < 0 || !isFinite(f.v) {
+			return fmt.Errorf("negative %s %v", f.name, f.v)
+		}
+	}
+	if c.CacheDecay < 0 || c.CacheDecay > 1 || !isFinite(c.CacheDecay) {
+		return fmt.Errorf("cache decay %v outside [0, 1]", c.CacheDecay)
+	}
+	return nil
+}
+
+func validateNode(app, api string, ti int, n *PathNode, comps map[string]Component) error {
 	c, ok := comps[n.Component]
 	if !ok {
-		return fmt.Errorf("app %s: API %q references undeclared component %q", app, api, n.Component)
+		return fmt.Errorf("app %s: API %q template %d references undeclared component %q", app, api, ti, n.Component)
+	}
+	if field, v, ok := n.Cost.negative(); ok {
+		return fmt.Errorf("app %s: API %q template %d: node %s/%s has negative %s %v",
+			app, api, ti, n.Component, n.Operation, field, v)
 	}
 	if !c.Stateful && (n.Cost.WriteOps != 0 || n.Cost.WriteKiB != 0 || n.Cost.DiskMiB != 0) {
-		return fmt.Errorf("app %s: API %q puts storage cost on stateless component %q", app, api, n.Component)
+		return fmt.Errorf("app %s: API %q template %d puts storage cost on stateless component %q", app, api, ti, n.Component)
 	}
 	for _, ch := range n.Children {
-		if err := validateNode(app, api, ch, comps); err != nil {
+		if err := validateNode(app, api, ti, ch, comps); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// negative returns the first invalid (negative or non-finite) cost field.
+func (c Cost) negative() (field string, v float64, bad bool) {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"cpu_ms", c.CPUms},
+		{"mem_mib", c.MemMiB},
+		{"cache_mib", c.CacheMiB},
+		{"write_ops", c.WriteOps},
+		{"write_kib", c.WriteKiB},
+		{"disk_mib", c.DiskMiB},
+	} {
+		if f.v < 0 || !isFinite(f.v) {
+			return f.name, f.v, true
+		}
+	}
+	return "", 0, false
+}
+
+// isFinite reports whether v is neither NaN nor infinite.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // TouchedComponents returns the sorted set of components any template of the

@@ -1,6 +1,7 @@
 package app
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -197,6 +198,64 @@ func TestValidateCatchesErrors(t *testing.T) {
 	s.APIs[0].Templates = append(s.APIs[0].Templates, Template{Prob: 2, Root: Node("A", "op", Cost{})})
 	if err := s.Validate(); err == nil {
 		t.Error("negative probability must fail")
+	}
+
+	s = base()
+	s.Components[0].Name = ""
+	if err := s.Validate(); err == nil {
+		t.Error("empty component name must fail")
+	}
+
+	s = base()
+	s.Components[0].BaseCPU = -3
+	if err := s.Validate(); err == nil {
+		t.Error("negative base CPU must fail")
+	}
+
+	s = base()
+	s.Components[1].CacheDecay = 1.5
+	if err := s.Validate(); err == nil {
+		t.Error("cache decay above 1 must fail")
+	}
+
+	s = base()
+	s.APIs[0].PayloadCV = -0.1
+	if err := s.Validate(); err == nil {
+		t.Error("negative payload CV must fail")
+	}
+}
+
+// TestValidateNamesOffender pins that errors in large specs are actionable:
+// they carry the offending API name and template index (and the node for
+// cost errors), per the topology-as-data error contract.
+func TestValidateNamesOffender(t *testing.T) {
+	s := &Spec{
+		Name:       "t",
+		Components: []Component{{Name: "A"}, {Name: "DB", Stateful: true}},
+		APIs: []API{
+			{Name: "/ok", Templates: []Template{{Prob: 1, Root: Node("A", "op", Cost{})}}},
+			{Name: "/bad", Templates: []Template{
+				{Prob: 0.5, Root: Node("A", "op", Cost{})},
+				{Prob: 0.5, Root: Node("A", "op", Cost{},
+					Node("DB", "insert", Cost{CPUms: -4}))},
+			}},
+		},
+	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("negative cost must fail validation")
+	}
+	for _, want := range []string{"/bad", "template 1", "DB/insert", "cpu_ms"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+
+	s.APIs[1].Templates[1].Root.Children = nil
+	s.APIs[1].Templates[1].Prob = 0.2
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "/bad") {
+		t.Errorf("probability-sum error %q does not name the API", err)
 	}
 }
 

@@ -256,18 +256,7 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.store == nil {
-		s.store = in
-		if s.Retention > 0 {
-			s.store.SetRetention(s.Retention)
-		}
-		// Back-counts the imported windows, so ingestion metrics cover the
-		// stream that created the store too.
-		s.store.Instrument(s.opts.Metrics)
-		// A recovered generation may predate the store: arm its extractor
-		// so Record-time feature extraction starts with the first window.
-		if gen := s.pipe.Active(); gen != nil {
-			s.store.SetExtractor(gen.Version, gen.System.Extractor())
-		}
+		s.adoptStore(in)
 	} else {
 		if s.store.WindowSeconds() != in.WindowSeconds() {
 			writeErr(w, http.StatusConflict, "window duration %vs does not match existing store (%vs)",

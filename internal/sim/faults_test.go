@@ -1,11 +1,7 @@
 package sim
 
 import (
-	"fmt"
-	"hash/fnv"
-	"math"
 	"reflect"
-	"sort"
 	"testing"
 
 	"repro/internal/app"
@@ -55,34 +51,6 @@ func faultRun(t *testing.T, spec string) *Run {
 	return run
 }
 
-// fingerprint serialises a run canonically (sorted pairs, bit-exact floats,
-// full batch shapes) and hashes it, so "bit-identical" is testable as one
-// string compare.
-func fingerprint(r *Run) string {
-	h := fnv.New64a()
-	for w, batches := range r.Windows {
-		fmt.Fprintf(h, "w%d:", w)
-		for _, b := range batches {
-			fmt.Fprintf(h, "%s|%d|", b.Trace.API, b.Count)
-			if b.Trace.Root != nil {
-				fmt.Fprintf(h, "%s;", b.Trace.Root.String())
-			}
-		}
-	}
-	pairs := make([]app.Pair, 0, len(r.Usage))
-	for p := range r.Usage {
-		pairs = append(pairs, p)
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].String() < pairs[j].String() })
-	for _, p := range pairs {
-		fmt.Fprintf(h, "%s:", p)
-		for _, v := range r.Usage[p] {
-			fmt.Fprintf(h, "%016x", math.Float64bits(v))
-		}
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
 // TestGoldenFaultScenario is the determinism acceptance gate: the same
 // fault seed + spec produces bit-identical fault schedules and simulator
 // output, pinned against a golden fingerprint.
@@ -95,13 +63,13 @@ func TestGoldenFaultScenario(t *testing.T) {
 	if !reflect.DeepEqual(a.Windows, b.Windows) {
 		t.Fatal("same seed+spec produced different trace windows")
 	}
-	got := fingerprint(a)
+	got := Fingerprint(a)
 	if got != goldenFaultFingerprint {
 		t.Fatalf("golden fault scenario fingerprint drifted:\n got %s\nwant %s", got, goldenFaultFingerprint)
 	}
 	// A different fault seed must actually perturb the output.
 	other := faultRun(t, "seed=99;"+faultScenario[len("seed=1234;"):])
-	if fingerprint(other) == got {
+	if Fingerprint(other) == got {
 		t.Fatal("different fault seed produced identical telemetry")
 	}
 }
@@ -335,7 +303,7 @@ func TestHealthyClusterUnchangedByNilSchedule(t *testing.T) {
 		}
 		return r
 	}
-	if fingerprint(run(nil)) != fingerprint(run(nil)) {
+	if Fingerprint(run(nil)) != Fingerprint(run(nil)) {
 		t.Fatal("healthy cluster not deterministic")
 	}
 }

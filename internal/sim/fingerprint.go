@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/app"
+)
+
+// Fingerprint serialises a run canonically (sorted pairs, bit-exact floats,
+// full batch shapes) and hashes it, so "bit-identical telemetry" is testable
+// as one string compare. Two runs fingerprint equal iff every trace batch
+// and every usage sample match to the last bit.
+//
+// This is the determinism gate shared by the fault-injection golden tests
+// and the topology round-trip tests: a spec decoded from its DSL encoding
+// must drive the simulator to the same fingerprint as the original.
+func Fingerprint(r *Run) string {
+	h := fnv.New64a()
+	for w, batches := range r.Windows {
+		fmt.Fprintf(h, "w%d:", w)
+		for _, b := range batches {
+			fmt.Fprintf(h, "%s|%d|", b.Trace.API, b.Count)
+			if b.Trace.Root != nil {
+				fmt.Fprintf(h, "%s;", b.Trace.Root.String())
+			}
+		}
+	}
+	pairs := make([]app.Pair, 0, len(r.Usage))
+	for p := range r.Usage {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].String() < pairs[j].String() })
+	for _, p := range pairs {
+		fmt.Fprintf(h, "%s:", p)
+		for _, v := range r.Usage[p] {
+			fmt.Fprintf(h, "%016x", math.Float64bits(v))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

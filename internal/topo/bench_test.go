@@ -1,0 +1,76 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var benchSizes = []int{30, 100, 300}
+
+// BenchmarkTopoGenerate measures topology synthesis throughput.
+func BenchmarkTopoGenerate(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("c%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Generate(Config{Seed: 7, Components: n})
+			}
+		})
+	}
+}
+
+// BenchmarkTopoParse measures DSL decode+validate throughput on generated
+// documents of increasing size.
+func BenchmarkTopoParse(b *testing.B) {
+	for _, n := range benchSizes {
+		data := Encode(Generate(Config{Seed: 7, Components: n}))
+		b.Run(fmt.Sprintf("c%d", n), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Parse(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopoEncode measures canonical encoding throughput.
+func BenchmarkTopoEncode(b *testing.B) {
+	for _, n := range benchSizes {
+		doc := Generate(Config{Seed: 7, Components: n})
+		b.Run(fmt.Sprintf("c%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Encode(doc)
+			}
+		})
+	}
+}
+
+// BenchmarkTopoSimulate measures simulated windows/sec on generated
+// topologies — the cost of scale in the simulation loop itself.
+func BenchmarkTopoSimulate(b *testing.B) {
+	for _, n := range benchSizes {
+		doc := Generate(Config{Seed: 7, Components: n})
+		prog := workload.Uniform(1, workload.DaySpec{Shape: workload.TwoPeak{}, Mix: doc.Mix(), PeakRPS: 60})
+		prog.WindowsPerDay = 24
+		tr := prog.Generate()
+		spec := doc.Spec()
+		b.Run(fmt.Sprintf("c%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := sim.NewCluster(spec, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Run(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

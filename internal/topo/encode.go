@@ -1,0 +1,173 @@
+package topo
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+
+	"repro/internal/app"
+)
+
+// Encode renders the document as canonical topology-DSL JSON. The encoding
+// is deterministic — fields in a fixed order, floats in shortest
+// round-trip form (strconv 'g' with precision -1), zero-valued optional
+// fields omitted — so the same document always produces the same bytes and
+// Parse(Encode(d)) reconstructs d exactly, down to the float bit patterns
+// the simulator consumes.
+func Encode(d *Document) []byte {
+	var w encoder
+	w.line(0, "{")
+	w.line(1, `"name": `+quote(d.Name)+",")
+	w.line(1, `"components": [`)
+	for i, c := range d.Components {
+		w.component(2, c, i == len(d.Components)-1)
+	}
+	w.line(1, "],")
+	w.line(1, `"apis": [`)
+	for i, a := range d.APIs {
+		w.api(2, a, i == len(d.APIs)-1)
+	}
+	w.line(1, "]")
+	w.line(0, "}")
+	return w.buf.Bytes()
+}
+
+type encoder struct {
+	buf bytes.Buffer
+}
+
+const indentUnit = "  "
+
+func (w *encoder) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		w.buf.WriteString(indentUnit)
+	}
+}
+
+func (w *encoder) line(depth int, s string) {
+	w.indent(depth)
+	w.buf.WriteString(s)
+	w.buf.WriteByte('\n')
+}
+
+// component renders one component as a single compact line.
+func (w *encoder) component(depth int, c ComponentDef, last bool) {
+	w.indent(depth)
+	w.buf.WriteString(`{"name": ` + quote(c.Name))
+	if c.Stateful {
+		w.buf.WriteString(`, "stateful": true`)
+	}
+	w.field("base_cpu", c.BaseCPU)
+	w.field("base_memory", c.BaseMemory)
+	w.field("cpu_capacity", c.CPUCapacity)
+	w.field("cache_max", c.CacheMax)
+	w.field("cache_decay", c.CacheDecay)
+	w.buf.WriteByte('}')
+	if !last {
+		w.buf.WriteByte(',')
+	}
+	w.buf.WriteByte('\n')
+}
+
+func (w *encoder) api(depth int, a APIDef, last bool) {
+	w.line(depth, "{")
+	w.line(depth+1, `"name": `+quote(a.Name)+",")
+	if a.Weight != 0 {
+		w.line(depth+1, `"weight": `+num(a.Weight)+",")
+	}
+	if a.PayloadCV != 0 {
+		w.line(depth+1, `"payload_cv": `+num(a.PayloadCV)+",")
+	}
+	w.line(depth+1, `"templates": [`)
+	for i, t := range a.Templates {
+		w.template(depth+2, t, i == len(a.Templates)-1)
+	}
+	w.line(depth+1, "]")
+	w.closing(depth, last)
+}
+
+func (w *encoder) template(depth int, t TemplateDef, last bool) {
+	w.line(depth, "{")
+	w.line(depth+1, `"prob": `+num(t.Prob)+",")
+	w.indent(depth + 1)
+	w.buf.WriteString(`"root": `)
+	w.node(depth+1, t.Root)
+	w.buf.WriteByte('\n')
+	w.closing(depth, last)
+}
+
+// node renders an invocation node; nested calls indent one level per hop so
+// the JSON reads like the invocation tree it encodes. The opening brace is
+// written at the current buffer position (no leading indent); the closing
+// brace lands on its own line at depth.
+func (w *encoder) node(depth int, n *NodeDef) {
+	if n == nil {
+		w.buf.WriteString("null")
+		return
+	}
+	w.buf.WriteString(`{"component": ` + quote(n.Component) + `, "operation": ` + quote(n.Operation))
+	if n.Cost != (app.Cost{}) {
+		w.buf.WriteString(`, "cost": {`)
+		first := true
+		costField := func(name string, v float64) {
+			if v == 0 {
+				return
+			}
+			if !first {
+				w.buf.WriteString(", ")
+			}
+			first = false
+			w.buf.WriteString(quote(name) + ": " + num(v))
+		}
+		costField("cpu_ms", n.Cost.CPUms)
+		costField("mem_mib", n.Cost.MemMiB)
+		costField("cache_mib", n.Cost.CacheMiB)
+		costField("write_ops", n.Cost.WriteOps)
+		costField("write_kib", n.Cost.WriteKiB)
+		costField("disk_mib", n.Cost.DiskMiB)
+		w.buf.WriteByte('}')
+	}
+	if len(n.Calls) > 0 {
+		w.buf.WriteString(`, "calls": [`)
+		w.buf.WriteByte('\n')
+		for i, c := range n.Calls {
+			w.indent(depth + 1)
+			w.node(depth+1, c)
+			if i != len(n.Calls)-1 {
+				w.buf.WriteByte(',')
+			}
+			w.buf.WriteByte('\n')
+		}
+		w.indent(depth)
+		w.buf.WriteByte(']')
+	}
+	w.buf.WriteByte('}')
+}
+
+// field appends `, "name": v` unless v is zero (optional-field omission).
+func (w *encoder) field(name string, v float64) {
+	if v == 0 {
+		return
+	}
+	w.buf.WriteString(`, ` + quote(name) + `: ` + num(v))
+}
+
+// closing writes "}" or "}," on its own line.
+func (w *encoder) closing(depth int, last bool) {
+	if last {
+		w.line(depth, "}")
+	} else {
+		w.line(depth, "},")
+	}
+}
+
+// num formats a float in the shortest form that parses back bit-identically.
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// quote JSON-escapes a string.
+func quote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

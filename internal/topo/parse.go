@@ -1,0 +1,373 @@
+package topo
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseError locates a problem in a topology document: the 1-based line and
+// column where it was detected plus the JSON path of the offending field
+// (e.g. "apis[2].templates[0].root.calls[1].cost.cpu_ms").
+type ParseError struct {
+	Line, Col int
+	Path      string
+	Msg       string
+}
+
+// Error renders "topo: line L:C: path: message".
+func (e *ParseError) Error() string {
+	var b strings.Builder
+	b.WriteString("topo: ")
+	if e.Line > 0 {
+		fmt.Fprintf(&b, "line %d:%d: ", e.Line, e.Col)
+	}
+	if e.Path != "" {
+		b.WriteString(e.Path)
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Msg)
+	return b.String()
+}
+
+// Parse decodes and fully validates a topology DSL document. It is strict:
+// unknown fields, duplicated fields, type mismatches, and out-of-range
+// values fail with a ParseError naming the line and field, and the decoded
+// document must additionally pass Document.Validate (and therefore
+// app.Spec.Validate) — a successful Parse always yields a spec the
+// simulator will deploy.
+func Parse(data []byte) (*Document, error) {
+	p := &parser{dec: json.NewDecoder(bytes.NewReader(data)), data: data}
+	p.dec.UseNumber()
+	doc := &Document{}
+	if err := p.parseDocument(doc); err != nil {
+		return nil, err
+	}
+	if tok, err := p.dec.Token(); err != io.EOF {
+		if err != nil {
+			return nil, p.wrap(err)
+		}
+		return nil, p.errf("trailing %s after topology document", tokDesc(tok))
+	}
+	if err := doc.Validate(); err != nil {
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("topo: %w", err)
+	}
+	return doc, nil
+}
+
+// parser walks the decoder's token stream, tracking the JSON path for
+// error messages.
+type parser struct {
+	dec  *json.Decoder
+	data []byte
+	path []string
+}
+
+// errf builds a ParseError at the decoder's current position and path.
+func (p *parser) errf(format string, args ...interface{}) error {
+	line, col := p.lineCol(p.dec.InputOffset())
+	return &ParseError{Line: line, Col: col, Path: strings.Join(p.path, "."), Msg: fmt.Sprintf(format, args...)}
+}
+
+// wrap converts a decoder error into a ParseError, recovering the offset of
+// syntax errors so malformed JSON is still located by line.
+func (p *parser) wrap(err error) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		line, col := p.lineCol(syn.Offset)
+		return &ParseError{Line: line, Col: col, Path: strings.Join(p.path, "."), Msg: syn.Error()}
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return p.errf("unexpected end of input")
+	}
+	return p.errf("%v", err)
+}
+
+// lineCol converts a byte offset into a 1-based line and column.
+func (p *parser) lineCol(offset int64) (line, col int) {
+	if offset > int64(len(p.data)) {
+		offset = int64(len(p.data))
+	}
+	prefix := p.data[:offset]
+	line = 1 + bytes.Count(prefix, []byte{'\n'})
+	col = int(offset) - bytes.LastIndexByte(prefix, '\n')
+	return line, col
+}
+
+func (p *parser) token() (json.Token, error) {
+	tok, err := p.dec.Token()
+	if err != nil {
+		return nil, p.wrap(err)
+	}
+	return tok, nil
+}
+
+// tokDesc describes a token for error messages.
+func tokDesc(tok json.Token) string {
+	switch v := tok.(type) {
+	case nil:
+		return "null"
+	case json.Delim:
+		return fmt.Sprintf("%q", v.String())
+	case string:
+		return fmt.Sprintf("string %q", v)
+	case json.Number:
+		return "number " + v.String()
+	case bool:
+		return fmt.Sprintf("%v", v)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// object parses a JSON object whose permitted fields are given by fields.
+// Unknown and duplicated fields are errors; each present field's handler
+// runs with the field name pushed onto the path.
+func (p *parser) object(fields map[string]func() error) error {
+	tok, err := p.token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return p.errf("expected object, got %s", tokDesc(tok))
+	}
+	seen := make(map[string]bool, len(fields))
+	for p.dec.More() {
+		keyTok, err := p.token()
+		if err != nil {
+			return err
+		}
+		key, _ := keyTok.(string)
+		fn, known := fields[key]
+		if !known {
+			return p.errf("unknown field %q (valid fields: %s)", key, fieldNames(fields))
+		}
+		if seen[key] {
+			return p.errf("duplicate field %q", key)
+		}
+		seen[key] = true
+		p.path = append(p.path, key)
+		err = fn()
+		p.path = p.path[:len(p.path)-1]
+		if err != nil {
+			return err
+		}
+	}
+	_, err = p.token() // consume '}'
+	return err
+}
+
+func fieldNames(fields map[string]func() error) string {
+	names := make([]string, 0, len(fields))
+	for k := range fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// array parses a JSON array, calling elem once per element with the path's
+// last segment rewritten to include the element index.
+func (p *parser) array(elem func(i int) error) error {
+	tok, err := p.token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return p.errf("expected array, got %s", tokDesc(tok))
+	}
+	base := ""
+	if len(p.path) > 0 {
+		base = p.path[len(p.path)-1]
+	}
+	for i := 0; p.dec.More(); i++ {
+		if len(p.path) > 0 {
+			p.path[len(p.path)-1] = base + "[" + strconv.Itoa(i) + "]"
+		}
+		if err := elem(i); err != nil {
+			return err
+		}
+	}
+	if len(p.path) > 0 {
+		p.path[len(p.path)-1] = base
+	}
+	_, err = p.token() // consume ']'
+	return err
+}
+
+// str returns a handler storing a string field.
+func (p *parser) str(dst *string) func() error {
+	return func() error {
+		tok, err := p.token()
+		if err != nil {
+			return err
+		}
+		s, ok := tok.(string)
+		if !ok {
+			return p.errf("expected string, got %s", tokDesc(tok))
+		}
+		*dst = s
+		return nil
+	}
+}
+
+// boolean returns a handler storing a bool field.
+func (p *parser) boolean(dst *bool) func() error {
+	return func() error {
+		tok, err := p.token()
+		if err != nil {
+			return err
+		}
+		b, ok := tok.(bool)
+		if !ok {
+			return p.errf("expected true or false, got %s", tokDesc(tok))
+		}
+		*dst = b
+		return nil
+	}
+}
+
+// num returns a handler storing a float field restricted to [lo, hi].
+func (p *parser) num(dst *float64, lo, hi float64) func() error {
+	return func() error {
+		tok, err := p.token()
+		if err != nil {
+			return err
+		}
+		n, ok := tok.(json.Number)
+		if !ok {
+			return p.errf("expected number, got %s", tokDesc(tok))
+		}
+		v, err := strconv.ParseFloat(n.String(), 64)
+		if err != nil {
+			return p.errf("bad number %q", n.String())
+		}
+		if v < lo || v > hi {
+			return p.errf("value %v outside [%g, %g]", n.String(), lo, hi)
+		}
+		*dst = v
+		return nil
+	}
+}
+
+// nonneg is num with only a lower bound of zero.
+func (p *parser) nonneg(dst *float64) func() error {
+	return p.num(dst, 0, maxFinite)
+}
+
+// maxFinite bounds accepted numbers: large enough for any realistic cost or
+// capacity, small enough that downstream arithmetic cannot overflow.
+const maxFinite = 1e15
+
+func (p *parser) parseDocument(doc *Document) error {
+	return p.object(map[string]func() error{
+		"name": p.str(&doc.Name),
+		"components": func() error {
+			return p.array(func(int) error {
+				var c ComponentDef
+				if err := p.parseComponent(&c); err != nil {
+					return err
+				}
+				doc.Components = append(doc.Components, c)
+				return nil
+			})
+		},
+		"apis": func() error {
+			return p.array(func(int) error {
+				var a APIDef
+				if err := p.parseAPI(&a); err != nil {
+					return err
+				}
+				doc.APIs = append(doc.APIs, a)
+				return nil
+			})
+		},
+	})
+}
+
+func (p *parser) parseComponent(c *ComponentDef) error {
+	return p.object(map[string]func() error{
+		"name":         p.str(&c.Name),
+		"stateful":     p.boolean(&c.Stateful),
+		"base_cpu":     p.nonneg(&c.BaseCPU),
+		"base_memory":  p.nonneg(&c.BaseMemory),
+		"cpu_capacity": p.nonneg(&c.CPUCapacity),
+		"cache_max":    p.nonneg(&c.CacheMax),
+		"cache_decay":  p.num(&c.CacheDecay, 0, 1),
+	})
+}
+
+func (p *parser) parseAPI(a *APIDef) error {
+	return p.object(map[string]func() error{
+		"name":       p.str(&a.Name),
+		"weight":     p.nonneg(&a.Weight),
+		"payload_cv": p.num(&a.PayloadCV, 0, 10),
+		"templates": func() error {
+			return p.array(func(int) error {
+				var t TemplateDef
+				if err := p.parseTemplate(&t); err != nil {
+					return err
+				}
+				a.Templates = append(a.Templates, t)
+				return nil
+			})
+		},
+	})
+}
+
+func (p *parser) parseTemplate(t *TemplateDef) error {
+	return p.object(map[string]func() error{
+		"prob": p.num(&t.Prob, 0, 1),
+		"root": func() error {
+			n, err := p.parseNode()
+			if err != nil {
+				return err
+			}
+			t.Root = n
+			return nil
+		},
+	})
+}
+
+func (p *parser) parseNode() (*NodeDef, error) {
+	n := &NodeDef{}
+	err := p.object(map[string]func() error{
+		"component": p.str(&n.Component),
+		"operation": p.str(&n.Operation),
+		"cost":      func() error { return p.parseCost(n) },
+		"calls": func() error {
+			return p.array(func(int) error {
+				child, err := p.parseNode()
+				if err != nil {
+					return err
+				}
+				n.Calls = append(n.Calls, child)
+				return nil
+			})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *parser) parseCost(n *NodeDef) error {
+	return p.object(map[string]func() error{
+		"cpu_ms":    p.nonneg(&n.Cost.CPUms),
+		"mem_mib":   p.nonneg(&n.Cost.MemMiB),
+		"cache_mib": p.nonneg(&n.Cost.CacheMiB),
+		"write_ops": p.nonneg(&n.Cost.WriteOps),
+		"write_kib": p.nonneg(&n.Cost.WriteKiB),
+		"disk_mib":  p.nonneg(&n.Cost.DiskMiB),
+	})
+}

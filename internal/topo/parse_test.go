@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// minimal is a small valid document used as the base for error-injection
+// tests.
+const minimal = `{
+  "name": "mini",
+  "components": [
+    {"name": "Web", "base_cpu": 10, "base_memory": 100, "cpu_capacity": 100},
+    {"name": "DB", "stateful": true, "base_cpu": 10, "base_memory": 200, "cpu_capacity": 100, "cache_max": 100, "cache_decay": 0.99}
+  ],
+  "apis": [
+    {
+      "name": "/get",
+      "weight": 1,
+      "payload_cv": 0.1,
+      "templates": [
+        {
+          "prob": 1,
+          "root": {"component": "Web", "operation": "get", "cost": {"cpu_ms": 500}, "calls": [
+            {"component": "DB", "operation": "find", "cost": {"cpu_ms": 800, "cache_mib": 0.01}}
+          ]}
+        }
+      ]
+    }
+  ]
+}`
+
+func TestParseMinimal(t *testing.T) {
+	doc, err := Parse([]byte(minimal))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if doc.Name != "mini" || len(doc.Components) != 2 || len(doc.APIs) != 1 {
+		t.Fatalf("bad decode: %+v", doc)
+	}
+	if doc.APIs[0].Templates[0].Root.Calls[0].Cost.CPUms != 800 {
+		t.Fatal("nested call cost lost")
+	}
+}
+
+// TestParseErrorsLocate checks that malformed documents fail with errors
+// naming the line and JSON path of the offending field.
+func TestParseErrorsLocate(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(string) string
+		wants []string // substrings required in the error text
+	}{
+		{
+			"unknown field",
+			func(s string) string { return strings.Replace(s, `"weight"`, `"wieght"`, 1) },
+			[]string{"unknown field", "wieght", "valid fields"},
+		},
+		{
+			"duplicate field",
+			func(s string) string { return strings.Replace(s, `"weight": 1,`, `"weight": 1, "weight": 2,`, 1) },
+			[]string{"duplicate field", "weight"},
+		},
+		{
+			"type mismatch",
+			func(s string) string { return strings.Replace(s, `"base_cpu": 10`, `"base_cpu": "ten"`, 1) },
+			[]string{"expected number", `"ten"`, "base_cpu"},
+		},
+		{
+			"out of range",
+			func(s string) string { return strings.Replace(s, `"cache_decay": 0.99`, `"cache_decay": 1.5`, 1) },
+			[]string{"outside", "cache_decay"},
+		},
+		{
+			"negative cost",
+			func(s string) string { return strings.Replace(s, `"cpu_ms": 800`, `"cpu_ms": -800`, 1) },
+			[]string{"outside", "cpu_ms", "calls[0]"},
+		},
+		{
+			"syntax error",
+			func(s string) string { return strings.Replace(s, `"apis": [`, `"apis": [,`, 1) },
+			[]string{"line"},
+		},
+		{
+			"trailing garbage",
+			func(s string) string { return s + " {}" },
+			[]string{"trailing"},
+		},
+		{
+			"truncated",
+			func(s string) string { return s[:len(s)/2] },
+			[]string{"unexpected end of input"},
+		},
+		{
+			"undeclared component",
+			func(s string) string { return strings.Replace(s, `"component": "DB"`, `"component": "NoSuch"`, 1) },
+			[]string{"NoSuch", "undeclared"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.mut(minimal)))
+			if err == nil {
+				t.Fatal("Parse accepted a bad document")
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q missing %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParseErrorHasLine checks structural errors carry a usable position.
+func TestParseErrorHasLine(t *testing.T) {
+	bad := strings.Replace(minimal, `"base_cpu": 10, "base_memory": 100`, `"base_cpu": true, "base_memory": 100`, 1)
+	_, err := Parse([]byte(bad))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	if pe.Line != 4 {
+		t.Fatalf("error on line %d, want 4: %v", pe.Line, pe)
+	}
+	if !strings.Contains(pe.Path, "components[0].base_cpu") {
+		t.Fatalf("path %q does not locate the field", pe.Path)
+	}
+}
+
+// TestResolve covers every -app argument form.
+func TestResolve(t *testing.T) {
+	for _, name := range []string{"social", "hotel", "media"} {
+		spec, mix, err := Resolve(name)
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", name, err)
+		}
+		if spec == nil || len(mix) == 0 {
+			t.Fatalf("Resolve(%s): empty result", name)
+		}
+	}
+	spec, mix, err := Resolve("gen:seed=7,components=30")
+	if err != nil {
+		t.Fatalf("Resolve(gen): %v", err)
+	}
+	if len(spec.Components) != 30 || len(mix) == 0 {
+		t.Fatalf("Resolve(gen): %d components", len(spec.Components))
+	}
+	if _, _, err := Resolve("trainticket"); err == nil {
+		t.Fatal("Resolve accepted an unknown app")
+	}
+	if _, _, err := Resolve("@/no/such/file.json"); err == nil {
+		t.Fatal("Resolve accepted a missing file")
+	}
+}

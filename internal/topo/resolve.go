@@ -1,0 +1,47 @@
+package topo
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/workload"
+)
+
+// Resolve turns a CLI -app argument into an application spec and default
+// traffic mix. Four forms are accepted:
+//
+//	social | hotel | media     — the bundled Go-coded applications
+//	@FILE                      — a topology DSL document on disk
+//	gen:seed=N,components=N    — a generated topology (see ParseGenArg)
+func Resolve(arg string) (*app.Spec, workload.Mix, error) {
+	switch {
+	case arg == "social":
+		return app.SocialNetwork(), workload.SocialDefaultMix(), nil
+	case arg == "hotel":
+		return app.HotelReservation(), workload.HotelDefaultMix(), nil
+	case arg == "media":
+		return app.MediaMicroservices(), workload.Mix(app.MediaDefaultMix()), nil
+	case strings.HasPrefix(arg, "@"):
+		path := arg[1:]
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("topo: reading spec %s: %w", path, err)
+		}
+		doc, err := Parse(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return doc.Spec(), doc.Mix(), nil
+	case strings.HasPrefix(arg, "gen:"):
+		cfg, err := ParseGenArg(arg[len("gen:"):])
+		if err != nil {
+			return nil, nil, err
+		}
+		doc := Generate(cfg)
+		return doc.Spec(), doc.Mix(), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown app %q (want social, hotel, media, @spec.json, or gen:seed=N,components=N)", arg)
+	}
+}
