@@ -45,8 +45,9 @@ test-race:
 # path (bounded Record, cached vs uncached feature reads, zero-alloc
 # extraction, warm vs cold /v1/estimate), recorded as BENCH_ingest.json,
 # plus the topology path (generate, DSL parse/encode, simulate at 30/100/300
-# components), recorded as BENCH_topo.json — all for regression tracking
-# across PRs.
+# components), recorded as BENCH_topo.json, plus the shadow-scoring path
+# (chunk scoring catch-up, scoreboard rendering), recorded as
+# BENCH_quality.json — all for regression tracking across PRs.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/estimator | \
 		$(GO) run ./cmd/benchjson -out BENCH_estimator.json
@@ -55,6 +56,8 @@ bench:
 		$(GO) run ./cmd/benchjson -out BENCH_ingest.json
 	$(GO) test -run='^$$' -bench='Topo' -benchmem ./internal/topo | \
 		$(GO) run ./cmd/benchjson -out BENCH_topo.json
+	$(GO) test -run='^$$' -bench='Scorer' -benchmem ./internal/quality | \
+		$(GO) run ./cmd/benchjson -out BENCH_quality.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

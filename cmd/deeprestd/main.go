@@ -8,6 +8,7 @@
 //	          [-hidden N] [-epochs N]
 //	          [-retrain-every D] [-window N] [-retention N] [-checkpoint-dir DIR]
 //	          [-history N] [-max-inflight N] [-request-timeout D] [-fault-spec SPEC]
+//	          [-quality-horizon D] [-quality-retrain-threshold PCT]
 //	          [-log-level L] [-log-format text|json] [-pprof] [-debug-addr A]
 //
 // With -app the daemon bootstraps its telemetry store from a simulated
@@ -23,7 +24,8 @@
 //	POST /v1/estimate   POST /v1/sanity GET /v1/influence  GET /v1/model
 //	POST /v1/pipeline/start  POST /v1/pipeline/stop  GET /v1/pipeline/status
 //	GET  /v1/models     POST /v1/models/{version}/activate
-//	GET  /metrics       (Prometheus text format; always on)
+//	GET  /v1/quality    (shadow-scoring scoreboard: rolling error + calibration)
+//	GET  /v1/version    GET /metrics (Prometheus text format; always on)
 //
 // With -retrain-every the continuous-learning loop starts automatically:
 // the daemon retrains on fresh telemetry at that cadence (and early when
@@ -38,11 +40,22 @@
 // (injected retrain failures, checkpoint corruption) for resilience drills —
 // while faults fire, queries keep serving the last good model generation.
 //
+// Prediction quality: the daemon continuously shadow-scores the active
+// model against arriving telemetry (internal/quality) and serves the
+// rolling scoreboard at GET /v1/quality plus deeprest_quality_* Prometheus
+// series. -quality-horizon caps the longest rolling report horizon;
+// -quality-retrain-threshold arms the feedback loop — when the aggregate
+// sMAPE stays above the threshold for 8 consecutive windows, the pipeline
+// schedules an early retrain (trigger "quality") just like drift does.
+//
 // Observability: the daemon self-instruments through internal/obs and
-// serves the registry at GET /metrics on the main listener. -pprof
-// additionally mounts net/http/pprof under /debug/pprof/ there; -debug-addr
-// starts a second, operator-only listener carrying /metrics and
-// /debug/pprof/ so profiling never has to face application clients. Logs
+// serves the registry at GET /metrics on the main listener. Stage spans
+// around ingest, extraction, scoring, training, checkpointing, and serving
+// swaps are recorded in a fixed in-process ring and served at
+// GET /debug/spans. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ (plus /debug/spans) on the main listener; -debug-addr
+// starts a second, operator-only listener carrying /metrics, /debug/spans,
+// and /debug/pprof/ so profiling never has to face application clients. Logs
 // are structured (log/slog) on stderr; -log-level and -log-format pick
 // severity and text/json rendering. SIGINT or SIGTERM shut the daemon down
 // gracefully: the retraining loop drains, then the listeners stop.
@@ -70,6 +83,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -97,6 +111,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "admission bound: concurrent API requests before shedding with 503 (0 = unbounded)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline propagated through handler contexts (0 = none)")
 	faultSpec := flag.String("fault-spec", "", "deterministic control-plane fault scenario, e.g. \"seed=1;retrainfail:prob=0.3\" (see internal/faults; for resilience drills)")
+	qualityHorizon := flag.Duration("quality-horizon", 24*time.Hour, "longest rolling shadow-scoring horizon served at /v1/quality")
+	qualityThreshold := flag.Float64("quality-retrain-threshold", 0, "aggregate sMAPE (percent) that, sustained over 8 scored windows, triggers an early retrain (0 = observe only)")
 	logLevel := flag.String("log-level", "info", "log severity: debug, info, warn, or error")
 	logFormat := flag.String("log-format", "text", "log rendering: text or json")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof/ on the main listener")
@@ -114,12 +130,15 @@ func main() {
 	}
 
 	metrics := obs.NewRegistry()
+	buildinfo.Register(metrics)
+	tracer := obs.NewSpanTracer(512, 1)
 	opts := core.DefaultOptions()
 	opts.Anonymize = *anonymize
 	opts.HashSalt = *salt
 	opts.Log = os.Stdout
 	opts.Metrics = metrics
 	opts.Logger = logger
+	opts.Tracer = tracer
 	if *hidden > 0 {
 		opts.Estimator.Hidden = *hidden
 	}
@@ -156,6 +175,12 @@ func main() {
 	svc.EnablePprof = *pprofOn
 	svc.MaxInflight = *maxInflight
 	svc.RequestTimeout = *requestTimeout
+	svc.QualityHorizon = *qualityHorizon
+	svc.QualityThreshold = *qualityThreshold
+	if *qualityThreshold > 0 {
+		logger.Info("quality-regression retrain gate armed",
+			"smape_threshold_pct", *qualityThreshold, "horizon", *qualityHorizon)
+	}
 	// The default horizon keeps the training window plus the same again as
 	// query slack, so scheduled retrains and recent-range sanity checks
 	// always find their telemetry resident.
@@ -210,7 +235,8 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
-		logger.Info("listening", "addr", *addr, "anonymize", *anonymize, "pprof", *pprofOn)
+		logger.Info("listening", "addr", *addr, "version", buildinfo.String(),
+			"anonymize", *anonymize, "pprof", *pprofOn)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal("listener failed", "error", err)
 		}
@@ -220,7 +246,7 @@ func main() {
 	if *debugAddr != "" {
 		dbg = &http.Server{
 			Addr:              *debugAddr,
-			Handler:           debugMux(metrics),
+			Handler:           debugMux(metrics, tracer),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
@@ -289,11 +315,13 @@ func buildLogger(level, format string) (*slog.Logger, error) {
 	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 }
 
-// debugMux is the operator-only listener: metrics plus the full pprof
-// surface, kept off the application-facing mux unless -pprof asks for it.
-func debugMux(metrics *obs.Registry) http.Handler {
+// debugMux is the operator-only listener: metrics, stage spans, and the
+// full pprof surface, kept off the application-facing mux unless -pprof
+// asks for it.
+func debugMux(metrics *obs.Registry, tracer *obs.SpanTracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", metrics.Handler())
+	mux.Handle("GET /debug/spans", tracer.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

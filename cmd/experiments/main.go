@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-reps N] [ids...]
+//	experiments [-quick] [-seed N] [-reps N] [-app SPEC]... [ids...]
 //
 // With no IDs, every experiment runs in paper order. Use -list to see the
 // available IDs. -quick shrinks the workload and training so the full suite
@@ -20,12 +20,24 @@ import (
 	"repro/internal/experiments"
 )
 
+// appList collects repeated -app flags for the topology-size sweep.
+type appList []string
+
+func (a *appList) String() string { return fmt.Sprint(*a) }
+func (a *appList) Set(v string) error {
+	*a = append(*a, v)
+	return nil
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload and training for fast runs")
 	seed := flag.Int64("seed", 1, "random seed for all stages")
 	reps := flag.Int("reps", 3, "query repetitions per scenario (paper: 9)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	metrics := flag.Bool("metrics", true, "print headline metrics after each experiment")
+	var apps appList
+	flag.Var(&apps, "app",
+		"application for the gensweep accuracy rows (repeatable): social|hotel|media, @spec.json, or gen:seed=N,components=N; default 30/100/300 generated sweep")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +51,7 @@ func main() {
 	p.Quick = *quick
 	p.Seed = *seed
 	p.Reps = *reps
+	p.Apps = apps
 	r := experiments.NewRunner(p)
 
 	ids := flag.Args()

@@ -1,0 +1,57 @@
+// Package buildinfo identifies the running build. The version is stamped at
+// link time (go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3")
+// and defaults to "dev" plus whatever VCS revision the Go toolchain embeds.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/obs"
+)
+
+// Version is the release identity of this binary; overridden at link time.
+var Version = "dev"
+
+// Revision returns the VCS revision the toolchain embedded into the build
+// ("" outside a VCS checkout or when built from a module zip).
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// GoVersion returns the Go runtime the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// String renders the full identity, e.g. "dev (abc123def456, go1.22.1)".
+func String() string {
+	if rev := Revision(); rev != "" {
+		return Version + " (" + rev + ", " + GoVersion() + ")"
+	}
+	return Version + " (" + GoVersion() + ")"
+}
+
+// Register publishes the deeprest_build_info gauge: constant 1 with the
+// build identity in labels, the standard Prometheus idiom for joining
+// version metadata onto any other series. Nil registry is a no-op;
+// registration is idempotent like the rest of internal/obs.
+func Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeVec("deeprest_build_info",
+		"Build identity of the running deeprest binary (constant 1; the labels carry the information).",
+		"version", "go_version").
+		With(Version, GoVersion()).Set(1)
+}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -57,6 +58,10 @@ type Options struct {
 	// Logger, when non-nil, receives structured logs from the service and
 	// pipeline layers (access lines, generation publishes, drift events).
 	Logger *slog.Logger
+	// Tracer, when non-nil, records stage spans (ingest, extract, score,
+	// train, checkpoint, swap) across the layers that share these Options.
+	// Nil disables stage tracing, like Metrics, at zero cost.
+	Tracer *obs.SpanTracer
 }
 
 // DefaultOptions returns Options with the default estimator configuration.
@@ -126,7 +131,11 @@ func LearnFromDataWarm(windows [][]trace.Batch, usage map[app.Pair][]float64, op
 		windows = anonymizeWindows(s.hasher, windows)
 	}
 	s.synth = synth.Learn(windows)
+	_, span := opts.Tracer.Start(context.Background(), "core.learn")
+	span.SetWindows(len(windows))
 	model, err := estimator.TrainWarm(windows, usage, opts.Estimator, warm)
+	span.SetErr(err)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: train estimator: %w", err)
 	}

@@ -183,6 +183,15 @@ func TestReproductionShape(t *testing.T) {
 			ma["waste_deeprest"], ma["waste_simple"])
 	}
 
+	// Topology-size sweep: the focus-expert error stays bounded as the
+	// generated topology grows (quick scale sweeps 10 and 40 components).
+	mg := res["gensweep"].Metrics
+	for _, k := range []string{"gen10_mape_mean", "gen40_mape_mean"} {
+		if v, ok := mg[k]; !ok || v <= 0 || v > 60 {
+			t.Errorf("gensweep: %s = %v (present=%v)", k, v, ok)
+		}
+	}
+
 	// Drift extension: one day of continued training repairs the stale
 	// model's error on the changed component.
 	md := res["drift"].Metrics
@@ -194,8 +203,8 @@ func TestReproductionShape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := List()
-	if len(ids) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(ids))
 	}
 	if ids[0] != "fig9" || ids[len(ids)-1] != "drift" {
 		t.Errorf("registry order: %v", ids)

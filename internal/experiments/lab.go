@@ -49,6 +49,10 @@ type Params struct {
 	// Reps is the number of query repetitions per scenario (the paper
 	// uses nine and reports the worst case).
 	Reps int
+	// Apps overrides the topology-size sweep's application list (gensweep).
+	// Each entry is a cmd -app spec: social|hotel|media, @file.json, or
+	// gen:seed=N,components=N. Empty means the default 30/100/300 sweep.
+	Apps []string
 }
 
 // DefaultParams returns full-scale parameters writing to w.

@@ -128,6 +128,13 @@ type Config struct {
 	// OnGeneration, when non-nil, is called after each generation is
 	// published.
 	OnGeneration func(*Generation)
+	// QualityCheck, when non-nil, is polled on every drift tick after the
+	// drift verdict: returning true (with a human-readable reason)
+	// triggers an early retrain with trigger "quality". The service layer
+	// wires this to the shadow-scoring regression gate
+	// (internal/quality.Scorer.Regressed) — the hook indirection keeps
+	// quality from importing pipeline and vice versa.
+	QualityCheck func() (bool, string)
 }
 
 // DefaultConfig returns the production defaults: retrain every 15 minutes
@@ -175,8 +182,9 @@ type Pipeline struct {
 	trainedTo   int        // store index the latest generation trained up to
 	lastErr     string
 	lastDrift   *drift.Signal
-	attempts    int // lifetime training attempts, feeds the retrainfail injector
-	consecFails int // training failures since the last successful publish
+	lastQuality string // reason of the last quality-gate regression
+	attempts    int    // lifetime training attempts, feeds the retrainfail injector
+	consecFails int    // training failures since the last successful publish
 	running     bool
 	cancel      context.CancelFunc
 	done        chan struct{}
@@ -214,6 +222,7 @@ func New(opts core.Options, cfg Config, source func() Source) (*Pipeline, error)
 	}
 	reg.instrument(opts.Metrics)
 	reg.injected = cfg.Faults
+	reg.tracer = opts.Tracer
 	p := &Pipeline{opts: opts, cfg: cfg, det: det, reg: reg, source: source, log: opts.Logger}
 	if m := opts.Metrics; m != nil {
 		p.genDur = m.HistogramVec("deeprest_pipeline_generation_seconds",
@@ -272,6 +281,9 @@ type Status struct {
 	TrainedTo     int           `json:"trained_to_window"`
 	LastError     string        `json:"last_error,omitempty"`
 	LastDrift     *drift.Signal `json:"last_drift,omitempty"`
+	// LastQuality carries the most recent shadow-scoring regression that
+	// triggered (or is about to trigger) an early retrain.
+	LastQuality string `json:"last_quality_regression,omitempty"`
 	// ConsecutiveFailures counts training failures since the last
 	// successful publish; Degraded is true while that count is non-zero,
 	// meaning queries are being answered from the last good generation.
@@ -292,6 +304,7 @@ func (p *Pipeline) Status() Status {
 		TrainedTo:           p.trainedTo,
 		LastError:           p.lastErr,
 		LastDrift:           p.lastDrift,
+		LastQuality:         p.lastQuality,
 		ConsecutiveFailures: p.consecFails,
 		Degraded:            p.consecFails > 0,
 		Quarantined:         p.reg.Quarantined(),
@@ -373,7 +386,11 @@ func (p *Pipeline) TrainOnceCtx(ctx context.Context, from, to int, pairs []app.P
 	p.mu.Unlock()
 
 	start := time.Now()
-	gen, err := p.train(ctx, src, from, to, pairs, trigger, warm, prevWarm, attempt)
+	tctx, span := p.opts.Tracer.Start(ctx, "pipeline.train")
+	span.SetWindows(to - from)
+	gen, err := p.train(tctx, src, from, to, pairs, trigger, warm, prevWarm, attempt)
+	span.SetErr(err)
+	span.End()
 	elapsed := time.Since(start)
 
 	p.mu.Lock()
@@ -401,13 +418,14 @@ func (p *Pipeline) TrainOnceCtx(ctx context.Context, from, to int, pairs []app.P
 		p.genTotal.With(trigger, "error").Inc()
 		p.warn("training generation failed",
 			"trigger", trigger, "from", from, "to", to,
-			"duration", elapsed, "error", err)
+			"duration", elapsed, "error", err, "span_id", obs.SpanID(tctx))
 	} else {
 		p.genTotal.With(trigger, "ok").Inc()
 		p.info("generation published",
 			"version", gen.Version, "trigger", trigger,
 			"from", gen.From, "to", gen.To, "experts", gen.Experts(),
-			"warm_started", gen.Warm, "duration", elapsed)
+			"warm_started", gen.Warm, "duration", elapsed,
+			"span_id", obs.SpanID(tctx))
 	}
 
 	if err == nil && p.cfg.OnGeneration != nil {
@@ -454,7 +472,7 @@ func (p *Pipeline) train(ctx context.Context, src Source, from, to int, pairs []
 		return nil, fmt.Errorf("pipeline: training cancelled before publish: %w", err)
 	}
 	g := &Generation{Trigger: trigger, From: from, To: to, Warm: warmed, System: sys}
-	pub, err := p.reg.Publish(g)
+	pub, err := p.reg.Publish(ctx, g)
 	if err != nil {
 		return nil, err
 	}
@@ -565,6 +583,8 @@ func (p *Pipeline) loop(ctx context.Context, done chan struct{}) {
 		case <-driftTick.C:
 			if p.checkDrift() {
 				p.scheduledRetrain(ctx, "drift")
+			} else if p.checkQuality() {
+				p.scheduledRetrain(ctx, "quality")
 			}
 		}
 	}
@@ -599,8 +619,8 @@ func (p *Pipeline) scheduledRetrain(ctx context.Context, trigger string) {
 	n := src.NumWindows()
 	trainedTo := p.rebaseTrainedTo(n)
 	minNew := p.cfg.MinNewWindows
-	if trigger == "drift" {
-		minNew = 1 // the drift gate already decided fresh data warrants it
+	if trigger == "drift" || trigger == "quality" {
+		minNew = 1 // the drift/quality gate already decided fresh data warrants it
 	}
 	if n == 0 || (p.reg.Active() != nil && n-trainedTo < minNew) {
 		return
@@ -631,6 +651,31 @@ func (p *Pipeline) scheduledRetrain(ctx context.Context, trigger string) {
 		}
 		backoff *= 2
 	}
+}
+
+// TrainingInFlight reports whether a training generation is currently in
+// flight. The HTTP layer uses it to refuse serving swaps mid-learn.
+func (p *Pipeline) TrainingInFlight() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inFlight
+}
+
+// checkQuality polls the shadow-scoring regression gate (when configured)
+// and reports whether a quality-triggered retrain should fire.
+func (p *Pipeline) checkQuality() bool {
+	if p.cfg.QualityCheck == nil || p.reg.Active() == nil {
+		return false
+	}
+	bad, reason := p.cfg.QualityCheck()
+	if !bad {
+		return false
+	}
+	p.mu.Lock()
+	p.lastQuality = reason
+	p.mu.Unlock()
+	p.warn("prediction quality regressed; scheduling early retrain", "reason", reason)
+	return true
 }
 
 // checkDrift measures the active model against the telemetry that arrived

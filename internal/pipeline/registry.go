@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
@@ -69,6 +70,9 @@ type Registry struct {
 	// injected is the fault schedule rotting checkpoints after write
 	// (nil in production; see faults.CkptCorrupt).
 	injected *faults.Schedule
+
+	// tracer records checkpoint/swap stage spans (nil-safe no-op).
+	tracer *obs.SpanTracer
 }
 
 // instrument registers the registry's metrics: the serving generation
@@ -109,7 +113,7 @@ func (r *Registry) Active() *Generation { return r.active.Load() }
 // Publish assigns the next version to g, checkpoints it, appends it to the
 // history (evicting the oldest non-active generation beyond the bound), and
 // atomically makes it the serving generation.
-func (r *Registry) Publish(g *Generation) (*Generation, error) {
+func (r *Registry) Publish(ctx context.Context, g *Generation) (*Generation, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g.Version = r.next
@@ -117,18 +121,23 @@ func (r *Registry) Publish(g *Generation) (*Generation, error) {
 		g.TrainedAt = time.Now()
 	}
 	if r.dir != "" {
+		_, ckSpan := r.tracer.Start(ctx, "pipeline.checkpoint")
 		err := r.writeCheckpoint(g)
+		ckSpan.SetErr(err)
+		ckSpan.End()
 		if err != nil {
 			r.ckptOps.With("write", "error").Inc()
 			return nil, err
 		}
 		r.ckptOps.With("write", "ok").Inc()
 	}
+	_, swapSpan := r.tracer.Start(ctx, "pipeline.swap")
 	r.next++
 	r.gens = append(r.gens, g)
 	r.active.Store(g)
 	r.activeGen.Set(float64(g.Version))
 	r.evictLocked()
+	swapSpan.End()
 	return g, nil
 }
 
@@ -163,8 +172,10 @@ func (r *Registry) Activate(version int) (*Generation, error) {
 	defer r.mu.Unlock()
 	for _, g := range r.gens {
 		if g.Version == version {
+			_, span := r.tracer.Start(context.Background(), "pipeline.swap")
 			r.active.Store(g)
 			r.activeGen.Set(float64(g.Version))
+			span.End()
 			return g, nil
 		}
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -17,25 +18,31 @@ func (s *Server) Bootstrap(run *sim.Run) error {
 	if run == nil || len(run.Windows) == 0 {
 		return fmt.Errorf("bootstrap: empty run")
 	}
+	ctx, span := s.opts.Tracer.Start(context.Background(), "service.ingest")
+	span.SetWindows(len(run.Windows))
+	defer span.End()
 	in := telemetry.NewServer(run.WindowSeconds)
 	in.RecordRun(run)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.store == nil {
 		s.adoptStore(in)
-		return nil
+	} else {
+		if s.store.WindowSeconds() != run.WindowSeconds {
+			have := s.store.WindowSeconds()
+			s.mu.Unlock()
+			return fmt.Errorf("bootstrap: window duration %vs does not match existing store (%vs)",
+				run.WindowSeconds, have)
+		}
+		n := in.NumWindows()
+		traces, _ := in.Traces(0, n)
+		metrics, _ := in.Metrics(0, n)
+		for i := 0; i < n; i++ {
+			s.store.Record(windowResult(traces[i], metrics, i))
+		}
 	}
-	if s.store.WindowSeconds() != run.WindowSeconds {
-		return fmt.Errorf("bootstrap: window duration %vs does not match existing store (%vs)",
-			run.WindowSeconds, s.store.WindowSeconds())
-	}
-	n := in.NumWindows()
-	traces, _ := in.Traces(0, n)
-	metrics, _ := in.Metrics(0, n)
-	for i := 0; i < n; i++ {
-		s.store.Record(windowResult(traces[i], metrics, i))
-	}
+	s.mu.Unlock()
+	s.qualityCatchUp(ctx)
 	return nil
 }
 
@@ -49,6 +56,7 @@ func (s *Server) adoptStore(in *telemetry.Server) {
 	// Back-counts the imported windows, so ingestion metrics cover the
 	// stream that created the store too.
 	s.store.Instrument(s.opts.Metrics)
+	s.store.SetTracer(s.opts.Tracer)
 	// A recovered generation may predate the store: arm its extractor so
 	// Record-time feature extraction starts with the first window.
 	if gen := s.pipe.Active(); gen != nil {

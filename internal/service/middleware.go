@@ -51,7 +51,7 @@ func endpointLabel(r *http.Request) string {
 	case "/v1/telemetry", "/v1/learn", "/v1/status", "/v1/estimate",
 		"/v1/predict", "/v1/sanity", "/v1/influence", "/v1/model",
 		"/v1/pipeline/start", "/v1/pipeline/stop", "/v1/pipeline/status",
-		"/v1/models", "/metrics":
+		"/v1/models", "/v1/quality", "/v1/version", "/metrics", "/debug/spans":
 		return p
 	}
 	if strings.HasPrefix(p, "/v1/models/") && strings.HasSuffix(p, "/activate") {
@@ -81,7 +81,7 @@ func (s *Server) nextRequestID() string {
 // operatorPath reports whether a path serves operator tooling that must stay
 // reachable even when the service sheds API load.
 func operatorPath(p string) bool {
-	return p == "/metrics" || strings.HasPrefix(p, "/debug/pprof")
+	return p == "/metrics" || p == "/debug/spans" || strings.HasPrefix(p, "/debug/pprof")
 }
 
 // withAdmission is the bounded-admission middleware: at most MaxInflight

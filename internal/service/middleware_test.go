@@ -46,6 +46,10 @@ func TestMetricsScrape(t *testing.T) {
 	// A request that routes nowhere must fold into the "other" endpoint
 	// label instead of minting a new one.
 	do(t, h, "GET", "/no/such/route", nil)
+	// Touch the quality scoreboard so its gauges export scored values.
+	if rec := do(t, h, "GET", "/v1/quality", nil); rec.Code != http.StatusOK {
+		t.Fatalf("quality = %d", rec.Code)
+	}
 
 	rec := do(t, h, "GET", "/metrics", nil)
 	if rec.Code != http.StatusOK {
@@ -71,6 +75,10 @@ func TestMetricsScrape(t *testing.T) {
 		"deeprest_active_generation 1",
 		"deeprest_telemetry_windows_total",
 		"deeprest_telemetry_spans_total",
+		`deeprest_build_info{version=`,
+		"deeprest_quality_windows_scored_total",
+		`deeprest_quality_smape{component="Service",resource="cpu"}`,
+		"deeprest_quality_coverage{",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape is missing %q", want)

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/quality"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// storeSource adapts the lazily created telemetry store for the quality
+// scorer: before the first ingest every read reports an empty store, so the
+// scorer simply has nothing to score yet.
+type storeSource struct{ s *Server }
+
+func (ss storeSource) get() *telemetry.Server {
+	ss.s.mu.RLock()
+	defer ss.s.mu.RUnlock()
+	return ss.s.store
+}
+
+func (ss storeSource) WindowSeconds() float64 {
+	if st := ss.get(); st != nil {
+		return st.WindowSeconds()
+	}
+	return 0
+}
+
+func (ss storeSource) NumWindows() int {
+	if st := ss.get(); st != nil {
+		return st.NumWindows()
+	}
+	return 0
+}
+
+func (ss storeSource) OldestWindow() int {
+	if st := ss.get(); st != nil {
+		return st.OldestWindow()
+	}
+	return 0
+}
+
+func (ss storeSource) Traces(from, to int) ([][]trace.Batch, error) {
+	return ss.get().Traces(from, to)
+}
+
+func (ss storeSource) Metrics(from, to int) (map[app.Pair][]float64, error) {
+	return ss.get().Metrics(from, to)
+}
+
+func (ss storeSource) Features(gen int, fn func([]trace.Batch) features.Vector, from, to int) ([]features.Vector, error) {
+	return ss.get().Features(gen, fn, from, to)
+}
+
+// qualityHorizons derives the report horizons from the configured maximum:
+// the defaults (1h/6h/24h) clipped to max, with max itself always included
+// as the longest.
+func qualityHorizons(max time.Duration) []time.Duration {
+	if max <= 0 {
+		max = quality.DefaultHorizons[len(quality.DefaultHorizons)-1]
+	}
+	var hs []time.Duration
+	for _, h := range quality.DefaultHorizons {
+		if h < max {
+			hs = append(hs, h)
+		}
+	}
+	return append(hs, max)
+}
+
+// initQuality builds the shadow scorer. Called once from Handler, after the
+// operator-tunable fields (QualityHorizon, QualityThreshold, Retention) are
+// final.
+func (s *Server) initQuality() {
+	if s.quality != nil {
+		return
+	}
+	s.quality = quality.New(quality.Config{
+		Horizons:       qualityHorizons(s.QualityHorizon),
+		Retention:      s.Retention,
+		SMAPEThreshold: s.QualityThreshold,
+		SustainWindows: s.QualitySustain,
+	}, quality.Deps{
+		Source: storeSource{s},
+		Active: func() (int, *core.System) {
+			g := s.pipe.Active()
+			if g == nil {
+				return 0, nil
+			}
+			return g.Version, g.System
+		},
+		Metrics: s.opts.Metrics,
+		Tracer:  s.opts.Tracer,
+		Logger:  s.log,
+	})
+}
+
+// qualityCatchUp scores any pending complete chunks. Callers must NOT hold
+// s.mu: the scorer reads the store through storeSource, which takes the
+// read lock itself.
+func (s *Server) qualityCatchUp(ctx context.Context) {
+	if s.quality != nil {
+		s.quality.CatchUp(ctx)
+	}
+}
+
+// qualityRegressed is the pipeline's QualityCheck hook: advance the
+// scoreboard, then report the sustained-regression gate. Returning true
+// makes the pipeline schedule an early retrain with trigger "quality".
+func (s *Server) qualityRegressed() (bool, string) {
+	if s.quality == nil {
+		return false, ""
+	}
+	s.quality.CatchUp(context.Background())
+	return s.quality.Regressed()
+}
+
+// handleQuality serves the shadow-scoring scoreboard. The report is
+// refreshed first, so the response always covers every complete chunk of
+// ingested telemetry.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if s.quality == nil {
+		writeErr(w, http.StatusServiceUnavailable, "quality scoring not initialised")
+		return
+	}
+	s.quality.CatchUp(r.Context())
+	writeJSON(w, s.quality.Report())
+}

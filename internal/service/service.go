@@ -70,10 +70,12 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/app"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -114,10 +116,22 @@ type Server struct {
 	// first Handler call.
 	EstimateCache int
 
+	// QualityHorizon is the longest shadow-scoring report horizon (see
+	// internal/quality); 0 means 24h. QualityThreshold arms the
+	// quality-regression retrain gate: a sustained aggregate sMAPE above
+	// it (percent, over QualitySustain consecutive windows, default 8)
+	// makes the pipeline schedule an early retrain. 0 disables the gate —
+	// scoring still runs and /v1/quality still reports. Set before the
+	// first Handler call.
+	QualityHorizon   time.Duration
+	QualityThreshold float64
+	QualitySustain   int
+
 	mu    sync.RWMutex
 	store *telemetry.Server
 
-	pipe *pipeline.Pipeline
+	pipe    *pipeline.Pipeline
+	quality *quality.Scorer
 
 	estCache       *predCache
 	estCacheHits   *obs.Counter
@@ -168,6 +182,12 @@ func NewWithConfig(opts core.Options, pcfg pipeline.Config) (*Server, error) {
 		s.estCacheMisses = m.Counter("deeprest_estimate_cache_misses_total",
 			"Estimate requests that had to run the full synthesize-extract-predict path.")
 	}
+	buildinfo.Register(opts.Metrics)
+	// The shadow-scoring regression gate feeds the pipeline's early-retrain
+	// decision; the hook indirection keeps quality and pipeline decoupled.
+	if pcfg.QualityCheck == nil {
+		pcfg.QualityCheck = s.qualityRegressed
+	}
 	p, err := pipeline.New(opts, pcfg, s.telemetrySource)
 	if err != nil {
 		return nil, err
@@ -199,6 +219,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		s.estCache = newPredCache(size)
 	}
+	s.initQuality()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
 	mux.HandleFunc("POST /v1/learn", s.handleLearn)
@@ -213,6 +234,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/pipeline/status", s.handlePipelineStatus)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/models/{version}/activate", s.handleActivate)
+	mux.HandleFunc("GET /v1/quality", s.handleQuality)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	if s.opts.Metrics != nil {
 		mux.Handle("GET /metrics", s.opts.Metrics.Handler())
 	}
@@ -222,6 +245,11 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		// Stage tracing is operator-facing like pprof: mounted only on
+		// explicit opt-in, and only when a tracer is configured.
+		if s.opts.Tracer != nil {
+			mux.Handle("GET /debug/spans", s.opts.Tracer.Handler())
+		}
 	}
 	var h http.Handler = mux
 	h = s.withDeadline(h)
@@ -248,19 +276,25 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 // handleTelemetry ingests a telemetry stream (the interchange format of
 // internal/telemetry) and appends its windows to the store.
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	ctx, span := s.opts.Tracer.Start(r.Context(), "service.ingest")
+	defer span.End()
 	in, err := telemetry.ImportJSON(r.Body)
 	if err != nil {
+		span.SetErr(err)
 		writeErr(w, http.StatusBadRequest, "ingest: %v", err)
 		return
 	}
+	span.SetWindows(in.NumWindows())
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.store == nil {
 		s.adoptStore(in)
 	} else {
 		if s.store.WindowSeconds() != in.WindowSeconds() {
+			ws, have := in.WindowSeconds(), s.store.WindowSeconds()
+			s.mu.Unlock()
 			writeErr(w, http.StatusConflict, "window duration %vs does not match existing store (%vs)",
-				in.WindowSeconds(), s.store.WindowSeconds())
+				ws, have)
 			return
 		}
 		n := in.NumWindows()
@@ -270,7 +304,13 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 			s.store.Record(windowResult(traces[i], metrics, i))
 		}
 	}
-	writeJSON(w, map[string]int{"windows": s.store.NumWindows()})
+	total := s.store.NumWindows()
+	s.mu.Unlock()
+
+	// Shadow-score the fresh windows against the active generation (the
+	// scorer takes the store's own lock, so s.mu must be released first).
+	s.qualityCatchUp(ctx)
+	writeJSON(w, map[string]int{"windows": total})
 }
 
 // learnRequest controls one training generation.
@@ -355,11 +395,13 @@ type statusResponse struct {
 	// Degraded is true while retraining is failing and queries are being
 	// answered from the last good generation.
 	Degraded bool `json:"degraded,omitempty"`
+	// ServerVersion is the build identity of the serving binary.
+	ServerVersion string `json:"server_version"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	resp := statusResponse{}
+	resp := statusResponse{ServerVersion: buildinfo.Version}
 	if s.store != nil {
 		resp.Windows = s.store.NumWindows()
 		resp.ResidentWindows = s.store.ResidentWindows()
@@ -670,6 +712,13 @@ func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad version %q", r.PathValue("version"))
 		return
 	}
+	// Refuse to swap mid-learn: the in-flight generation will publish (and
+	// activate) momentarily, and racing an explicit rollback against it
+	// gives a serving model nobody asked for.
+	if s.pipe.TrainingInFlight() {
+		writeErr(w, http.StatusConflict, "a training generation is in flight; retry after it publishes")
+		return
+	}
 	gen, err := s.pipe.Registry().Activate(version)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
@@ -684,6 +733,15 @@ func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
 		store.SetExtractor(gen.Version, gen.System.Extractor())
 	}
 	writeJSON(w, map[string]int{"active": gen.Version})
+}
+
+// handleVersion reports the build identity of the serving binary.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{
+		"version":    buildinfo.Version,
+		"revision":   buildinfo.Revision(),
+		"go_version": buildinfo.GoVersion(),
+	})
 }
 
 // windowResult reassembles one window of an imported store for appending.

@@ -31,6 +31,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -86,6 +87,10 @@ type Server struct {
 	evictedTotal  *obs.Counter
 	residentGauge *obs.Gauge
 	extractsTotal *obs.Counter
+
+	// tracer records "telemetry.extract" stage spans around eager
+	// Record-time feature extraction (nil-safe no-op).
+	tracer *obs.SpanTracer
 }
 
 // Instrument registers ingestion-volume counters on reg and counts every
@@ -122,6 +127,13 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		s.requestsTotal.Add(uint64(wr.NumRequests()))
 	}
 	s.residentGauge.Set(float64(len(s.traces)))
+}
+
+// SetTracer installs the stage tracer recording feature-extraction spans.
+func (s *Server) SetTracer(tr *obs.SpanTracer) {
+	s.mu.Lock()
+	s.tracer = tr
+	s.mu.Unlock()
 }
 
 // NewServer returns an empty, unbounded telemetry server with the given
@@ -183,11 +195,14 @@ func (s *Server) ExtractorGen() int {
 // window.
 func (s *Server) Record(wr sim.WindowResult) {
 	s.mu.RLock()
-	gen, fn := s.extractorGen, s.extractor
+	gen, fn, tr := s.extractorGen, s.extractor, s.tracer
 	s.mu.RUnlock()
 	fe := featEntry{}
 	if fn != nil {
+		_, span := tr.Start(context.Background(), "telemetry.extract")
+		span.SetWindows(1)
 		fe = featEntry{gen: gen, vec: fn(wr.Batches), ok: true}
+		span.End()
 		s.extractsTotal.Inc()
 	}
 
@@ -215,13 +230,16 @@ func (s *Server) Record(wr sim.WindowResult) {
 // RecordRun appends every window of a simulation run.
 func (s *Server) RecordRun(r *sim.Run) {
 	s.mu.RLock()
-	gen, fn := s.extractorGen, s.extractor
+	gen, fn, tr := s.extractorGen, s.extractor, s.tracer
 	s.mu.RUnlock()
 	fes := make([]featEntry, len(r.Windows))
 	if fn != nil {
+		_, span := tr.Start(context.Background(), "telemetry.extract")
+		span.SetWindows(len(r.Windows))
 		for i, w := range r.Windows {
 			fes[i] = featEntry{gen: gen, vec: fn(w), ok: true}
 		}
+		span.End()
 		s.extractsTotal.Add(uint64(len(r.Windows)))
 	}
 
