@@ -41,17 +41,20 @@ test-race:
 	$(GO) test -race ./...
 
 # Hot-path benchmarks for the estimator (training epoch, expert forward,
-# end-to-end predict), recorded as BENCH_estimator.json, plus the ingestion
-# path (bounded Record, cached vs uncached feature reads, zero-alloc
-# extraction, warm vs cold /v1/estimate), recorded as BENCH_ingest.json,
-# plus the topology path (generate, DSL parse/encode, simulate at 30/100/300
-# components), recorded as BENCH_topo.json, plus the shadow-scoring path
-# (chunk scoring catch-up, scoreboard rendering), recorded as
-# BENCH_quality.json — all for regression tracking across PRs.
+# end-to-end predict on both the eval-tape and the compiled tape-free engine,
+# plus the 64-client concurrent serving path with p99), recorded as
+# BENCH_estimator.json, plus the ingestion path (bounded Record, cached vs
+# uncached feature reads, zero-alloc extraction, warm vs cold /v1/estimate),
+# recorded as BENCH_ingest.json, plus the topology path (generate, DSL
+# parse/encode, simulate at 30/100/300 components), recorded as
+# BENCH_topo.json, plus the shadow-scoring path (chunk scoring catch-up,
+# scoreboard rendering), recorded as BENCH_quality.json — all for regression
+# tracking across PRs.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/estimator | \
+	{ $(GO) test -run='^$$' -bench=. -benchmem ./internal/estimator/... ; \
+	  $(GO) test -run='^$$' -bench='EstimateConcurrent' -benchmem ./internal/service ; } | \
 		$(GO) run ./cmd/benchjson -out BENCH_estimator.json
-	$(GO) test -run='^$$' -bench='Record|Features|Extract|Estimate' -benchmem \
+	$(GO) test -run='^$$' -bench='Record|Features|Extract|EstimateWarm|EstimateCold' -benchmem \
 		./internal/telemetry ./internal/features ./internal/service | \
 		$(GO) run ./cmd/benchjson -out BENCH_ingest.json
 	$(GO) test -run='^$$' -bench='Topo' -benchmem ./internal/topo | \

@@ -8,6 +8,7 @@
 //	          [-hidden N] [-epochs N]
 //	          [-retrain-every D] [-window N] [-retention N] [-checkpoint-dir DIR]
 //	          [-history N] [-max-inflight N] [-request-timeout D] [-fault-spec SPEC]
+//	          [-predict-batch-window D] [-predict-workers N]
 //	          [-quality-horizon D] [-quality-retrain-threshold PCT]
 //	          [-log-level L] [-log-format text|json] [-pprof] [-debug-addr A]
 //
@@ -85,6 +86,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/core"
+	"repro/internal/estimator/infer"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -110,6 +112,8 @@ func main() {
 	history := flag.Int("history", 0, "model generations to retain (0 = default)")
 	maxInflight := flag.Int("max-inflight", 0, "admission bound: concurrent API requests before shedding with 503 (0 = unbounded)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline propagated through handler contexts (0 = none)")
+	predictBatchWindow := flag.Duration("predict-batch-window", 0, "bounded wait to grow an estimate micro-batch before one coalesced inference pass (e.g. 2ms; 0 = dispatch immediately, coalescing only requests arriving mid-pass)")
+	predictWorkers := flag.Int("predict-workers", 0, "shared inference worker-pool size for engine predictions (0 = GOMAXPROCS)")
 	faultSpec := flag.String("fault-spec", "", "deterministic control-plane fault scenario, e.g. \"seed=1;retrainfail:prob=0.3\" (see internal/faults; for resilience drills)")
 	qualityHorizon := flag.Duration("quality-horizon", 24*time.Hour, "longest rolling shadow-scoring horizon served at /v1/quality")
 	qualityThreshold := flag.Float64("quality-retrain-threshold", 0, "aggregate sMAPE (percent) that, sustained over 8 scored windows, triggers an early retrain (0 = observe only)")
@@ -175,6 +179,10 @@ func main() {
 	svc.EnablePprof = *pprofOn
 	svc.MaxInflight = *maxInflight
 	svc.RequestTimeout = *requestTimeout
+	svc.PredictBatchWindow = *predictBatchWindow
+	if *predictWorkers > 0 {
+		infer.SetDefaultWorkers(*predictWorkers)
+	}
 	svc.QualityHorizon = *qualityHorizon
 	svc.QualityThreshold = *qualityThreshold
 	if *qualityThreshold > 0 {

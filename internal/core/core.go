@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"sync/atomic"
 
 	"repro/internal/anomaly"
 	"repro/internal/app"
 	"repro/internal/estimator"
+	"repro/internal/estimator/infer"
 	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/synth"
@@ -75,7 +77,38 @@ type System struct {
 	hasher *trace.Hasher
 	model  *estimator.Model
 	synth  *synth.Synthesizer
+
+	// engine is the tape-free inference snapshot of model
+	// (internal/estimator/infer), compiled when the system is built — i.e.
+	// once per published generation, so serving reads never observe a
+	// mixed-generation snapshot. Nil (compile refused the model's shape, or
+	// the generation was retired) falls back to the eval-tape path, which
+	// produces bit-identical results.
+	engine atomic.Pointer[infer.Engine]
 }
+
+// compileEngine snapshots the trained model into the serving engine; on
+// refusal the system keeps serving through the tape path.
+func (s *System) compileEngine() {
+	eng, err := infer.Compile(s.model)
+	if err != nil {
+		if s.opts.Logger != nil {
+			s.opts.Logger.Debug("inference engine compile failed; serving via tape path", "err", err)
+		}
+		return
+	}
+	s.engine.Store(eng)
+}
+
+// Engine returns the compiled inference engine, or nil when the system
+// serves through the tape path.
+func (s *System) Engine() *infer.Engine { return s.engine.Load() }
+
+// ReleaseEngine drops the inference snapshot — called when a generation is
+// retired from the registry, so the parameter slabs are reclaimed even
+// while a slow reader still holds the generation. Requests racing the
+// release simply finish on the tape path.
+func (s *System) ReleaseEngine() { s.engine.Store(nil) }
 
 // Learn runs the application learning phase over windows [from, to) of the
 // telemetry server: it builds the invocation-path feature space, learns
@@ -140,6 +173,7 @@ func LearnFromDataWarm(windows [][]trace.Batch, usage map[app.Pair][]float64, op
 		return nil, fmt.Errorf("core: train estimator: %w", err)
 	}
 	s.model = model
+	s.compileEngine()
 	return s, nil
 }
 
@@ -156,6 +190,7 @@ func Restore(model *estimator.Model, windows [][]trace.Batch, opts Options) *Sys
 		windows = anonymizeWindows(s.hasher, windows)
 	}
 	s.synth = synth.Learn(windows)
+	s.compileEngine()
 	return s
 }
 
@@ -212,6 +247,18 @@ func (s *System) Pairs() []app.Pair { return s.model.Pairs }
 // synthesizes traces from Prob(path | API) and estimates the resources
 // required to serve the traffic, per (component, resource) pair.
 func (s *System) EstimateTraffic(t *workload.Traffic) (map[app.Pair]estimator.Estimate, error) {
+	series, err := s.SynthesizeFeatures(t)
+	if err != nil {
+		return nil, err
+	}
+	return s.predictSeries(series)
+}
+
+// SynthesizeFeatures runs the front half of a Mode-1 query: anonymisation,
+// trace synthesis, and feature extraction. The request batcher uses it to
+// prepare several requests' series before fanning them through the engine
+// as one coalesced pass.
+func (s *System) SynthesizeFeatures(t *workload.Traffic) ([]features.Vector, error) {
 	qt := t
 	if s.hasher != nil {
 		qt = hashTrafficAPIs(s.hasher, t)
@@ -220,7 +267,19 @@ func (s *System) EstimateTraffic(t *workload.Traffic) (map[app.Pair]estimator.Es
 	if err != nil {
 		return nil, fmt.Errorf("core: synthesize traces: %w", err)
 	}
-	return s.model.Predict(windows)
+	return s.model.Space.ExtractSeries(windows), nil
+}
+
+// predictSeries routes a feature series through the tape-free engine when
+// one is compiled, falling back to the eval-tape path otherwise (or when
+// the engine refuses the series shape). Both paths are bit-identical.
+func (s *System) predictSeries(series []features.Vector) (map[app.Pair]estimator.Estimate, error) {
+	if eng := s.engine.Load(); eng != nil {
+		if est, err := eng.Predict(series); err == nil {
+			return est, nil
+		}
+	}
+	return s.model.PredictVectors(series)
 }
 
 func hashTrafficAPIs(h *trace.Hasher, t *workload.Traffic) *workload.Traffic {
@@ -252,7 +311,7 @@ func (s *System) ExpectedUtilization(windows [][]trace.Batch) (map[app.Pair]esti
 	if s.hasher != nil {
 		windows = anonymizeWindows(s.hasher, windows)
 	}
-	return s.model.Predict(windows)
+	return s.predictSeries(s.model.Space.ExtractSeries(windows))
 }
 
 // Extractor returns the function that maps one raw telemetry window to this
@@ -274,8 +333,10 @@ func (s *System) Extractor() func([]trace.Batch) features.Vector {
 
 // ExpectedUtilizationVectors is ExpectedUtilization over pre-extracted
 // feature vectors (see Extractor); no further anonymisation is applied.
+// It rides the tape-free engine like every serving read — which is how the
+// shadow scorer in internal/quality inherits the speedup for free.
 func (s *System) ExpectedUtilizationVectors(series []features.Vector) (map[app.Pair]estimator.Estimate, error) {
-	return s.model.PredictVectors(series)
+	return s.predictSeries(series)
 }
 
 // SanityCheckVectors is SanityCheck over pre-extracted feature vectors.

@@ -1,0 +1,80 @@
+package infer_test
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/estimator"
+	"repro/internal/estimator/infer"
+	"repro/internal/features"
+	"repro/internal/testutil"
+)
+
+// Serving-path benchmarks tracked in BENCH_estimator.json by `make bench`.
+// They share BenchmarkModelPredict's fixture (same telemetry, same training
+// configuration, one day of windows) so ns/op and allocs/op are directly
+// comparable: ModelPredict is the eval-tape baseline, InferPredict is the
+// compiled tape-free engine on the identical computation, InferBatched is
+// the coalesced multi-request pass the service batcher dispatches.
+
+func benchEngine(b *testing.B) (*infer.Engine, []features.Vector, int) {
+	b.Helper()
+	_, _, run := testutil.ToyTelemetry(b, 3, 40, 21)
+	cfg := estimator.DefaultConfig()
+	cfg.Epochs = 2
+	cfg.AttentionEpochs = 1
+	cfg.ChunkLen = 24
+	m, err := estimator.Train(run.Windows, run.Usage, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := infer.Compile(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, m.Space.ExtractSeries(run.Windows[:testutil.ToyDay]), len(m.Pairs)
+}
+
+// BenchmarkInferPredict measures one warm tape-free prediction of the full
+// multi-expert model (attention enabled) over one day — the engine
+// counterpart of BenchmarkModelPredict. Warm means the scratch pool is
+// primed: this is every serving request after the first.
+func BenchmarkInferPredict(b *testing.B) {
+	eng, day, pairs := benchEngine(b)
+	out := make(map[app.Pair]estimator.Estimate, pairs)
+	if err := eng.PredictInto(day, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.PredictInto(day, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferBatched measures one coalesced engine pass over 8 day-long
+// requests — what the estimate batcher dispatches for a concurrent burst —
+// and reports the effective per-request cost.
+func BenchmarkInferBatched(b *testing.B) {
+	eng, day, _ := benchEngine(b)
+	const reqs = 8
+	batch := make([][]features.Vector, reqs)
+	for i := range batch {
+		batch[i] = day
+	}
+	if _, err := eng.PredictBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.PredictBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perReq := float64(b.Elapsed().Nanoseconds()) / float64(b.N*reqs)
+	b.ReportMetric(perReq, "ns/req")
+}

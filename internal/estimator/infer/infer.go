@@ -1,0 +1,393 @@
+// Package infer is the serving-side inference engine: it snapshots a
+// trained estimator.Model into flat, contiguous parameter slabs and runs a
+// closed-form forward pass — fused GRU recurrence, cross-component
+// attention over the snapshot's own hidden trajectories, mask and bypass
+// heads — without recording a single AD-tape node.
+//
+// The engine exists because serving replayed training machinery: every
+// /v1/estimate walked each expert through the gradient-capable tape,
+// rebuilding node, hidden-state, and peer buffers per request (~1.9 ms and
+// ~1,300 allocations per predict at toy scale). Here the parameters are
+// read-only slabs, all per-call state lives in sync.Pool-recycled scratch,
+// and expert passes fan out over a shared bounded worker Pool — a warm
+// predict is near-zero-alloc and orders of magnitude faster.
+//
+// Correctness contract: the engine performs the same float64 operations in
+// the same order as the eval-tape path (Expert.Forward/HiddenStates), via
+// the shared ad.Dot / ad.Logistic / ad.GRUKernel primitives and the shared
+// TargetScale.DescaleInto epilogue, so its output is bit-identical to the
+// tape's (absent FMA contraction). An Engine is immutable after Compile and
+// safe for concurrent use; each model generation compiles its own engine,
+// so a served prediction can never mix parameters from two generations.
+package infer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/estimator"
+	"repro/internal/features"
+	"repro/internal/nn/ad"
+)
+
+// Engine is a compiled, read-only snapshot of one trained model.
+type Engine struct {
+	pairs      []app.Pair
+	dim        int // feature-space dimensionality
+	hidden     int // GRU width, uniform across experts
+	attnActive bool // model-wide: attention trained and >1 expert
+	scalerMax  []float64
+	experts    []expertSlab
+	slab       []float64 // backing storage for every expert's parameters
+
+	pool    *Pool
+	scratch sync.Pool // *predictScratch
+}
+
+// expertSlab is one expert's parameters, as sub-slices of Engine.slab.
+type expertSlab struct {
+	mask    []float64 // precomputed σ(m) gate; nil when the mask is off
+	gru     ad.GRUKernel
+	alpha   []float64 // attention weights, aligned with peerIdx
+	peerIdx []int     // peer expert indices in engine order
+	headW   []float64 // 3 × 2·hidden
+	headB   []float64 // 3
+	bypW    []float64 // 3 × dim; nil when the bypass is off
+	bypB    []float64 // 3
+	scale   estimator.TargetScale
+}
+
+// predictScratch is the per-call mutable state, recycled through
+// Engine.scratch. Slices grow to the largest series seen and are reused.
+type predictScratch struct {
+	x       []float64    // T×dim scaled input, row-major
+	traj    []float64    // P×T×hidden hidden trajectories
+	ws      []float64    // per-expert work areas (masked input, GRU scratch, attention, concat)
+	zero    []float64    // hidden-sized all-zero h₀
+	triples [][3]float64 // P×T scaled output triples
+}
+
+// Compile snapshots m into an engine. It fails (and the caller falls back
+// to the tape path) when the model's shape is not the uniform architecture
+// the slab layout assumes — e.g. hand-assembled experts with mismatched
+// dimensions or unresolvable attention peers.
+func Compile(m *estimator.Model) (*Engine, error) {
+	if m == nil || len(m.Pairs) == 0 {
+		return nil, fmt.Errorf("infer: no trained experts to compile")
+	}
+	if m.Space == nil || m.FeatScaler == nil {
+		return nil, fmt.Errorf("infer: model has no feature space or scaler")
+	}
+	dim := m.Space.Dim()
+	if len(m.FeatScaler.Max) != dim {
+		return nil, fmt.Errorf("infer: scaler covers %d of %d feature dims", len(m.FeatScaler.Max), dim)
+	}
+	idx := make(map[string]int, len(m.Pairs))
+	for i, p := range m.Pairs {
+		idx[p.String()] = i
+	}
+
+	e := &Engine{
+		pairs:      append([]app.Pair(nil), m.Pairs...),
+		dim:        dim,
+		attnActive: m.Cfg.UseAttention && len(m.Pairs) > 1,
+		scalerMax:  append([]float64(nil), m.FeatScaler.Max...),
+		experts:    make([]expertSlab, len(m.Pairs)),
+		pool:       SharedPool(),
+	}
+	e.scratch.New = func() any { return new(predictScratch) }
+
+	// First pass: validate shapes and size the slab.
+	total := 0
+	for i, p := range m.Pairs {
+		ex := m.Experts[p]
+		ts := m.TargetScales[p]
+		if ex == nil || ts == nil {
+			return nil, fmt.Errorf("infer: %s: missing expert or target scale", p)
+		}
+		if ex.InDim != dim || ex.Cell == nil || ex.Cell.In != dim {
+			return nil, fmt.Errorf("infer: %s: input dim mismatch", p)
+		}
+		if i == 0 {
+			e.hidden = ex.Hidden
+		}
+		if ex.Hidden != e.hidden || ex.Cell.Hidden != e.hidden || e.hidden <= 0 {
+			return nil, fmt.Errorf("infer: %s: non-uniform hidden width", p)
+		}
+		if ex.Head == nil || ex.Head.In != 2*e.hidden || ex.Head.Out != 3 {
+			return nil, fmt.Errorf("infer: %s: unexpected head shape", p)
+		}
+		total += 3*(e.hidden*dim) + 3*(e.hidden*e.hidden) + 3*e.hidden // GRU
+		total += 3*2*e.hidden + 3                                     // head
+		if ex.UseMask {
+			if ex.Mask == nil || len(ex.Mask.M.Data) != dim {
+				return nil, fmt.Errorf("infer: %s: unexpected mask shape", p)
+			}
+			total += dim
+		}
+		if ex.UseBypass {
+			if ex.Bypass == nil || ex.Bypass.In != dim || ex.Bypass.Out != 3 {
+				return nil, fmt.Errorf("infer: %s: unexpected bypass shape", p)
+			}
+			total += 3*dim + 3
+		}
+		if e.attnActive && ex.UseAttention {
+			if ex.Attn == nil || len(ex.Attn.Alpha.Data) != len(ex.Attn.Peers) {
+				return nil, fmt.Errorf("infer: %s: attention weights misaligned with peers", p)
+			}
+			for _, peer := range ex.Attn.Peers {
+				j, ok := idx[peer]
+				if !ok || j == i {
+					return nil, fmt.Errorf("infer: %s: unresolvable attention peer %q", p, peer)
+				}
+			}
+			total += len(ex.Attn.Peers)
+		}
+	}
+
+	// Second pass: copy every parameter into one contiguous slab.
+	e.slab = make([]float64, total)
+	off := 0
+	take := func(n int) []float64 {
+		s := e.slab[off : off+n : off+n]
+		off += n
+		return s
+	}
+	copyInto := func(dst, src []float64) []float64 {
+		copy(dst, src)
+		return dst
+	}
+	for i, p := range m.Pairs {
+		ex := m.Experts[p]
+		slab := &e.experts[i]
+		slab.scale = *m.TargetScales[p]
+		if ex.UseMask {
+			slab.mask = take(dim)
+			for j, v := range ex.Mask.M.Data {
+				// The tape recomputes σ(m) every step; the values are
+				// identical, so snapshotting the gate once is bit-safe.
+				slab.mask[j] = ad.Logistic(v)
+			}
+		}
+		k := ex.Cell.Kernel()
+		slab.gru = ad.GRUKernel{
+			In: dim, Hidden: e.hidden,
+			Wz: copyInto(take(e.hidden*dim), k.Wz),
+			Uz: copyInto(take(e.hidden*e.hidden), k.Uz),
+			Bz: copyInto(take(e.hidden), k.Bz),
+			Wk: copyInto(take(e.hidden*dim), k.Wk),
+			Uk: copyInto(take(e.hidden*e.hidden), k.Uk),
+			Bk: copyInto(take(e.hidden), k.Bk),
+			Wh: copyInto(take(e.hidden*dim), k.Wh),
+			Uh: copyInto(take(e.hidden*e.hidden), k.Uh),
+			Bh: copyInto(take(e.hidden), k.Bh),
+		}
+		slab.headW = copyInto(take(3*2*e.hidden), ex.Head.W.Data)
+		slab.headB = copyInto(take(3), ex.Head.B.Data)
+		if ex.UseBypass {
+			slab.bypW = copyInto(take(3*dim), ex.Bypass.W.Data)
+			slab.bypB = copyInto(take(3), ex.Bypass.B.Data)
+		}
+		if e.attnActive && ex.UseAttention && len(ex.Attn.Peers) > 0 {
+			slab.alpha = copyInto(take(len(ex.Attn.Peers)), ex.Attn.Alpha.Data)
+			slab.peerIdx = make([]int, len(ex.Attn.Peers))
+			for k, peer := range ex.Attn.Peers {
+				slab.peerIdx[k] = idx[peer]
+			}
+		}
+	}
+	return e, nil
+}
+
+// Pairs returns the estimation targets in training order. The slice is
+// shared; callers must not mutate it.
+func (e *Engine) Pairs() []app.Pair { return e.pairs }
+
+// SetPool overrides the worker pool (nil runs expert passes inline). Call
+// before the engine starts serving; benches and tests use it to pin
+// parallelism.
+func (e *Engine) SetPool(p *Pool) { e.pool = p }
+
+// wsLen is the per-expert work-area length: masked input, GRU step
+// scratch, attention context, and the a_t ∥ h_t concat buffer.
+func (e *Engine) wsLen() int { return e.dim + 3*e.hidden + e.hidden + 2*e.hidden }
+
+func (e *Engine) getScratch(T int) *predictScratch {
+	sc := e.scratch.Get().(*predictScratch)
+	P := len(e.experts)
+	sc.x = growFloats(sc.x, T*e.dim)
+	sc.traj = growFloats(sc.traj, P*T*e.hidden)
+	sc.ws = growFloats(sc.ws, P*e.wsLen())
+	sc.zero = growFloats(sc.zero, e.hidden)
+	for i := range sc.zero {
+		sc.zero[i] = 0
+	}
+	if cap(sc.triples) < P*T {
+		sc.triples = make([][3]float64, P*T)
+	} else {
+		sc.triples = sc.triples[:P*T]
+	}
+	return sc
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// scaleInput normalises the feature series into sc.x with the snapshot's
+// per-dimension maxima — the same v / max[j] the tape path applies.
+func (e *Engine) scaleInput(series []features.Vector, sc *predictScratch) error {
+	for t, v := range series {
+		if len(v.Counts) != e.dim {
+			return fmt.Errorf("infer: window %d has %d features for a %d-dim space", t, len(v.Counts), e.dim)
+		}
+		row := sc.x[t*e.dim : (t+1)*e.dim]
+		for j, c := range v.Counts {
+			row[j] = c / e.scalerMax[j]
+		}
+	}
+	return nil
+}
+
+// maskedInput gates the scaled feature row, returning either the xt buffer
+// or (mask off) the row itself.
+func (ex *expertSlab) maskedInput(row, xt []float64) []float64 {
+	if ex.mask == nil {
+		return row
+	}
+	for j, m := range ex.mask {
+		xt[j] = m * row[j]
+	}
+	return xt
+}
+
+// trajectory computes expert i's full hidden trajectory into sc.traj. Each
+// step writes out-of-place, so the previous step's row serves as h_{t−1}
+// without copying — bit-identical to the tape's carried-buffer recurrence.
+func (e *Engine) trajectory(i, T int, sc *predictScratch) {
+	ex := &e.experts[i]
+	ws := sc.ws[i*e.wsLen() : (i+1)*e.wsLen()]
+	xt := ws[:e.dim]
+	gs := ws[e.dim : e.dim+3*e.hidden]
+	hPrev := sc.zero
+	base := i * T * e.hidden
+	for t := 0; t < T; t++ {
+		row := sc.x[t*e.dim : (t+1)*e.dim]
+		hOut := sc.traj[base+t*e.hidden : base+(t+1)*e.hidden]
+		ex.gru.Step(ex.maskedInput(row, xt), hPrev, hOut, gs)
+		hPrev = hOut
+	}
+}
+
+// outputs computes expert i's scaled output triples from the trajectories:
+// attention context over peer hidden states, head over a_t ∥ h_t, plus the
+// linear bypass — the same operation order as Expert.stepOutput.
+func (e *Engine) outputs(i, T int, sc *predictScratch) {
+	ex := &e.experts[i]
+	dim, hid := e.dim, e.hidden
+	ws := sc.ws[i*e.wsLen() : (i+1)*e.wsLen()]
+	xt := ws[:dim]
+	attn := ws[dim+3*hid : dim+4*hid]
+	cat := ws[dim+4*hid : dim+6*hid]
+	useAttn := e.attnActive && len(ex.peerIdx) > 0
+	for t := 0; t < T; t++ {
+		row := sc.x[t*dim : (t+1)*dim]
+		in := ex.maskedInput(row, xt)
+		for j := range attn {
+			attn[j] = 0
+		}
+		if useAttn {
+			// Σ_k α_k · h_t^{(k)}, accumulated in peer order like the
+			// tape's WeightedSumConst.
+			for k, pi := range ex.peerIdx {
+				a := ex.alpha[k]
+				ph := sc.traj[(pi*T+t)*hid : (pi*T+t+1)*hid]
+				for j, x := range ph {
+					attn[j] += a * x
+				}
+			}
+		}
+		copy(cat[:hid], attn)
+		copy(cat[hid:], sc.traj[(i*T+t)*hid:(i*T+t+1)*hid])
+		tr := &sc.triples[i*T+t]
+		for j := 0; j < 3; j++ {
+			y := ad.Dot(ex.headW[j*2*hid:(j+1)*2*hid], cat) + ex.headB[j]
+			if ex.bypW != nil {
+				y += ad.Dot(ex.bypW[j*dim:(j+1)*dim], in) + ex.bypB[j]
+			}
+			tr[j] = y
+		}
+	}
+}
+
+// Predict estimates the utilization of every pair for the given feature
+// series, in raw resource units — the tape-free equivalent of
+// Model.PredictVectors.
+func (e *Engine) Predict(series []features.Vector) (map[app.Pair]estimator.Estimate, error) {
+	out := make(map[app.Pair]estimator.Estimate, len(e.pairs))
+	if err := e.PredictInto(series, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictInto is Predict writing into a caller-owned map: existing entries'
+// slices are reused when their capacity suffices, so a warm caller that
+// keeps its map between calls allocates (almost) nothing.
+func (e *Engine) PredictInto(series []features.Vector, out map[app.Pair]estimator.Estimate) error {
+	T := len(series)
+	sc := e.getScratch(T)
+	defer e.scratch.Put(sc)
+	if err := e.scaleInput(series, sc); err != nil {
+		return err
+	}
+	P := len(e.experts)
+	e.pool.Run(P, func(i int) { e.trajectory(i, T, sc) })
+	e.pool.Run(P, func(i int) { e.outputs(i, T, sc) })
+	for i, p := range e.pairs {
+		est := out[p]
+		e.experts[i].scale.DescaleInto(sc.triples[i*T:(i+1)*T], &est)
+		out[p] = est
+	}
+	return nil
+}
+
+// PredictBatch runs several independent feature series through the engine
+// as one fanned pass: all (series, expert) tasks of the batch share one
+// trip through the worker pool, so a coalesced micro-batch of concurrent
+// requests costs two pool dispatches total instead of two per request.
+func (e *Engine) PredictBatch(batch [][]features.Vector) ([]map[app.Pair]estimator.Estimate, error) {
+	B, P := len(batch), len(e.experts)
+	if B == 0 {
+		return nil, nil
+	}
+	scs := make([]*predictScratch, B)
+	for b, series := range batch {
+		scs[b] = e.getScratch(len(series))
+		if err := e.scaleInput(series, scs[b]); err != nil {
+			for _, sc := range scs[:b+1] {
+				e.scratch.Put(sc)
+			}
+			return nil, err
+		}
+	}
+	e.pool.Run(B*P, func(k int) { e.trajectory(k%P, len(batch[k/P]), scs[k/P]) })
+	e.pool.Run(B*P, func(k int) { e.outputs(k%P, len(batch[k/P]), scs[k/P]) })
+	out := make([]map[app.Pair]estimator.Estimate, B)
+	for b := range batch {
+		T := len(batch[b])
+		m := make(map[app.Pair]estimator.Estimate, P)
+		for i, p := range e.pairs {
+			var est estimator.Estimate
+			e.experts[i].scale.DescaleInto(scs[b].triples[i*T:(i+1)*T], &est)
+			m[p] = est
+		}
+		out[b] = m
+		e.scratch.Put(scs[b])
+	}
+	return out, nil
+}

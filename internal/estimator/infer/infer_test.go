@@ -1,0 +1,197 @@
+package infer_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/estimator"
+	"repro/internal/estimator/infer"
+	"repro/internal/features"
+	"repro/internal/sim"
+	"repro/internal/testutil"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// trainOn simulates one day of traffic for the named application (a builtin
+// or a gen: topology), trains a small but fully featured model (mask,
+// attention, bypass all on), and returns it with the day's feature series.
+func trainOn(t *testing.T, arg string) (*estimator.Model, []features.Vector) {
+	t.Helper()
+	spec, mix, err := topo.Resolve(arg)
+	if err != nil {
+		t.Fatalf("Resolve(%s): %v", arg, err)
+	}
+	prog := workload.Uniform(1, workload.DaySpec{Shape: workload.TwoPeak{}, Mix: mix, PeakRPS: 30})
+	prog.WindowsPerDay = 48
+	c, err := sim.NewCluster(spec, 17)
+	if err != nil {
+		t.Fatalf("NewCluster(%s): %v", arg, err)
+	}
+	run, err := c.Run(prog.Generate())
+	if err != nil {
+		t.Fatalf("Run(%s): %v", arg, err)
+	}
+	cfg := estimator.DefaultConfig()
+	cfg.Epochs = 1
+	cfg.AttentionEpochs = 1
+	cfg.ChunkLen = 24
+	m, err := estimator.Train(run.Windows, run.Usage, cfg)
+	if err != nil {
+		t.Fatalf("Train(%s): %v", arg, err)
+	}
+	return m, m.Space.ExtractSeries(run.Windows)
+}
+
+func sameBits(t *testing.T, ctx string, tape, engine map[app.Pair]estimator.Estimate) {
+	t.Helper()
+	if len(tape) != len(engine) {
+		t.Fatalf("%s: %d tape pairs vs %d engine pairs", ctx, len(tape), len(engine))
+	}
+	for p, want := range tape {
+		got, ok := engine[p]
+		if !ok {
+			t.Fatalf("%s: engine missing %s", ctx, p)
+		}
+		for _, s := range []struct {
+			name      string
+			want, got []float64
+		}{{"exp", want.Exp, got.Exp}, {"low", want.Low, got.Low}, {"up", want.Up, got.Up}} {
+			if len(s.want) != len(s.got) {
+				t.Fatalf("%s: %s %s: %d vs %d samples", ctx, p, s.name, len(s.want), len(s.got))
+			}
+			for i := range s.want {
+				if math.Float64bits(s.want[i]) != math.Float64bits(s.got[i]) {
+					t.Fatalf("%s: %s %s[%d]: tape %x engine %x", ctx, p, s.name, i,
+						math.Float64bits(s.want[i]), math.Float64bits(s.got[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestEngineMatchesTapeOnApps pins the compiled engine to the eval-tape
+// path bit for bit on every bundled application and on a generated
+// topology: same experts, same attention peers, same descaling — any
+// divergence in any float of any series fails.
+func TestEngineMatchesTapeOnApps(t *testing.T) {
+	for _, arg := range []string{"social", "hotel", "media", "gen:seed=5,components=24"} {
+		t.Run(arg, func(t *testing.T) {
+			m, series := trainOn(t, arg)
+			eng, err := infer.Compile(m)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			want, err := m.PredictVectors(series)
+			if err != nil {
+				t.Fatalf("tape predict: %v", err)
+			}
+			got, err := eng.Predict(series)
+			if err != nil {
+				t.Fatalf("engine predict: %v", err)
+			}
+			sameBits(t, arg, want, got)
+
+			// The inline (nil-pool) path must agree too: parallel fan-out
+			// cannot change a single bit.
+			eng.SetPool(nil)
+			inline, err := eng.Predict(series)
+			if err != nil {
+				t.Fatalf("inline predict: %v", err)
+			}
+			sameBits(t, arg+"/inline", want, inline)
+		})
+	}
+}
+
+// TestEnginePredictBatchMatchesSingle checks the coalesced batch pass is
+// the same computation as N independent predicts.
+func TestEnginePredictBatchMatchesSingle(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 35, 13)
+	cfg := estimator.DefaultConfig()
+	cfg.Epochs = 1
+	cfg.AttentionEpochs = 1
+	cfg.ChunkLen = 24
+	m, err := estimator.Train(run.Windows, run.Usage, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := infer.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := m.Space.ExtractSeries(run.Windows)
+	batch := [][]features.Vector{
+		full[:testutil.ToyDay],
+		full[testutil.ToyDay/2 : testutil.ToyDay],
+		full[:3],
+	}
+	got, err := eng.PredictBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("batch returned %d results for %d inputs", len(got), len(batch))
+	}
+	for b, series := range batch {
+		want, err := eng.Predict(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, "batch", want, got[b])
+	}
+}
+
+// TestEngineWarmPredictAllocs enforces the near-zero-alloc contract of the
+// warm path in a regular test, so an allocation regression fails go test
+// instead of silently drifting a benchmark JSON.
+func TestEngineWarmPredictAllocs(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 1, 30, 13)
+	cfg := estimator.DefaultConfig()
+	cfg.Epochs = 1
+	cfg.AttentionEpochs = 1
+	cfg.ChunkLen = 24
+	m, err := estimator.Train(run.Windows, run.Usage, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := infer.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := m.Space.ExtractSeries(run.Windows)
+	out := make(map[app.Pair]estimator.Estimate, len(m.Pairs))
+	if err := eng.PredictInto(series, out); err != nil { // warm the scratch pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := eng.PredictInto(series, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 10 {
+		t.Fatalf("warm PredictInto allocates %.1f/op, want <= 10", allocs)
+	}
+}
+
+// TestEngineRejectsMismatchedSeries checks dimension validation: a vector
+// extracted against a different feature space must error, not read out of
+// bounds.
+func TestEngineRejectsMismatchedSeries(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 1, 30, 13)
+	cfg := estimator.DefaultConfig()
+	cfg.Epochs = 0
+	cfg.AttentionEpochs = 0
+	m, err := estimator.Train(run.Windows, run.Usage, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := infer.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Predict([]features.Vector{{Counts: []float64{1}}}); err == nil {
+		t.Fatal("expected error for mismatched feature dimensionality")
+	}
+}

@@ -366,24 +366,44 @@ func (m *Model) forEachExpert(fn func(i int, p app.Pair) error) error {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	sem := make(chan struct{}, par)
+	if par > len(m.Pairs) {
+		par = len(m.Pairs)
+	}
+	if par <= 1 {
+		for i, p := range m.Pairs {
+			if err := fn(i, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// A fixed pool of par workers pulls pair indices from a channel — on a
+	// 300-component generated topology that is par goroutines total instead
+	// of one per (component, resource) pair churning through a semaphore.
+	// Results stay deterministic regardless of which worker takes which
+	// pair: the per-expert seed is derived from the training-order index.
+	idx := make(chan int, len(m.Pairs))
+	for i := range m.Pairs {
+		idx <- i
+	}
+	close(idx)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
-	for i, p := range m.Pairs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, p app.Pair) {
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(i, p); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
+			for i := range idx {
+				if err := fn(i, m.Pairs[i]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
 				}
-				mu.Unlock()
 			}
-		}(i, p)
+		}()
 	}
 	wg.Wait()
 	return firstErr
@@ -702,13 +722,21 @@ func (m *Model) predictScaledInput(x [][]float64) (map[app.Pair]Estimate, error)
 // descale converts scaled (exp, low, up) triples into raw resource units,
 // re-integrating delta-kind targets and repairing any quantile crossing.
 func (m *Model) descale(p app.Pair, triples [][3]float64) Estimate {
-	ts := m.TargetScales[p]
+	var est Estimate
+	m.TargetScales[p].DescaleInto(triples, &est)
+	return est
+}
+
+// DescaleInto is the buffer-reusing form of descaling: it writes the raw
+// resource units into est, growing est's slices only when their capacity is
+// insufficient. It is the single descale implementation — the tape path
+// above and the tape-free inference engine (internal/estimator/infer) both
+// run it, so their raw-unit outputs cannot diverge.
+func (ts *TargetScale) DescaleInto(triples [][3]float64, est *Estimate) {
 	n := len(triples)
-	est := Estimate{
-		Exp: make([]float64, n),
-		Low: make([]float64, n),
-		Up:  make([]float64, n),
-	}
+	est.Exp = resizeFloats(est.Exp, n)
+	est.Low = resizeFloats(est.Low, n)
+	est.Up = resizeFloats(est.Up, n)
 	if ts.Kind == kindDelta {
 		accE, accL, accU := ts.Base, ts.Base, ts.Base
 		for i, tr := range triples {
@@ -718,7 +746,7 @@ func (m *Model) descale(p app.Pair, triples [][3]float64) Estimate {
 			accU += u * ts.Scale
 			est.Exp[i], est.Low[i], est.Up[i] = accE, accL, accU
 		}
-		return est
+		return
 	}
 	for i, tr := range triples {
 		e, l, u := ordered(tr)
@@ -735,7 +763,15 @@ func (m *Model) descale(p app.Pair, triples [][3]float64) Estimate {
 			est.Up[i] = 0
 		}
 	}
-	return est
+}
+
+// resizeFloats returns s resliced to length n, reallocating only when the
+// capacity is insufficient.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // ordered repairs quantile crossing: low ≤ exp ≤ up.

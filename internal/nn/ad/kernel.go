@@ -1,0 +1,70 @@
+package ad
+
+import "math"
+
+// This file exports the fused-kernel math for the tape-free inference
+// engine (internal/estimator/infer). The engine snapshots trained
+// parameters into flat slabs and replays the forward pass without
+// recording tape nodes; sharing dot and stableSigmoid with the tape ops
+// keeps the two paths' rounding behaviour identical, so engine output is
+// bit-for-bit the eval-tape output (absent FMA contraction).
+
+// Dot exposes the row·vector kernel shared by MatVec and GRUStep. Callers
+// computing dense layers outside the tape must use it (rather than a local
+// loop) so both paths accumulate in the same order.
+func Dot(row, x []float64) float64 { return dot(row, x) }
+
+// Logistic exposes the numerically-stable sigmoid the tape's Sigmoid op
+// applies element-wise.
+func Logistic(x float64) float64 { return stableSigmoid(x) }
+
+// GRUKernel is the tape-free twin of GRUStep: the nine parameter tensors of
+// one GRU cell as flat row-major slices. The slices may alias live Params
+// (see layers.GRUCell.Kernel) or a snapshot slab; the kernel only reads
+// them.
+type GRUKernel struct {
+	// In and Hidden are the input and state dimensions.
+	In, Hidden int
+	// W· act on the input (Hidden×In), U· on the previous state
+	// (Hidden×Hidden), B· are biases (Hidden).
+	Wz, Uz, Bz []float64
+	Wk, Uk, Bk []float64
+	Wh, Uh, Bh []float64
+}
+
+// ScratchLen returns the workspace length Step requires.
+func (g *GRUKernel) ScratchLen() int { return 3 * g.Hidden }
+
+// Step advances the cell one time step: hOut = GRU(x, hPrev). It performs
+// the same float64 operations in the same order as the tape's GRUStep
+// (which in turn matches the primitive MatVec/Add/Mul/Sigmoid/Tanh chain),
+// so the hidden trajectory is bit-identical to the eval-tape recurrence.
+// hOut must not alias hPrev; scratch needs ScratchLen floats and is
+// clobbered.
+func (g *GRUKernel) Step(x, hPrev, hOut, scratch []float64) {
+	in, hid := g.In, g.Hidden
+	z, k, kh := scratch[:hid], scratch[hid:2*hid], scratch[2*hid:3*hid]
+	for i := 0; i < hid; i++ {
+		wzx := dot(g.Wz[i*in:(i+1)*in], x)
+		uzh := dot(g.Uz[i*hid:(i+1)*hid], hPrev)
+		z[i] = stableSigmoid((wzx + uzh) + g.Bz[i])
+		wkx := dot(g.Wk[i*in:(i+1)*in], x)
+		ukh := dot(g.Uk[i*hid:(i+1)*hid], hPrev)
+		k[i] = stableSigmoid((wkx + ukh) + g.Bk[i])
+	}
+	for i := 0; i < hid; i++ {
+		kh[i] = k[i] * hPrev[i]
+	}
+	for i := 0; i < hid; i++ {
+		whx := dot(g.Wh[i*in:(i+1)*in], x)
+		uhkh := dot(g.Uh[i*hid:(i+1)*hid], kh)
+		hOut[i] = math.Tanh((whx + uhkh) + g.Bh[i])
+	}
+	for i := 0; i < hid; i++ {
+		// h' = z⊙h + (1−z)⊙c with the same intermediate roundings as the
+		// fused tape op (and the Mul/OneMinus/Mul/Add chain it replaced).
+		zh := z[i] * hPrev[i]
+		oc := (1 - z[i]) * hOut[i]
+		hOut[i] = zh + oc
+	}
+}

@@ -1,0 +1,59 @@
+package ad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGRUKernelMatchesTapeStep drives the tape-free kernel and the fused
+// tape op through the same multi-step recurrence and requires bit-identical
+// hidden states at every step — the contract the inference engine's
+// snapshot path is built on.
+func TestGRUKernelMatchesTapeStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in, hid := 9, 5
+	p := &GRUParams{
+		Wz: NewParamInit("Wz", hid, in, rng), Uz: NewParamInit("Uz", hid, hid, rng), Bz: NewParamInit("bz", hid, 1, rng),
+		Wk: NewParamInit("Wk", hid, in, rng), Uk: NewParamInit("Uk", hid, hid, rng), Bk: NewParamInit("bk", hid, 1, rng),
+		Wh: NewParamInit("Wh", hid, in, rng), Uh: NewParamInit("Uh", hid, hid, rng), Bh: NewParamInit("bh", hid, 1, rng),
+	}
+	k := GRUKernel{
+		In: in, Hidden: hid,
+		Wz: p.Wz.Data, Uz: p.Uz.Data, Bz: p.Bz.Data,
+		Wk: p.Wk.Data, Uk: p.Uk.Data, Bk: p.Bk.Data,
+		Wh: p.Wh.Data, Uh: p.Uh.Data, Bh: p.Bh.Data,
+	}
+
+	const steps = 12
+	xs := make([][]float64, steps)
+	for i := range xs {
+		xs[i] = make([]float64, in)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+
+	tape := NewEvalTape()
+	tapeH := make([]float64, hid)
+	kernH := make([]float64, hid)
+	kernNext := make([]float64, hid)
+	scratch := make([]float64, k.ScratchLen())
+	for s, x := range xs {
+		h := tape.Const(tapeH)
+		xt := tape.Const(x)
+		h = tape.GRUStep(p, xt, h)
+		copy(tapeH, h.Data)
+		tape.Reset()
+
+		k.Step(x, kernH, kernNext, scratch)
+		kernH, kernNext = kernNext, kernH
+
+		for i := range tapeH {
+			if math.Float64bits(tapeH[i]) != math.Float64bits(kernH[i]) {
+				t.Fatalf("step %d: h[%d] diverged: tape %x kernel %x", s, i,
+					math.Float64bits(tapeH[i]), math.Float64bits(kernH[i]))
+			}
+		}
+	}
+}

@@ -158,6 +158,10 @@ func (r *Registry) evictLocked() {
 		}
 		g := r.gens[victim]
 		r.gens = append(r.gens[:victim], r.gens[victim+1:]...)
+		// Retired generations drop their inference snapshot immediately:
+		// the parameter slabs are reclaimed even if a slow reader still
+		// holds the generation pointer (it finishes on the tape path).
+		g.System.ReleaseEngine()
 		if r.dir != "" {
 			_ = os.Remove(r.checkpointPath(g.Version))
 		}

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// learnedBatcherFixture trains one generation and returns the server with an
+// instrumented batcher, ready for direct do()/exec() calls.
+func learnedBatcherFixture(t *testing.T, window time.Duration) (*Server, *pipeline.Generation, *estBatcher) {
+	t.Helper()
+	s := newTestService()
+	h := s.Handler()
+	if rec := do(t, h, "POST", "/v1/telemetry", telemetryBody(t, 1, 30, 7)); rec.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "POST", "/v1/learn", bytes.NewBufferString(`{"pairs":["Service/cpu"]}`)); rec.Code != http.StatusOK {
+		t.Fatalf("learn = %d: %s", rec.Code, rec.Body)
+	}
+	gen := s.Pipeline().Active()
+	if gen == nil {
+		t.Fatal("no active generation after learn")
+	}
+	reg := obs.NewRegistry()
+	b := newEstBatcher(window, 64)
+	b.instrument(
+		reg.Counter("dedup", "test"),
+		reg.Counter("batches", "test"),
+		reg.Counter("batched", "test"),
+	)
+	return s, gen, b
+}
+
+func testTraffic(readRPS int) *workload.Traffic {
+	return &workload.Traffic{
+		Windows:       []map[string]int{{"/read": readRPS, "/write": 4}, {"/read": 2 * readRPS, "/write": 6}},
+		WindowSeconds: 60,
+		WindowsPerDay: 2,
+	}
+}
+
+// wantBody is what the handler would serve for the traffic: the generation's
+// own estimate, marshaled the same way the batcher marshals.
+func wantBody(t *testing.T, gen *pipeline.Generation, traffic *workload.Traffic) []byte {
+	t.Helper()
+	est, err := gen.System.EstimateTraffic(traffic)
+	if err != nil {
+		t.Fatalf("EstimateTraffic: %v", err)
+	}
+	body, err := json.Marshal(toEstimateResponse(gen.Version, est))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(body, '\n')
+}
+
+// TestBatcherDedupJoinsInflightCall pins singleflight: a request identical
+// to one already in flight joins it (counted as a dedup hit) instead of
+// queueing a second computation.
+func TestBatcherDedupJoinsInflightCall(t *testing.T) {
+	_, gen, b := learnedBatcherFixture(t, 0)
+	canon := []byte(`{"windows":[{"/read":10}]}`)
+	key := predKey(gen.Version, canon)
+
+	// Plant an in-flight call by hand so the join is deterministic, then
+	// release it from another goroutine.
+	c := &estCall{key: key, canon: string(canon), gen: gen, done: make(chan struct{})}
+	b.mu.Lock()
+	b.calls[key] = c
+	b.mu.Unlock()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		c.body = []byte("joined")
+		close(c.done)
+	}()
+
+	body, err := b.do(context.Background(), gen, testTraffic(10), key, canon)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if string(body) != "joined" {
+		t.Fatalf("joined call returned %q, want the in-flight result", body)
+	}
+	if got := b.dedupHits.Value(); got != 1 {
+		t.Fatalf("dedup hits = %d, want 1", got)
+	}
+	if got := b.batches.Value(); got != 0 {
+		t.Fatalf("joining must not dispatch a pass, got %d batches", got)
+	}
+}
+
+// TestBatcherCoalescesDistinctRequests checks that distinct concurrent
+// requests land in ONE batched inference pass and each still gets exactly
+// the body the sequential path would have produced.
+func TestBatcherCoalescesDistinctRequests(t *testing.T) {
+	_, gen, b := learnedBatcherFixture(t, 100*time.Millisecond)
+	const n = 4
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			traffic := testTraffic(10 + i)
+			canon := []byte(fmt.Sprintf(`{"windows":[{"/read":%d}]}`, 10+i))
+			bodies[i], errs[i] = b.do(context.Background(), gen, traffic, predKey(gen.Version, canon), canon)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if want := wantBody(t, gen, testTraffic(10+i)); !bytes.Equal(bodies[i], want) {
+			t.Fatalf("request %d: coalesced body diverges from the sequential path", i)
+		}
+	}
+	// All four submitted within the 100ms grow window of the first dispatch.
+	if got := b.batches.Value(); got != 1 {
+		t.Fatalf("dispatched %d passes for %d concurrent requests, want 1", got, n)
+	}
+	if got := b.batchedReqs.Value(); got != n {
+		t.Fatalf("batched %d requests, want %d", got, n)
+	}
+	if got := b.dedupHits.Value(); got != 0 {
+		t.Fatalf("distinct requests counted %d dedup hits", got)
+	}
+}
+
+// TestBatcherSplitsGenerations checks a batch straddling a model swap never
+// mixes generations: each call is answered by the generation it pinned.
+func TestBatcherSplitsGenerations(t *testing.T) {
+	s, gen1, b := learnedBatcherFixture(t, 0)
+	gen2, err := s.Pipeline().TrainOnce(0, 0, nil, "manual")
+	if err != nil {
+		t.Fatalf("second generation: %v", err)
+	}
+	if gen1.Version == gen2.Version {
+		t.Fatal("expected two distinct generations")
+	}
+	calls := make([]*estCall, 2)
+	for i, gen := range []*pipeline.Generation{gen1, gen2} {
+		canon := []byte(`{"windows":[{"/read":10}]}`)
+		calls[i] = &estCall{
+			key: predKey(gen.Version, canon), canon: string(canon), gen: gen,
+			traffic: testTraffic(10), done: make(chan struct{}),
+		}
+	}
+	b.exec(calls)
+	for i, want := range []int{gen1.Version, gen2.Version} {
+		<-calls[i].done
+		if calls[i].err != nil {
+			t.Fatalf("call %d: %v", i, calls[i].err)
+		}
+		var resp estimateResponse
+		if err := json.Unmarshal(calls[i].body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Version != want {
+			t.Fatalf("call %d answered by version %d, want %d", i, resp.Version, want)
+		}
+	}
+}
+
+// TestBatcherWaiterHonorsContext checks an abandoned caller unblocks on its
+// deadline while the computation itself still completes for joiners.
+func TestBatcherWaiterHonorsContext(t *testing.T) {
+	_, gen, b := learnedBatcherFixture(t, 50*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	canon := []byte(`{"windows":[{"/read":10}]}`)
+	key := predKey(gen.Version, canon)
+	if _, err := b.do(ctx, gen, testTraffic(10), key, canon); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The abandoned call still finishes and retires its singleflight slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		_, inflight := b.calls[key]
+		b.mu.Unlock()
+		if !inflight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned call never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

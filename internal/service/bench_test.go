@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -109,6 +113,59 @@ func BenchmarkEstimateWarm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		req := httptest.NewRequest("POST", "/v1/estimate", bytes.NewReader(body))
 		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkEstimateConcurrent hammers /v1/estimate from 64 concurrent
+// clients, every request a distinct body (never a cache hit), so the
+// measured path is decode → batcher coalescing → engine pass over the
+// shared worker pool. Besides ns/op it reports the client-observed p99
+// latency, the number the batcher's group commit is supposed to protect.
+func BenchmarkEstimateConcurrent(b *testing.B) {
+	h := benchLearnedService(b)
+	const clients = 64
+	var seq atomic.Uint64
+	lats := make([][]time.Duration, clients)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	assigned := 0
+	per := (b.N + clients - 1) / clients
+	for c := 0; c < clients && assigned < b.N; c++ {
+		n := per
+		if assigned+n > b.N {
+			n = b.N - assigned
+		}
+		assigned += n
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			w := nopRW{h: make(http.Header)}
+			ls := make([]time.Duration, 0, n)
+			for i := 0; i < n; i++ {
+				id := seq.Add(1)
+				body := []byte(`{"windows":[{"/read":` + itoa(int(id%1000000)) + `},{"/read":25}]}`)
+				req := httptest.NewRequest("POST", "/v1/estimate", bytes.NewReader(body))
+				start := time.Now()
+				h.ServeHTTP(w, req)
+				ls = append(ls, time.Since(start))
+			}
+			lats[c] = ls
+		}(c, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	var all []time.Duration
+	for _, ls := range lats {
+		all = append(all, ls...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		idx := len(all) * 99 / 100
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		b.ReportMetric(float64(all[idx].Nanoseconds()), "p99-ns")
 	}
 }
 

@@ -32,14 +32,21 @@ func newPredCache(capacity int) *predCache {
 	return &predCache{cap: capacity, entries: make(map[uint64]predEntry, capacity)}
 }
 
-// key hashes the generation version and the canonical (re-marshaled)
-// request body.
-func (c *predCache) key(version int, req []byte) uint64 {
+// predKey hashes a generation version and a canonical (re-marshaled)
+// request body. It is shared by the response cache and the singleflight
+// batcher so the two layers agree on request identity.
+func predKey(version int, req []byte) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(strconv.Itoa(version)))
 	h.Write([]byte{0})
 	h.Write(req)
 	return h.Sum64()
+}
+
+// key hashes the generation version and the canonical (re-marshaled)
+// request body.
+func (c *predCache) key(version int, req []byte) uint64 {
+	return predKey(version, req)
 }
 
 // get returns the cached response body for the key, verifying the stored

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/pipeline"
+	"repro/internal/workload"
 )
 
 // TestPredictRaceUnderGenerationSwaps is the race wall: many goroutines
@@ -68,8 +70,11 @@ func TestPredictRaceUnderGenerationSwaps(t *testing.T) {
 		}
 	}()
 
-	// Readers: HTTP predictions and direct model reads, concurrently with
-	// the swaps above.
+	// Readers: HTTP predictions (cache → batcher → compiled engine), direct
+	// model reads, and direct engine-path estimates, concurrently with the
+	// swaps above. The rotating request bodies defeat the response cache so
+	// the batcher and engine stay on the hot path across generation flips,
+	// and retiring generations release their engine snapshots mid-read.
 	for g := 0; g < readers; g++ {
 		wg.Add(1)
 		go func(g int) {
@@ -82,8 +87,11 @@ func TestPredictRaceUnderGenerationSwaps(t *testing.T) {
 					}
 				default:
 				}
-				if g%2 == 0 {
-					rec := do(t, h, "POST", "/v1/predict", bytes.NewBufferString(predictBody))
+				switch g % 3 {
+				case 0:
+					body := fmt.Sprintf(`{"windows":[{"/read":%d,"/write":4},{"/read":%d,"/write":6}]}`,
+						10+i%7, 20+i%7)
+					rec := do(t, h, "POST", "/v1/predict", bytes.NewBufferString(body))
 					if rec.Code != http.StatusOK {
 						t.Errorf("predict = %d: %s", rec.Code, rec.Body)
 						return
@@ -97,7 +105,7 @@ func TestPredictRaceUnderGenerationSwaps(t *testing.T) {
 						t.Errorf("predict served version %d", resp.Version)
 						return
 					}
-				} else {
+				case 1:
 					gen := s.Pipeline().Active()
 					if gen == nil {
 						t.Error("active generation vanished")
@@ -105,6 +113,24 @@ func TestPredictRaceUnderGenerationSwaps(t *testing.T) {
 					}
 					if _, err := gen.Model().Predict(windows); err != nil {
 						t.Errorf("Predict: %v", err)
+						return
+					}
+				default:
+					// Engine path: EstimateTraffic prefers the generation's
+					// compiled snapshot and must keep answering through
+					// activates, retirements (engine released), and swaps.
+					gen := s.Pipeline().Active()
+					if gen == nil {
+						t.Error("active generation vanished")
+						return
+					}
+					traffic := &workload.Traffic{
+						Windows:       []map[string]int{{"/read": 10 + i%5, "/write": 4}},
+						WindowSeconds: 60,
+						WindowsPerDay: 1,
+					}
+					if _, err := gen.System.EstimateTraffic(traffic); err != nil {
+						t.Errorf("EstimateTraffic: %v", err)
 						return
 					}
 				}

@@ -116,6 +116,15 @@ type Server struct {
 	// first Handler call.
 	EstimateCache int
 
+	// PredictBatchWindow bounds the extra wait the estimate batcher spends
+	// growing a micro-batch before dispatching one coalesced engine pass
+	// (typically 1–2ms; 0 dispatches immediately, coalescing only the
+	// requests that arrive while a pass is already executing).
+	// PredictBatchMax caps requests per pass (0 = 64). Set before the first
+	// Handler call.
+	PredictBatchWindow time.Duration
+	PredictBatchMax    int
+
 	// QualityHorizon is the longest shadow-scoring report horizon (see
 	// internal/quality); 0 means 24h. QualityThreshold arms the
 	// quality-regression retrain gate: a sustained aggregate sMAPE above
@@ -136,6 +145,12 @@ type Server struct {
 	estCache       *predCache
 	estCacheHits   *obs.Counter
 	estCacheMisses *obs.Counter
+
+	batcher        *estBatcher
+	batcherOnce    sync.Once
+	estDedupHits   *obs.Counter
+	estBatches     *obs.Counter
+	estBatchedReqs *obs.Counter
 
 	// Observability (all nil-safe no-ops when opts.Metrics / opts.Logger
 	// are nil; see withObservability).
@@ -181,6 +196,12 @@ func NewWithConfig(opts core.Options, pcfg pipeline.Config) (*Server, error) {
 			"Estimate requests answered from the prediction cache.")
 		s.estCacheMisses = m.Counter("deeprest_estimate_cache_misses_total",
 			"Estimate requests that had to run the full synthesize-extract-predict path.")
+		s.estDedupHits = m.Counter("deeprest_estimate_cache_dedup_hits_total",
+			"Estimate requests answered by joining an identical in-flight computation (singleflight dedup).")
+		s.estBatches = m.Counter("deeprest_estimate_batches_total",
+			"Coalesced inference passes dispatched by the estimate batcher.")
+		s.estBatchedReqs = m.Counter("deeprest_estimate_batched_requests_total",
+			"Estimate requests executed through coalesced batcher passes (divide by batches for mean batch size).")
 	}
 	buildinfo.Register(opts.Metrics)
 	// The shadow-scoring regression gate feeds the pipeline's early-retrain
@@ -199,6 +220,17 @@ func NewWithConfig(opts core.Options, pcfg pipeline.Config) (*Server, error) {
 // Pipeline exposes the continuous-learning orchestrator, e.g. for the
 // daemon to auto-start the loop or recover checkpoints at boot.
 func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
+
+// estBatcher lazily builds the estimate coalescer from the Server's tuning
+// fields; the Once makes direct handler invocation (tests) race-free with
+// Handler construction.
+func (s *Server) estBatcher() *estBatcher {
+	s.batcherOnce.Do(func() {
+		s.batcher = newEstBatcher(s.PredictBatchWindow, s.PredictBatchMax)
+		s.batcher.instrument(s.estDedupHits, s.estBatches, s.estBatchedReqs)
+	})
+	return s.batcher
+}
 
 // telemetrySource adapts the lazily created store for the pipeline.
 func (s *Server) telemetrySource() pipeline.Source {
@@ -219,6 +251,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		s.estCache = newPredCache(size)
 	}
+	s.estBatcher()
 	s.initQuality()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
@@ -466,12 +499,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// identical request against the same model version can be answered
 	// from the marshaled response of the first one. The canonical
 	// re-marshal of the decoded request normalises field order and
-	// whitespace.
-	var key uint64
-	var canon []byte
+	// whitespace; the same (version, canon) identity keys singleflight
+	// dedup in the batcher below, so it is derived even with caching off.
+	canon, _ := json.Marshal(req)
+	key := predKey(gen.Version, canon)
 	if s.estCache != nil {
-		canon, _ = json.Marshal(req)
-		key = s.estCache.key(gen.Version, canon)
 		if body, ok := s.estCache.get(key, canon); ok {
 			s.estCacheHits.Inc()
 			w.Header().Set("Content-Type", "application/json")
@@ -493,23 +525,24 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		wpd = len(req.Windows)
 	}
 	traffic := &workload.Traffic{Windows: req.Windows, WindowSeconds: ws, WindowsPerDay: wpd}
-	est, err := gen.System.EstimateTraffic(traffic)
-	if err != nil {
+
+	// Cache misses go through the batcher: identical in-flight requests are
+	// deduplicated, distinct concurrent ones coalesce into one batched
+	// engine pass over the shared worker pool.
+	body, err := s.estBatcher().do(r.Context(), gen, traffic, key, canon)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeErr(w, http.StatusGatewayTimeout, "estimate: %v", err)
+		return
+	case err != nil:
 		writeErr(w, http.StatusUnprocessableEntity, "estimate: %v", err)
 		return
 	}
-	resp := toEstimateResponse(gen.Version, est)
 	if s.estCache != nil {
-		body, err := json.Marshal(resp)
-		if err == nil {
-			body = append(body, '\n')
-			s.estCache.put(key, canon, body)
-			w.Header().Set("Content-Type", "application/json")
-			_, _ = w.Write(body)
-			return
-		}
+		s.estCache.put(key, canon, body)
 	}
-	writeJSON(w, resp)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
 }
 
 func toEstimateResponse(version int, est map[app.Pair]estimator.Estimate) estimateResponse {
