@@ -27,6 +27,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzIngestSpans -fuzztime=$(FUZZTIME) ./internal/telemetry
 	$(GO) test -run='^$$' -fuzz=FuzzImportJSON -fuzztime=$(FUZZTIME) ./internal/telemetry
 	$(GO) test -run='^$$' -fuzz=FuzzParseTopology -fuzztime=$(FUZZTIME) ./internal/topo
+	$(GO) test -run='^$$' -fuzz=FuzzFleetManifest -fuzztime=$(FUZZTIME) ./internal/fleet
 
 build:
 	$(GO) build ./...
@@ -42,8 +43,8 @@ test-race:
 
 # Hot-path benchmarks for the estimator (training epoch, expert forward,
 # end-to-end predict on both the eval-tape and the compiled tape-free engine,
-# plus the 64-client concurrent serving path with p99), recorded as
-# BENCH_estimator.json, plus the ingestion path (bounded Record, cached vs
+# plus the 64-client concurrent serving path with p99 and the 16-tenant
+# fleet serving path), recorded as BENCH_estimator.json, plus the ingestion path (bounded Record, cached vs
 # uncached feature reads, zero-alloc extraction, warm vs cold /v1/estimate),
 # recorded as BENCH_ingest.json, plus the topology path (generate, DSL
 # parse/encode, simulate at 30/100/300 components), recorded as
@@ -52,7 +53,8 @@ test-race:
 # tracking across PRs.
 bench:
 	{ $(GO) test -run='^$$' -bench=. -benchmem ./internal/estimator/... ; \
-	  $(GO) test -run='^$$' -bench='EstimateConcurrent' -benchmem ./internal/service ; } | \
+	  $(GO) test -run='^$$' -bench='EstimateConcurrent' -benchmem ./internal/service ; \
+	  $(GO) test -run='^$$' -bench='FleetEstimate' -benchmem ./internal/fleet ; } | \
 		$(GO) run ./cmd/benchjson -out BENCH_estimator.json
 	$(GO) test -run='^$$' -bench='Record|Features|Extract|EstimateWarm|EstimateCold' -benchmem \
 		./internal/telemetry ./internal/features ./internal/service | \

@@ -5,6 +5,8 @@
 // checks over JSON.
 //
 //	deeprestd -addr :8080 [-app APP] [-bootstrap-days N] [-anonymize] [-salt S]
+//	          [-fleet MANIFEST] [-train-workers N] [-max-tenants N]
+//	          [-ingest-rate R] [-ingest-burst N]
 //	          [-hidden N] [-epochs N]
 //	          [-retrain-every D] [-window N] [-retention N] [-checkpoint-dir DIR]
 //	          [-history N] [-max-inflight N] [-request-timeout D] [-fault-spec SPEC]
@@ -27,6 +29,20 @@
 //	GET  /v1/models     POST /v1/models/{version}/activate
 //	GET  /v1/quality    (shadow-scoring scoreboard: rolling error + calibration)
 //	GET  /v1/version    GET /metrics (Prometheus text format; always on)
+//
+// With -fleet the daemon serves many applications at once (internal/fleet):
+// the manifest declares one tenant per application, each with its own
+// telemetry store, model generations, and quality scoreboard, addressed at
+// /v1/t/{app}/... (the un-prefixed routes above alias the default tenant,
+// so single-app clients keep working). Tenants can also be created and
+// retired at runtime via POST /v1/tenants and DELETE /v1/tenants/{app};
+// GET /v1/fleet reports per-tenant status. Training is shared: one bounded
+// worker pool (-train-workers) driven by a fair round-robin scheduler
+// replaces per-tenant retrain loops, -ingest-rate/-ingest-burst shed a
+// flooding tenant's telemetry with 429 + Retry-After, and -max-inflight
+// bounds each tenant's concurrent requests (503). Checkpoints nest per
+// tenant under -checkpoint-dir, and every metric series and stage span
+// carries an app="..." label.
 //
 // With -retrain-every the continuous-learning loop starts automatically:
 // the daemon retrains on fresh telemetry at that cadence (and early when
@@ -88,6 +104,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/estimator/infer"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/service"
@@ -105,6 +122,12 @@ func main() {
 	salt := flag.String("salt", "", "anonymisation salt")
 	hidden := flag.Int("hidden", 0, "GRU width override (0 = default)")
 	epochs := flag.Int("epochs", 0, "training epochs override (0 = default)")
+	fleetPath := flag.String("fleet", "",
+		"fleet manifest (JSON, see internal/fleet): boot multi-tenant, one application per manifest entry, served at /v1/t/{app}/... (empty = single-app mode)")
+	trainWorkers := flag.Int("train-workers", 0, "fleet mode: shared training worker-pool size (0 = 2)")
+	maxTenants := flag.Int("max-tenants", 0, "fleet mode: resident tenant bound (0 = 64)")
+	ingestRate := flag.Float64("ingest-rate", 0, "fleet mode: per-tenant sustained telemetry ingests per second before shedding with 429 (0 = unbounded)")
+	ingestBurst := flag.Int("ingest-burst", 0, "fleet mode: per-tenant ingest burst allowance (0 = max(2*rate, 4))")
 	retrainEvery := flag.Duration("retrain-every", 0, "background retrain cadence (0 = loop not started)")
 	window := flag.Int("window", 0, "sliding window: train on the last N telemetry windows (0 = all)")
 	retention := flag.Int("retention", 0, "telemetry retention horizon in windows: the store is a ring buffer evicting the oldest window past this bound (0 = 2x -window when -window is set, else unbounded; negative = unbounded)")
@@ -172,19 +195,9 @@ func main() {
 		logger.Warn("fault injection armed — this daemon will deliberately fail", "spec", *faultSpec)
 	}
 
-	svc, err := service.NewWithConfig(opts, pcfg)
-	if err != nil {
-		fatal("service construction failed", "error", err)
-	}
-	svc.EnablePprof = *pprofOn
-	svc.MaxInflight = *maxInflight
-	svc.RequestTimeout = *requestTimeout
-	svc.PredictBatchWindow = *predictBatchWindow
 	if *predictWorkers > 0 {
 		infer.SetDefaultWorkers(*predictWorkers)
 	}
-	svc.QualityHorizon = *qualityHorizon
-	svc.QualityThreshold = *qualityThreshold
 	if *qualityThreshold > 0 {
 		logger.Info("quality-regression retrain gate armed",
 			"smape_threshold_pct", *qualityThreshold, "horizon", *qualityHorizon)
@@ -192,54 +205,132 @@ func main() {
 	// The default horizon keeps the training window plus the same again as
 	// query slack, so scheduled retrains and recent-range sanity checks
 	// always find their telemetry resident.
+	resolvedRetention := 0
 	switch {
 	case *retention > 0:
-		svc.Retention = *retention
+		resolvedRetention = *retention
 	case *retention == 0 && *window > 0:
-		svc.Retention = 2 * *window
+		resolvedRetention = 2 * *window
 	}
-	if svc.Retention > 0 && *window > svc.Retention {
+	if resolvedRetention > 0 && *window > resolvedRetention {
 		logger.Warn("-window exceeds -retention; training degrades to the resident windows",
-			"window", *window, "retention", svc.Retention)
+			"window", *window, "retention", resolvedRetention)
 	}
-	if svc.Retention > 0 {
-		logger.Info("telemetry retention armed", "windows", svc.Retention)
+	if resolvedRetention > 0 {
+		logger.Info("telemetry retention armed", "windows", resolvedRetention)
 	}
-	pipe := svc.Pipeline()
-	if *checkpointDir != "" {
-		n, err := pipe.Recover()
+
+	var handler http.Handler
+	var stopTraining func()
+	if *fleetPath != "" {
+		// Fleet mode: the manifest declares the tenants; each gets its own
+		// service instance (telemetry ring, model registry, quality board)
+		// behind /v1/t/{app}/..., while training shares one bounded worker
+		// pool. Legacy un-prefixed routes alias the default tenant.
+		manifest, err := fleet.LoadManifest(*fleetPath)
 		if err != nil {
-			fatal("checkpoint recovery failed", "dir", *checkpointDir, "error", err)
+			fatal("fleet manifest rejected", "path", *fleetPath, "error", err)
 		}
-		if n > 0 {
-			logger.Info("recovered model generations",
-				"generations", n, "serving_version", pipe.Active().Version)
+		fl := fleet.New(fleet.Config{
+			Opts:               opts,
+			Pipeline:           pcfg,
+			MaxTenants:         *maxTenants,
+			TrainWorkers:       *trainWorkers,
+			MaxInflight:        *maxInflight,
+			IngestRate:         *ingestRate,
+			IngestBurst:        *ingestBurst,
+			RequestTimeout:     *requestTimeout,
+			Retention:          resolvedRetention,
+			PredictBatchWindow: *predictBatchWindow,
+			QualityHorizon:     *qualityHorizon,
+			QualityThreshold:   *qualityThreshold,
+		})
+		// -app alongside -fleet adds a tenant named "default" from that
+		// spec, created first so the legacy routes alias it.
+		if *appArg != "" {
+			if _, err := fl.Create(fleet.TenantSpec{
+				App: "default", Spec: *appArg, BootstrapDays: *bootstrapDays,
+			}); err != nil {
+				fatal("default tenant failed", "app", *appArg, "error", err)
+			}
 		}
-	}
-	// Bootstrap after checkpoint recovery so the store picks up the
-	// recovered generation's feature extractor on adoption.
-	if *appArg != "" {
-		run, err := bootstrapRun(*appArg, *bootstrapDays)
+		for _, ts := range manifest.Tenants {
+			t, err := fl.Create(ts)
+			if err != nil {
+				fatal("tenant creation failed", "tenant", ts.App, "error", err)
+			}
+			logger.Info("tenant resident", "app", t.ID, "spec", t.Spec,
+				"windows", t.Server().Windows())
+		}
+		if *retrainEvery > 0 {
+			fl.StartScheduler()
+			logger.Info("fleet training scheduler started",
+				"tenants", len(fl.Tenants()), "train_workers", fl.TrainWorkers(),
+				"retrain_every", pcfg.Interval)
+		}
+		handler = fl.Handler()
+		if *pprofOn {
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.Handle("GET /debug/spans", tracer.Handler())
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			handler = mux
+		}
+		stopTraining = fl.Close
+	} else {
+		svc, err := service.NewWithConfig(opts, pcfg)
 		if err != nil {
-			fatal("bootstrap simulation failed", "app", *appArg, "error", err)
+			fatal("service construction failed", "error", err)
 		}
-		if err := svc.Bootstrap(run); err != nil {
-			fatal("bootstrap ingest failed", "app", *appArg, "error", err)
+		svc.EnablePprof = *pprofOn
+		svc.MaxInflight = *maxInflight
+		svc.RequestTimeout = *requestTimeout
+		svc.PredictBatchWindow = *predictBatchWindow
+		svc.QualityHorizon = *qualityHorizon
+		svc.QualityThreshold = *qualityThreshold
+		svc.Retention = resolvedRetention
+		pipe := svc.Pipeline()
+		if *checkpointDir != "" {
+			n, err := pipe.Recover()
+			if err != nil {
+				fatal("checkpoint recovery failed", "dir", *checkpointDir, "error", err)
+			}
+			if n > 0 {
+				logger.Info("recovered model generations",
+					"generations", n, "serving_version", pipe.Active().Version)
+			}
 		}
-		logger.Info("telemetry store bootstrapped from simulation",
-			"app", *appArg, "days", *bootstrapDays, "windows", len(run.Windows))
-	}
-	if *retrainEvery > 0 {
-		if err := pipe.Start(); err != nil {
-			fatal("continuous-learning loop failed to start", "error", err)
+		// Bootstrap after checkpoint recovery so the store picks up the
+		// recovered generation's feature extractor on adoption.
+		if *appArg != "" {
+			run, err := bootstrapRun(*appArg, *bootstrapDays)
+			if err != nil {
+				fatal("bootstrap simulation failed", "app", *appArg, "error", err)
+			}
+			if err := svc.Bootstrap(run); err != nil {
+				fatal("bootstrap ingest failed", "app", *appArg, "error", err)
+			}
+			logger.Info("telemetry store bootstrapped from simulation",
+				"app", *appArg, "days", *bootstrapDays, "windows", len(run.Windows))
 		}
-		logger.Info("continuous learning started",
-			"retrain_every", pcfg.Interval, "drift_check_every", pipe.DriftEvery())
+		if *retrainEvery > 0 {
+			if err := pipe.Start(); err != nil {
+				fatal("continuous-learning loop failed to start", "error", err)
+			}
+			logger.Info("continuous learning started",
+				"retrain_every", pcfg.Interval, "drift_check_every", pipe.DriftEvery())
+		}
+		handler = svc.Handler()
+		stopTraining = pipe.Stop
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
@@ -271,7 +362,7 @@ func main() {
 	defer stop()
 	<-ctx.Done()
 	logger.Info("shutting down")
-	pipe.Stop() // waits for an in-flight generation; checkpoints are on disk
+	stopTraining() // waits for in-flight training; checkpoints are on disk
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

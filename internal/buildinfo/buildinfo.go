@@ -50,6 +50,9 @@ func Register(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
+	// Build identity is per-process, not per-tenant: register through the
+	// root view so a tenant-labelled registry never forks the family.
+	reg = reg.Root()
 	reg.GaugeVec("deeprest_build_info",
 		"Build identity of the running deeprest binary (constant 1; the labels carry the information).",
 		"version", "go_version").

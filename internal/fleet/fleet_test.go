@@ -1,0 +1,343 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+	"repro/internal/testutil"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// The cross-tenant isolation wall. The contract under test: a fleet is
+// indistinguishable, tenant by tenant, from the same applications run as
+// isolated single-tenant daemons — bit-identical estimates, no shared
+// mutable state, no cross-tenant lifecycle effects.
+
+// quickOpts is the fast estimator configuration every service-layer test in
+// the repo uses: small net, few epochs, short chunks.
+func quickOpts() core.Options {
+	opts := core.DefaultOptions()
+	opts.Estimator.Hidden = 6
+	opts.Estimator.Epochs = 8
+	opts.Estimator.AttentionEpochs = 1
+	opts.Estimator.ChunkLen = 24
+	return opts
+}
+
+func do(t testing.TB, h http.Handler, method, path string, body *bytes.Buffer) *httptest.ResponseRecorder {
+	t.Helper()
+	if body == nil {
+		body = &bytes.Buffer{}
+	}
+	req := httptest.NewRequest(method, path, body)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// toyBody serialises a toy run into the telemetry interchange format.
+func toyBody(t testing.TB, days int, peak float64, seed int64) *bytes.Buffer {
+	t.Helper()
+	_, _, run := testutil.ToyTelemetry(t, days, peak, seed)
+	store := telemetry.NewServer(run.WindowSeconds)
+	store.RecordRun(run)
+	var buf bytes.Buffer
+	if err := store.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// estimateBody builds a deterministic estimate request for the given
+// topology spec: one day of two-peak traffic over the spec's API mix.
+func estimateBody(t testing.TB, spec string) *bytes.Buffer {
+	t.Helper()
+	_, mix, err := topo.Resolve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workload.Uniform(1, workload.DaySpec{Shape: workload.TwoPeak{}, Mix: mix, PeakRPS: 20})
+	prog.WindowsPerDay = 24
+	prog.WindowSeconds = 60
+	prog.Seed = 77
+	traffic := prog.Generate()
+	body, err := json.Marshal(map[string]interface{}{
+		"windows": traffic.Windows, "windows_per_day": traffic.WindowsPerDay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewBuffer(body)
+}
+
+// wallTenants is the isolation wall's tenant roster: two paper topologies
+// plus a generated production-scale one, each with the pair it learns.
+var wallTenants = []struct{ id, spec, pair string }{
+	{"social", "social", "UserService/cpu"},
+	{"hotel", "hotel", "FrontendService/cpu"},
+	{"synth", "gen:seed=9,components=60", "Gateway00/cpu"},
+}
+
+// TestFleetIsolationBitIdentical boots one 3-tenant fleet and three
+// isolated single-tenant services from the same specs, trains each on the
+// same pair, and requires byte-for-byte identical estimate responses. Any
+// state bleeding between tenants — a shared RNG, a shared feature cache, a
+// mixed-up ring — breaks bit-equality.
+func TestFleetIsolationBitIdentical(t *testing.T) {
+	fl := New(Config{Opts: quickOpts(), Pipeline: pipeline.DefaultConfig()})
+	for _, wt := range wallTenants {
+		if _, err := fl.Create(TenantSpec{App: wt.id, Spec: wt.spec}); err != nil {
+			t.Fatalf("create %s: %v", wt.id, err)
+		}
+	}
+	fh := fl.Handler()
+	// Train fleet tenants in an order interleaved with queries so any
+	// cross-tenant contamination has a chance to surface.
+	for _, wt := range wallTenants {
+		learn := bytes.NewBufferString(fmt.Sprintf(`{"pairs":[%q]}`, wt.pair))
+		if rec := do(t, fh, "POST", "/v1/t/"+wt.id+"/v1/learn", learn); rec.Code != http.StatusOK {
+			t.Fatalf("fleet learn %s = %d: %s", wt.id, rec.Code, rec.Body)
+		}
+	}
+
+	for _, wt := range wallTenants {
+		// The isolated control: same opts, same bootstrap, same learn.
+		srv, err := service.NewWithConfig(quickOpts(), pipeline.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := BootstrapRun(wt.spec, 1)
+		if err != nil {
+			t.Fatalf("bootstrap %s: %v", wt.id, err)
+		}
+		if err := srv.Bootstrap(run); err != nil {
+			t.Fatal(err)
+		}
+		sh := srv.Handler()
+		learn := bytes.NewBufferString(fmt.Sprintf(`{"pairs":[%q]}`, wt.pair))
+		if rec := do(t, sh, "POST", "/v1/learn", learn); rec.Code != http.StatusOK {
+			t.Fatalf("solo learn %s = %d: %s", wt.id, rec.Code, rec.Body)
+		}
+
+		fleetRec := do(t, fh, "POST", "/v1/t/"+wt.id+"/v1/estimate", estimateBody(t, wt.spec))
+		soloRec := do(t, sh, "POST", "/v1/estimate", estimateBody(t, wt.spec))
+		if fleetRec.Code != http.StatusOK || soloRec.Code != http.StatusOK {
+			t.Fatalf("%s: estimate fleet=%d solo=%d: %s", wt.id, fleetRec.Code, soloRec.Code, fleetRec.Body)
+		}
+		if !bytes.Equal(fleetRec.Body.Bytes(), soloRec.Body.Bytes()) {
+			t.Errorf("%s: fleet estimate diverges from the isolated daemon\nfleet: %s\nsolo:  %s",
+				wt.id, fleetRec.Body, soloRec.Body)
+		}
+	}
+
+	// The legacy un-prefixed surface aliases the first-created tenant.
+	legacy := do(t, fh, "POST", "/v1/estimate", estimateBody(t, wallTenants[0].spec))
+	direct := do(t, fh, "POST", "/v1/t/"+wallTenants[0].id+"/v1/estimate", estimateBody(t, wallTenants[0].spec))
+	if legacy.Code != http.StatusOK || !bytes.Equal(legacy.Body.Bytes(), direct.Body.Bytes()) {
+		t.Errorf("legacy alias diverges from /v1/t/%s (code %d)", wallTenants[0].id, legacy.Code)
+	}
+}
+
+// newToyFleet builds a fleet of push-only tenants, each ingested with the
+// same toy run and trained on Service/cpu — the cheap fixture the stress,
+// fairness, and lifecycle tests share.
+func newToyFleet(t testing.TB, cfg Config, ids ...string) (*Fleet, http.Handler) {
+	t.Helper()
+	if cfg.Opts.Estimator.Hidden == 0 {
+		cfg.Opts = quickOpts()
+	}
+	fl := New(cfg)
+	t.Cleanup(fl.Close)
+	h := fl.Handler()
+	for i, id := range ids {
+		if _, err := fl.Create(TenantSpec{App: id}); err != nil {
+			t.Fatalf("create %s: %v", id, err)
+		}
+		if rec := do(t, h, "POST", "/v1/t/"+id+"/v1/telemetry", toyBody(t, 1, 30, int64(51+i))); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %s = %d: %s", id, rec.Code, rec.Body)
+		}
+		if rec := do(t, h, "POST", "/v1/t/"+id+"/v1/learn", bytes.NewBufferString(`{"pairs":["Service/cpu"]}`)); rec.Code != http.StatusOK {
+			t.Fatalf("learn %s = %d: %s", id, rec.Code, rec.Body)
+		}
+	}
+	return fl, h
+}
+
+// toyEstimate is the matching toy-mix estimate request.
+func toyEstimate(t testing.TB) *bytes.Buffer {
+	t.Helper()
+	traffic := testutil.ToyProgram(1, 45, 99).Generate()
+	body, err := json.Marshal(map[string]interface{}{
+		"windows": traffic.Windows, "windows_per_day": traffic.WindowsPerDay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewBuffer(body)
+}
+
+// TestTenantEvictionIsolation is the lifecycle property: however many
+// tenants are created and retired around it, a resident tenant's estimates
+// never change and its serving path never breaks — eviction frees only the
+// evicted tenant's state. Exercised over several churn rounds with the
+// surviving tenant queried between every step.
+func TestTenantEvictionIsolation(t *testing.T) {
+	fl, h := newToyFleet(t, Config{}, "keeper")
+	baseline := do(t, h, "POST", "/v1/t/keeper/v1/estimate", toyEstimate(t))
+	if baseline.Code != http.StatusOK {
+		t.Fatalf("baseline estimate = %d: %s", baseline.Code, baseline.Body)
+	}
+
+	for round := 0; round < 4; round++ {
+		id := fmt.Sprintf("churn%d", round)
+		if _, err := fl.Create(TenantSpec{App: id}); err != nil {
+			t.Fatal(err)
+		}
+		if rec := do(t, h, "POST", "/v1/t/"+id+"/v1/telemetry", toyBody(t, 1, 30, int64(70+round))); rec.Code != http.StatusOK {
+			t.Fatalf("churn ingest = %d", rec.Code)
+		}
+		if rec := do(t, h, "POST", "/v1/t/"+id+"/v1/learn", bytes.NewBufferString(`{"pairs":["Service/cpu"]}`)); rec.Code != http.StatusOK {
+			t.Fatalf("churn learn = %d: %s", rec.Code, rec.Body)
+		}
+		if rec := do(t, h, "DELETE", "/v1/tenants/"+id, nil); rec.Code != http.StatusOK {
+			t.Fatalf("retire = %d: %s", rec.Code, rec.Body)
+		}
+		// The retired tenant's routes are gone...
+		if rec := do(t, h, "GET", "/v1/t/"+id+"/v1/status", nil); rec.Code != http.StatusNotFound {
+			t.Fatalf("retired tenant still routable: %d", rec.Code)
+		}
+		// ...and the keeper's estimates are bit-identical to before any
+		// churn: eviction freed nothing the keeper owns.
+		rec := do(t, h, "POST", "/v1/t/keeper/v1/estimate", toyEstimate(t))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("round %d: keeper estimate = %d: %s", round, rec.Code, rec.Body)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), baseline.Body.Bytes()) {
+			t.Fatalf("round %d: keeper estimate changed after evicting %s", round, id)
+		}
+	}
+	if got := len(fl.Tenants()); got != 1 {
+		t.Fatalf("resident tenants = %d, want 1", got)
+	}
+}
+
+// TestFleetLifecycleHTTP covers the management surface: create via POST,
+// duplicate refused with 409, invalid id refused with 400, status document
+// listing every tenant, retire via DELETE, unknown tenant 404.
+func TestFleetLifecycleHTTP(t *testing.T) {
+	_, h := newToyFleet(t, Config{}, "alpha")
+
+	rec := do(t, h, "POST", "/v1/tenants", bytes.NewBufferString(`{"app":"beta"}`))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do(t, h, "POST", "/v1/tenants", bytes.NewBufferString(`{"app":"beta"}`)); rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate create = %d", rec.Code)
+	}
+	for _, bad := range []string{`{"app":"../evil"}`, `{"app":""}`, `{"app":"a/b"}`, `{"app":"x","nope":1}`} {
+		if rec := do(t, h, "POST", "/v1/tenants", bytes.NewBufferString(bad)); rec.Code != http.StatusBadRequest {
+			t.Fatalf("bad create %s = %d", bad, rec.Code)
+		}
+	}
+
+	rec = do(t, h, "GET", "/v1/fleet", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fleet status = %d", rec.Code)
+	}
+	var st FleetStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tenants) != 2 || st.Default != "alpha" {
+		t.Fatalf("fleet status = %+v", st)
+	}
+	if st.Tenants[0].App != "alpha" || st.Tenants[0].ActiveVersion != 1 {
+		t.Fatalf("tenant row = %+v", st.Tenants[0])
+	}
+
+	if rec := do(t, h, "DELETE", "/v1/tenants/beta", nil); rec.Code != http.StatusOK {
+		t.Fatalf("retire = %d", rec.Code)
+	}
+	if rec := do(t, h, "DELETE", "/v1/tenants/beta", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("double retire = %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/t/nosuch/v1/status", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown tenant = %d", rec.Code)
+	}
+}
+
+// TestFleetCapacityBound: creation beyond MaxTenants is shed with 503 and a
+// Retry-After, and retiring a tenant frees the slot.
+func TestFleetCapacityBound(t *testing.T) {
+	fl, h := newToyFleet(t, Config{MaxTenants: 1}, "only")
+	rec := do(t, h, "POST", "/v1/tenants", bytes.NewBufferString(`{"app":"over"}`))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity create = %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("over-capacity shed carries no Retry-After")
+	}
+	if err := fl.Retire("only"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Create(TenantSpec{App: "over"}); err != nil {
+		t.Fatalf("create after retire: %v", err)
+	}
+}
+
+// TestManifestParsing pins the strict manifest grammar.
+func TestManifestParsing(t *testing.T) {
+	good := `{"tenants":[
+		{"app":"social","spec":"social","bootstrap_days":2},
+		{"app":"synth-60","spec":"gen:seed=9,components=60","retention":2880}
+	]}`
+	m, err := ParseManifest(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tenants) != 2 || m.Tenants[1].Retention != 2880 {
+		t.Fatalf("manifest = %+v", m)
+	}
+
+	for name, doc := range map[string]string{
+		"empty":        `{"tenants":[]}`,
+		"no doc":       ``,
+		"unknown key":  `{"tenants":[{"app":"a","color":"red"}]}`,
+		"duplicate id": `{"tenants":[{"app":"a"},{"app":"a"}]}`,
+		"traversal":    `{"tenants":[{"app":"../../etc"}]}`,
+		"separator":    `{"tenants":[{"app":"a/b"}]}`,
+		"dot":          `{"tenants":[{"app":"a.b"}]}`,
+		"leading dash": `{"tenants":[{"app":"-a"}]}`,
+		"days range":   `{"tenants":[{"app":"a","bootstrap_days":99}]}`,
+		"trailing":     `{"tenants":[{"app":"a"}]} {}`,
+	} {
+		if _, err := ParseManifest(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: manifest accepted: %s", name, doc)
+		}
+	}
+}
+
+// TestValidateID pins the id grammar at the unit level.
+func TestValidateID(t *testing.T) {
+	for _, ok := range []string{"a", "social", "A-1_b", "x" + strings.Repeat("y", 63)} {
+		if err := ValidateID(ok); err != nil {
+			t.Errorf("ValidateID(%q) = %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "..", ".", "a.b", "a/b", `a\b`, "-a", "_a",
+		"a b", "a\x00b", "über", "x" + strings.Repeat("y", 64)} {
+		if err := ValidateID(bad); err == nil {
+			t.Errorf("ValidateID(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzFleetManifest drives arbitrary bytes through the manifest parser and
+// checks the security invariant the parser exists to uphold: any manifest
+// it ACCEPTS yields tenant ids that are safe to use as checkpoint path
+// segments, metric label values, and URL path elements — no traversal out
+// of the checkpoint root, no duplicates, no out-of-range knobs. Rejections
+// are always fine; silent acceptance of a hostile id is the bug class.
+//
+// Run via `make fuzz` (FUZZTIME bounds each target) or directly:
+//
+//	go test ./internal/fleet -run=^$ -fuzz=FuzzFleetManifest -fuzztime=10s
+func FuzzFleetManifest(f *testing.F) {
+	for _, seed := range []string{
+		`{"tenants":[{"app":"social","spec":"social","bootstrap_days":2}]}`,
+		`{"tenants":[{"app":"a"},{"app":"b","retention":100,"max_inflight":4}]}`,
+		`{"tenants":[{"app":"gen9","spec":"gen:seed=9,components=60"}]}`,
+		`{"tenants":[{"app":"../../etc/passwd"}]}`,
+		`{"tenants":[{"app":"..\\..\\windows"}]}`,
+		`{"tenants":[{"app":"a"},{"app":"a"}]}`,
+		`{"tenants":[{"app":".hidden"}]}`,
+		`{"tenants":[{"app":"ok","bootstrap_days":-1}]}`,
+		`{"tenants":[{"app":"ok","unknown_field":true}]}`,
+		`{"tenants":[]}`,
+		`{"tenants":[{"app":"a"}]} trailing`,
+		`not json at all`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(bytes.NewReader(data))
+		if err != nil {
+			if m != nil {
+				t.Fatalf("error %v returned alongside a manifest", err)
+			}
+			return
+		}
+		if len(m.Tenants) == 0 {
+			t.Fatal("accepted manifest has no tenants")
+		}
+		const root = "ckptroot"
+		seen := make(map[string]bool, len(m.Tenants))
+		for _, ts := range m.Tenants {
+			if err := ValidateID(ts.App); err != nil {
+				t.Fatalf("accepted manifest carries invalid id %q: %v", ts.App, err)
+			}
+			if seen[ts.App] {
+				t.Fatalf("accepted manifest carries duplicate id %q", ts.App)
+			}
+			seen[ts.App] = true
+			// The id is about to become a checkpoint directory segment:
+			// joining it must stay strictly inside the root.
+			joined := filepath.Join(root, ts.App)
+			if filepath.Dir(joined) != root ||
+				!strings.HasPrefix(joined, root+string(filepath.Separator)) ||
+				filepath.Base(joined) != ts.App {
+				t.Fatalf("id %q escapes the checkpoint root: %q", ts.App, joined)
+			}
+			if ts.BootstrapDays < 0 || ts.BootstrapDays > 14 ||
+				ts.Retention < 0 || ts.MaxInflight < 0 {
+				t.Fatalf("accepted manifest carries out-of-range knobs: %+v", ts)
+			}
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP surface of the fleet. Tenant traffic is path-sharded:
+//
+//	POST   /v1/tenants          create a tenant (TenantSpec body)
+//	GET    /v1/fleet            fleet-wide status, one entry per tenant
+//	DELETE /v1/tenants/{app}    retire a tenant
+//	ANY    /v1/t/{app}/...      the tenant's full service API (prefix-stripped)
+//	ANY    /...                 legacy single-app routes, aliased to the
+//	                            default tenant so pre-fleet clients keep working
+//
+// Admission runs at this layer, before the tenant's own handler: the
+// per-tenant ingest token bucket sheds flooding telemetry writers with 429 +
+// Retry-After (the tenant's MaxInflight bound inside service.Server sheds
+// concurrency overload with 503). Both count into the tenant's labelled
+// deeprest_http_shed_total.
+
+type fleetError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(fleetError{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the fleet's HTTP surface.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tenants", f.handleCreate)
+	mux.HandleFunc("GET /v1/fleet", f.handleStatus)
+	mux.HandleFunc("GET /v1/tenants", f.handleStatus)
+	mux.HandleFunc("DELETE /v1/tenants/{app}", f.handleRetire)
+	mux.HandleFunc("/v1/t/{app}/", f.handleTenant)
+	if m := f.cfg.Opts.Metrics; m != nil {
+		// One scrape covers the whole fleet: tenant views share the family
+		// store, so the root handler renders every app="..." series.
+		mux.Handle("GET /metrics", m.Handler())
+	}
+	mux.HandleFunc("/", f.handleDefault)
+	return mux
+}
+
+// handleTenant routes /v1/t/{app}/... into the tenant's own service handler
+// with the prefix stripped, after fleet-level admission.
+func (f *Fleet) handleTenant(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	t, ok := f.Get(app)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no tenant %q", app)
+		return
+	}
+	f.serveTenant(t, "/v1/t/"+app, w, r)
+}
+
+// handleDefault aliases the legacy un-prefixed service routes onto the
+// default tenant, preserving the single-app daemon's wire surface.
+func (f *Fleet) handleDefault(w http.ResponseWriter, r *http.Request) {
+	t := f.Default()
+	if t == nil {
+		writeErr(w, http.StatusNotFound,
+			"no default tenant; create one via POST /v1/tenants or address a tenant at /v1/t/{app}/...")
+		return
+	}
+	f.serveTenant(t, "", w, r)
+}
+
+func (f *Fleet) serveTenant(t *Tenant, prefix string, w http.ResponseWriter, r *http.Request) {
+	if t.retired.Load() {
+		writeErr(w, http.StatusNotFound, "tenant %q retired", t.ID)
+		return
+	}
+	if t.bucket != nil && r.Method == http.MethodPost &&
+		r.URL.Path == prefix+"/v1/telemetry" {
+		if ok, retry := t.bucket.take(time.Now()); !ok {
+			secs := int(retry/time.Second) + 1
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			t.srv.ShedInc()
+			writeErr(w, http.StatusTooManyRequests,
+				"tenant %q ingest rate exceeded, retry in %ds", t.ID, secs)
+			return
+		}
+	}
+	if prefix == "" {
+		t.handler.ServeHTTP(w, r)
+		return
+	}
+	http.StripPrefix(prefix, t.handler).ServeHTTP(w, r)
+}
+
+// handleCreate registers a tenant from a TenantSpec body. The decoder is as
+// strict as the manifest parser: unknown fields are rejected.
+func (f *Fleet) handleCreate(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var ts TenantSpec
+	if err := dec.Decode(&ts); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode tenant spec: %v", err)
+		return
+	}
+	if err := validateSpecBounds(&ts); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t, err := f.Create(ts)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDuplicate):
+			writeErr(w, http.StatusConflict, "%v", err)
+		case errors.Is(err, ErrAtCapacity):
+			w.Header().Set("Retry-After", "60")
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, f.tenantStatus(t))
+}
+
+// handleRetire removes a tenant.
+func (f *Fleet) handleRetire(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	if err := f.Retire(app); err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]string{"retired": app})
+}
+
+// TenantStatus is one tenant's row in the GET /v1/fleet document.
+type TenantStatus struct {
+	App           string    `json:"app"`
+	Spec          string    `json:"spec,omitempty"`
+	CreatedAt     time.Time `json:"created_at"`
+	Windows       int       `json:"windows"`
+	ActiveVersion int       `json:"active_version"`
+	Generations   int       `json:"generations"`
+	Degraded      bool      `json:"degraded,omitempty"`
+	Shed          uint64    `json:"shed_total,omitempty"`
+}
+
+// FleetStatus is the GET /v1/fleet document.
+type FleetStatus struct {
+	Tenants      []TenantStatus `json:"tenants"`
+	Default      string         `json:"default_tenant,omitempty"`
+	TrainWorkers int            `json:"train_workers"`
+	Scheduler    bool           `json:"scheduler_running"`
+}
+
+func (f *Fleet) tenantStatus(t *Tenant) TenantStatus {
+	st := t.srv.Pipeline().Status()
+	return TenantStatus{
+		App: t.ID, Spec: t.Spec, CreatedAt: t.CreatedAt,
+		Windows:       t.srv.Windows(),
+		ActiveVersion: st.ActiveVersion,
+		Generations:   st.Generations,
+		Degraded:      st.Degraded,
+		Shed:          t.srv.ShedCount(),
+	}
+}
+
+func (f *Fleet) handleStatus(w http.ResponseWriter, r *http.Request) {
+	f.mu.RLock()
+	tenants := make([]*Tenant, len(f.order))
+	copy(tenants, f.order)
+	deflt := f.deflt
+	running := f.sched != nil
+	f.mu.RUnlock()
+	out := FleetStatus{
+		Tenants:      make([]TenantStatus, 0, len(tenants)),
+		Default:      deflt,
+		TrainWorkers: f.cfg.TrainWorkers,
+		Scheduler:    running,
+	}
+	for _, t := range tenants {
+		out.Tenants = append(out.Tenants, f.tenantStatus(t))
+	}
+	writeJSON(w, out)
+}
+
+// validateSpecBounds applies the shared sanity bounds on a TenantSpec
+// (ParseManifest applies the same bounds to manifest entries).
+func validateSpecBounds(ts *TenantSpec) error {
+	if ts.BootstrapDays < 0 || ts.BootstrapDays > 14 {
+		return fmt.Errorf("fleet: tenant %q: bootstrap_days %d out of range [0,14]", ts.App, ts.BootstrapDays)
+	}
+	if ts.Retention < 0 {
+		return fmt.Errorf("fleet: tenant %q: negative retention", ts.App)
+	}
+	if ts.MaxInflight < 0 {
+		return fmt.Errorf("fleet: tenant %q: negative max_inflight", ts.App)
+	}
+	return nil
+}

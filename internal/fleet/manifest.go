@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"encoding/json"
+)
+
+// Fleet manifest: the -fleet flag's file format, declaring the tenants a
+// daemon boots with.
+//
+//	{
+//	  "tenants": [
+//	    {"app": "social", "spec": "social", "bootstrap_days": 2},
+//	    {"app": "hotel",  "spec": "hotel"},
+//	    {"app": "synth",  "spec": "gen:seed=9,components=60", "retention": 2880}
+//	  ]
+//	}
+//
+// Parsing is strict — unknown fields, trailing data, duplicate ids, and
+// out-of-range knobs are errors — because a manifest typo that silently
+// drops a tenant is a production outage, and because tenant ids become
+// filesystem paths and metric label values the moment the daemon boots.
+
+// Manifest is the parsed fleet declaration.
+type Manifest struct {
+	Tenants []TenantSpec `json:"tenants"`
+}
+
+// LoadManifest reads and parses a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: manifest: %w", err)
+	}
+	defer fh.Close()
+	return ParseManifest(fh)
+}
+
+// ParseManifest parses and validates a manifest document.
+func ParseManifest(r io.Reader) (*Manifest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("fleet: manifest: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("fleet: manifest: trailing data after document")
+	}
+	if len(m.Tenants) == 0 {
+		return nil, errors.New("fleet: manifest: no tenants")
+	}
+	seen := make(map[string]bool, len(m.Tenants))
+	for i := range m.Tenants {
+		ts := &m.Tenants[i]
+		if err := ValidateID(ts.App); err != nil {
+			return nil, fmt.Errorf("fleet: manifest tenant %d: %w", i, err)
+		}
+		if seen[ts.App] {
+			return nil, fmt.Errorf("fleet: manifest: duplicate tenant id %q", ts.App)
+		}
+		seen[ts.App] = true
+		if err := validateSpecBounds(ts); err != nil {
+			return nil, fmt.Errorf("fleet: manifest tenant %d: %w", i, err)
+		}
+	}
+	return &m, nil
+}
+
+// ValidateID enforces the tenant-id grammar: 1–64 characters of
+// [a-zA-Z0-9_-], first character alphanumeric. The grammar is deliberately
+// narrower than "valid file name": ids are joined onto the checkpoint root
+// (<dir>/<id>/gen-*.ckpt), interpolated into metric label values, and
+// matched in URL paths, so every path separator, dot (no "." / ".."
+// traversal), and escape-prone byte is excluded outright.
+func ValidateID(id string) error {
+	if id == "" {
+		return errors.New("empty tenant id")
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("tenant id %q: longer than 64 bytes", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_':
+			if i == 0 {
+				return fmt.Errorf("tenant id %q: must start with a letter or digit", id)
+			}
+		default:
+			return fmt.Errorf("tenant id %q: invalid byte %q (want [a-zA-Z0-9_-])", id, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Fleet training scheduler: N tenants, one bounded worker pool.
+//
+// The single-app daemon runs pipeline.Start, a per-instance goroutine with
+// retrain and drift tickers. Naively replicating that per tenant gives N
+// background loops that can all decide to train at once — N concurrent
+// gradient descents is exactly the unbounded-concurrency failure the
+// inference pool (internal/estimator/infer) was built to avoid. The fleet
+// instead disables per-tenant loops (service.Server.ExternalScheduler) and
+// drives every tenant's pipeline through ticks dispatched onto TrainWorkers
+// persistent workers.
+//
+// Fairness is structural, not best-effort:
+//
+//   - each sweep visits every tenant, but the starting offset rotates, so
+//     when more tenants are due than workers can absorb no fixed tenant
+//     always wins the queue slots;
+//   - at most one tick per tenant is queued or running at a time
+//     (Tenant.trainPending, an atomic compare-and-swap claim exactly like
+//     the inference pool's index claim), so a tenant whose training is slow
+//     cannot pile up queue entries and crowd out neighbours;
+//   - a full queue drops the claim and the tenant retries next sweep —
+//     deadline state (nextRetrain/nextDrift) is only advanced when the tick
+//     is actually enqueued, so no cadence is silently skipped.
+//
+// A flooding tenant therefore costs its neighbours at most one queued job's
+// latency, and its telemetry flood is already shed upstream by the ingest
+// bucket (admission.go).
+type scheduler struct {
+	f          *Fleet
+	interval   time.Duration // per-tenant scheduled-retrain cadence
+	driftEvery time.Duration // per-tenant drift-check cadence
+	sweep      time.Duration // scheduler sweep period
+	rr         int           // rotating round-robin offset
+
+	jobs   chan schedJob
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+type schedJob struct {
+	t    *Tenant
+	kind string // "scheduled" | "drift"
+}
+
+// StartScheduler launches the shared training scheduler. Idempotent; call
+// Close (or the returned fleet's Close) to stop it.
+func (f *Fleet) StartScheduler() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sched != nil || f.closed {
+		return
+	}
+	interval := f.cfg.Pipeline.Interval
+	if interval <= 0 {
+		interval = 15 * time.Minute
+	}
+	driftEvery := f.cfg.Pipeline.DriftEvery
+	if driftEvery <= 0 {
+		driftEvery = interval / 4
+	}
+	finest := interval
+	if driftEvery < finest {
+		finest = driftEvery
+	}
+	sweep := finest / 2
+	if sweep < time.Millisecond {
+		sweep = time.Millisecond
+	}
+	if sweep > 30*time.Second {
+		sweep = 30 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &scheduler{
+		f:          f,
+		interval:   interval,
+		driftEvery: driftEvery,
+		sweep:      sweep,
+		jobs:       make(chan schedJob, f.cfg.TrainWorkers*2),
+		cancel:     cancel,
+	}
+	for i := 0; i < f.cfg.TrainWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker(ctx)
+	}
+	s.wg.Add(1)
+	go s.loop(ctx)
+	f.sched = s
+}
+
+// SchedulerRunning reports whether the shared scheduler is live.
+func (f *Fleet) SchedulerRunning() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.sched != nil
+}
+
+func (s *scheduler) stop() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// loop sweeps the tenant table on a cadence finer than the drift check and
+// enqueues due ticks in rotating round-robin order.
+func (s *scheduler) loop(ctx context.Context) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.sweep)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.sweepOnce(time.Now())
+		}
+	}
+}
+
+func (s *scheduler) sweepOnce(now time.Time) {
+	tenants := s.f.Tenants()
+	n := len(tenants)
+	if n == 0 {
+		return
+	}
+	s.rr = (s.rr + 1) % n
+	for i := 0; i < n; i++ {
+		t := tenants[(s.rr+i)%n]
+		if t.retired.Load() {
+			continue
+		}
+		kind, commit := s.due(t, now)
+		if kind == "" {
+			continue
+		}
+		// Atomic claim: at most one queued-or-running tick per tenant.
+		if !t.trainPending.CompareAndSwap(false, true) {
+			continue
+		}
+		select {
+		case s.jobs <- schedJob{t: t, kind: kind}:
+			commit()
+		default:
+			// Queue full: release the claim, leave deadlines untouched,
+			// retry next sweep. The rotating offset guarantees this tenant
+			// is not perpetually last in line.
+			t.trainPending.Store(false)
+		}
+	}
+}
+
+// due decides whether a tenant owes a tick at now. Deadlines advance only
+// via the returned commit (called once the tick is actually enqueued). Only
+// the scheduler goroutine touches the deadline fields.
+func (s *scheduler) due(t *Tenant, now time.Time) (kind string, commit func()) {
+	if t.nextRetrain.IsZero() {
+		// First sighting: phase the tenant in like the per-instance loop's
+		// tickers did — first retrain one interval from now.
+		t.nextRetrain = now.Add(s.interval)
+		t.nextDrift = now.Add(s.driftEvery)
+		return "", nil
+	}
+	if !now.Before(t.nextRetrain) {
+		return "scheduled", func() {
+			t.nextRetrain = now.Add(s.interval)
+			t.nextDrift = now.Add(s.driftEvery)
+		}
+	}
+	if !now.Before(t.nextDrift) {
+		return "drift", func() { t.nextDrift = now.Add(s.driftEvery) }
+	}
+	return "", nil
+}
+
+// runTick executes one tick, containing panics: a tenant whose state
+// poisons its own training job must not take the shared workers (and with
+// them every other tenant's training) down.
+func (s *scheduler) runTick(ctx context.Context, j schedJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			if lg := s.f.cfg.Opts.Logger; lg != nil {
+				lg.Error("training tick panicked", "app", j.t.ID,
+					"kind", j.kind, "panic", fmt.Sprint(r),
+					"stack", string(debug.Stack()))
+			}
+		}
+	}()
+	switch j.kind {
+	case "scheduled":
+		j.t.srv.Pipeline().TickScheduled(ctx)
+	case "drift":
+		j.t.srv.Pipeline().TickDrift(ctx)
+	}
+}
+
+// worker executes ticks from the shared queue. The tick runs the tenant's
+// own pipeline machinery (drift check, quality check, retrain with retries,
+// checkpoint, atomic swap) exactly as its in-process loop would have.
+func (s *scheduler) worker(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-s.jobs:
+			if !j.t.retired.Load() {
+				s.runTick(ctx, j)
+			}
+			j.t.trainPending.Store(false)
+		}
+	}
+}

@@ -31,12 +31,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
+	st := r.state
+	st.mu.RLock()
+	fams := make([]*family, 0, len(st.families))
+	for _, f := range st.families {
 		fams = append(fams, f)
 	}
-	r.mu.RUnlock()
+	st.mu.RUnlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	bw := bufio.NewWriter(w)

@@ -82,14 +82,82 @@ func (t metricType) String() string {
 // Registry holds metric families and renders them in Prometheus text format.
 // All methods are safe for concurrent use. The zero value is not useful;
 // a nil *Registry is: it hands out nil no-op handles.
+//
+// A Registry value is a *view* onto a shared family store: WithConstLabels
+// derives a view that stamps a constant label pair onto every metric
+// registered through it, while the exposition (Handler, WritePrometheus)
+// always renders the whole store. Multi-tenant services use this to thread
+// an `app` label through subsystems that register their metrics by plain
+// name: each tenant instruments itself through its own labelled view, and
+// all tenants' series land in the same families, distinguished by label.
 type Registry struct {
+	state *regState
+	pre   []labelPair // constant labels prepended to every family
+}
+
+// regState is the family store shared by a registry and all its views.
+type regState struct {
 	mu       sync.RWMutex
 	families map[string]*family
 }
 
+// labelPair is one constant name/value pair carried by a registry view.
+type labelPair struct{ name, value string }
+
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return &Registry{state: &regState{families: make(map[string]*family)}}
+}
+
+// WithConstLabels derives a registry view that adds the given name/value
+// pair as a leading constant label on every metric registered through it.
+// Views share the underlying store: the base registry's exposition renders
+// every view's series. Nested calls accumulate labels in call order.
+func (r *Registry) WithConstLabels(name, value string) *Registry {
+	if r == nil {
+		return nil
+	}
+	if !labelRe.MatchString(name) || strings.HasPrefix(name, "__") {
+		panic(fmt.Sprintf("obs: invalid constant label name %q", name))
+	}
+	pre := make([]labelPair, 0, len(r.pre)+1)
+	pre = append(pre, r.pre...)
+	pre = append(pre, labelPair{name, value})
+	return &Registry{state: r.state, pre: pre}
+}
+
+// Root returns the registry without any constant labels — the view
+// process-level metrics (build info) register through, so they stay
+// unlabelled even when instrumented from inside a tenant-scoped component.
+func (r *Registry) Root() *Registry {
+	if r == nil || len(r.pre) == 0 {
+		return r
+	}
+	return &Registry{state: r.state}
+}
+
+// preNames and preValues split the view's constant labels for registration
+// and resolution.
+func (r *Registry) preNames() []string {
+	if len(r.pre) == 0 {
+		return nil
+	}
+	out := make([]string, len(r.pre))
+	for i, p := range r.pre {
+		out[i] = p.name
+	}
+	return out
+}
+
+func (r *Registry) preValues() []string {
+	if len(r.pre) == 0 {
+		return nil
+	}
+	out := make([]string, len(r.pre))
+	for i, p := range r.pre {
+		out[i] = p.value
+	}
+	return out
 }
 
 // family is one named metric with a fixed type, help string, and label set.
@@ -111,7 +179,9 @@ type child struct {
 }
 
 // family registers (or finds) a metric family, panicking on any mismatch
-// with a previous registration of the same name.
+// with a previous registration of the same name. A view's constant label
+// names are prepended to the declared label set, so every view of the same
+// shape resolves to one shared family.
 func (r *Registry) family(name, help string, typ metricType, buckets []float64, labels []string) *family {
 	if r == nil {
 		return nil
@@ -124,9 +194,11 @@ func (r *Registry) family(name, help string, typ metricType, buckets []float64, 
 			panic(fmt.Sprintf("obs: invalid label name %q for metric %q", l, name))
 		}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if f, ok := r.families[name]; ok {
+	labels = append(r.preNames(), labels...)
+	st := r.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if f, ok := st.families[name]; ok {
 		if f.typ != typ || f.help != help || !equalStrings(f.labels, labels) {
 			panic(fmt.Sprintf("obs: metric %q re-registered with a different type, help, or labels", name))
 		}
@@ -140,7 +212,7 @@ func (r *Registry) family(name, help string, typ metricType, buckets []float64, 
 		buckets:  normalizeBuckets(buckets),
 		children: make(map[string]*child),
 	}
-	r.families[name] = f
+	st.families[name] = f
 	return f
 }
 
@@ -232,18 +304,22 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	if f == nil {
 		return nil
 	}
-	return &CounterVec{f}
+	return &CounterVec{f, r.preValues()}
 }
 
-// CounterVec resolves label values to counters.
-type CounterVec struct{ f *family }
+// CounterVec resolves label values to counters. A vec obtained through a
+// labelled registry view curries the view's constant label values.
+type CounterVec struct {
+	f   *family
+	pre []string
+}
 
 // With returns the counter for the given label values.
 func (v *CounterVec) With(values ...string) *Counter {
 	if v == nil {
 		return nil
 	}
-	c, _ := v.f.resolve(values).(*Counter)
+	c, _ := v.f.resolve(joinValues(v.pre, values)).(*Counter)
 	return c
 }
 
@@ -283,18 +359,22 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	if f == nil {
 		return nil
 	}
-	return &GaugeVec{f}
+	return &GaugeVec{f, r.preValues()}
 }
 
-// GaugeVec resolves label values to gauges.
-type GaugeVec struct{ f *family }
+// GaugeVec resolves label values to gauges. A vec obtained through a
+// labelled registry view curries the view's constant label values.
+type GaugeVec struct {
+	f   *family
+	pre []string
+}
 
 // With returns the gauge for the given label values.
 func (v *GaugeVec) With(values ...string) *Gauge {
 	if v == nil {
 		return nil
 	}
-	g, _ := v.f.resolve(values).(*Gauge)
+	g, _ := v.f.resolve(joinValues(v.pre, values)).(*Gauge)
 	return g
 }
 
@@ -356,19 +436,33 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...
 	if f == nil {
 		return nil
 	}
-	return &HistogramVec{f}
+	return &HistogramVec{f, r.preValues()}
 }
 
-// HistogramVec resolves label values to histograms.
-type HistogramVec struct{ f *family }
+// HistogramVec resolves label values to histograms. A vec obtained through a
+// labelled registry view curries the view's constant label values.
+type HistogramVec struct {
+	f   *family
+	pre []string
+}
 
 // With returns the histogram for the given label values.
 func (v *HistogramVec) With(values ...string) *Histogram {
 	if v == nil {
 		return nil
 	}
-	h, _ := v.f.resolve(values).(*Histogram)
+	h, _ := v.f.resolve(joinValues(v.pre, values)).(*Histogram)
 	return h
+}
+
+// joinValues prepends a view's constant label values to the caller's.
+func joinValues(pre, values []string) []string {
+	if len(pre) == 0 {
+		return values
+	}
+	out := make([]string, 0, len(pre)+len(values))
+	out = append(out, pre...)
+	return append(out, values...)
 }
 
 // Observe records one value.

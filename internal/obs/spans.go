@@ -43,6 +43,9 @@ type Span struct {
 	Parent uint64 `json:"parent,omitempty"`
 	// Name is the stage, e.g. "pipeline.train" or "service.ingest".
 	Name string `json:"name"`
+	// App is the tenant the stage ran for ("" for process-level stages or
+	// single-tenant deployments); see SpanTracer.WithApp.
+	App string `json:"app,omitempty"`
 	// Start is the wall-clock begin; Duration the measured elapsed time.
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
@@ -58,14 +61,24 @@ type ActiveSpan struct {
 	id      uint64
 	parent  uint64
 	name    string
+	app     string
 	start   time.Time
 	windows int
 	err     string
 	done    atomic.Bool
 }
 
-// SpanTracer records completed spans into a fixed-size ring buffer.
+// SpanTracer records completed spans into a fixed-size ring buffer. Like the
+// metrics Registry, a SpanTracer value is a view onto a shared ring: WithApp
+// derives a view that stamps a tenant id onto every span it starts, while
+// Snapshot and Handler always cover the whole ring.
 type SpanTracer struct {
+	state *tracerRing
+	app   string
+}
+
+// tracerRing is the span store shared by a tracer and all its views.
+type tracerRing struct {
 	seed uint64
 	seq  atomic.Uint64
 
@@ -81,7 +94,17 @@ func NewSpanTracer(capacity int, seed uint64) *SpanTracer {
 	if capacity < 16 {
 		capacity = 16
 	}
-	return &SpanTracer{seed: seed, ring: make([]Span, capacity)}
+	return &SpanTracer{state: &tracerRing{seed: seed, ring: make([]Span, capacity)}}
+}
+
+// WithApp derives a tracer view that stamps the given tenant id onto every
+// span it starts. Views share the ring, so a fleet's spans interleave in one
+// buffer and /debug/spans can filter by ?app=.
+func (t *SpanTracer) WithApp(app string) *SpanTracer {
+	if t == nil {
+		return nil
+	}
+	return &SpanTracer{state: t.state, app: app}
 }
 
 // spanKey is the context key carrying the active span.
@@ -90,7 +113,7 @@ type spanKey struct{}
 // spanID mints the deterministic ID of sequence number seq: the splitmix64
 // finalizer chained over (seed, seq), matching internal/faults' pure-hash
 // discipline. Zero is reserved for "no span", so a vanishing image is bumped.
-func (t *SpanTracer) spanID(seq uint64) uint64 {
+func (t *tracerRing) spanID(seq uint64) uint64 {
 	id := mix64spans(mix64spans(t.seed) ^ seq)
 	if id == 0 {
 		id = 1
@@ -116,9 +139,10 @@ func (t *SpanTracer) Start(ctx context.Context, name string) (context.Context, *
 	}
 	s := &ActiveSpan{
 		tracer: t,
-		id:     t.spanID(t.seq.Add(1)),
+		id:     t.state.spanID(t.state.seq.Add(1)),
 		parent: SpanID(ctx),
 		name:   name,
+		app:    t.app,
 		start:  time.Now(),
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
@@ -165,11 +189,11 @@ func (s *ActiveSpan) End() {
 		return
 	}
 	rec := Span{
-		ID: s.id, Parent: s.parent, Name: s.name,
+		ID: s.id, Parent: s.parent, Name: s.name, App: s.app,
 		Start: s.start, Duration: time.Since(s.start),
 		Windows: s.windows, Err: s.err,
 	}
-	t := s.tracer
+	t := s.tracer.state
 	t.mu.Lock()
 	t.ring[t.next] = rec
 	t.next = (t.next + 1) % len(t.ring)
@@ -179,17 +203,19 @@ func (s *ActiveSpan) End() {
 	t.mu.Unlock()
 }
 
-// Snapshot returns the resident spans, oldest first.
+// Snapshot returns the resident spans, oldest first. Views share the ring,
+// so a view's snapshot covers every app's spans.
 func (t *SpanTracer) Snapshot() []Span {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]Span, 0, t.n)
-	start := (t.next - t.n + len(t.ring)) % len(t.ring)
-	for i := 0; i < t.n; i++ {
-		out = append(out, t.ring[(start+i)%len(t.ring)])
+	st := t.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Span, 0, st.n)
+	start := (st.next - st.n + len(st.ring)) % len(st.ring)
+	for i := 0; i < st.n; i++ {
+		out = append(out, st.ring[(start+i)%len(st.ring)])
 	}
 	return out
 }
@@ -201,8 +227,9 @@ type spansPage struct {
 }
 
 // Handler serves the span buffer as JSON at GET /debug/spans. Spans are
-// emitted oldest first; ?name=prefix filters by span-name prefix. Gated like
-// pprof: callers mount it only on operator surfaces.
+// emitted oldest first; ?name=prefix filters by span-name prefix and
+// ?app=id by exact tenant id. Gated like pprof: callers mount it only on
+// operator surfaces.
 func (t *SpanTracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if t == nil {
@@ -219,8 +246,17 @@ func (t *SpanTracer) Handler() http.Handler {
 			}
 			spans = kept
 		}
+		if app := r.URL.Query().Get("app"); app != "" {
+			kept := spans[:0]
+			for _, s := range spans {
+				if s.App == app {
+					kept = append(kept, s)
+				}
+			}
+			spans = kept
+		}
 		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(spansPage{Capacity: len(t.ring), Spans: spans})
+		_ = json.NewEncoder(w).Encode(spansPage{Capacity: len(t.state.ring), Spans: spans})
 	})
 }

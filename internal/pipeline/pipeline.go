@@ -323,11 +323,11 @@ func (p *Pipeline) Degraded() bool {
 	return p.consecFails > 0
 }
 
-// Running reports whether the background loop is live.
 // DriftEvery reports the resolved drift-check cadence (useful when the
 // config left it to be derived from the retrain interval).
 func (p *Pipeline) DriftEvery() time.Duration { return p.cfg.DriftEvery }
 
+// Running reports whether the background loop is live.
 func (p *Pipeline) Running() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -579,16 +579,34 @@ func (p *Pipeline) loop(ctx context.Context, done chan struct{}) {
 		case <-ctx.Done():
 			return
 		case <-retrain.C:
-			p.scheduledRetrain(ctx, "scheduled")
+			p.TickScheduled(ctx)
 		case <-driftTick.C:
-			if p.checkDrift() {
-				p.scheduledRetrain(ctx, "drift")
-			} else if p.checkQuality() {
-				p.scheduledRetrain(ctx, "quality")
-			}
+			p.TickDrift(ctx)
 		}
 	}
 }
+
+// TickScheduled runs one scheduled-retrain check: retrain over the sliding
+// window if enough fresh telemetry arrived, else do nothing. It is the body
+// of the internal loop's retrain tick, exported so an external scheduler
+// (internal/fleet) can drive N pipelines from one bounded worker pool
+// instead of N background loops.
+func (p *Pipeline) TickScheduled(ctx context.Context) { p.scheduledRetrain(ctx, "scheduled") }
+
+// TickDrift runs one drift/quality check, retraining early when either gate
+// fires — the body of the internal loop's drift tick, exported for external
+// schedulers like TickScheduled.
+func (p *Pipeline) TickDrift(ctx context.Context) {
+	if p.checkDrift() {
+		p.scheduledRetrain(ctx, "drift")
+	} else if p.checkQuality() {
+		p.scheduledRetrain(ctx, "quality")
+	}
+}
+
+// Interval reports the resolved scheduled-retrain cadence, the companion of
+// DriftEvery for external schedulers.
+func (p *Pipeline) Interval() time.Duration { return p.cfg.Interval }
 
 // rebaseTrainedTo returns the high-water mark of trained windows, clamped
 // to the store size. After a restart the recovered mark can exceed the

@@ -125,6 +125,13 @@ type Server struct {
 	PredictBatchWindow time.Duration
 	PredictBatchMax    int
 
+	// ExternalScheduler marks the pipeline as driven by an external
+	// scheduler (a fleet's shared training worker pool): the
+	// /v1/pipeline/start and /v1/pipeline/stop endpoints refuse with 409
+	// instead of spawning a per-tenant background loop that would race the
+	// fleet's. Set before the first Handler call.
+	ExternalScheduler bool
+
 	// QualityHorizon is the longest shadow-scoring report horizon (see
 	// internal/quality); 0 means 24h. QualityThreshold arms the
 	// quality-regression retrain gate: a sustained aggregate sMAPE above
@@ -191,7 +198,7 @@ func NewWithConfig(opts core.Options, pcfg pipeline.Config) (*Server, error) {
 		s.httpInFlight = m.Gauge("deeprest_http_in_flight_requests",
 			"Requests currently being served.")
 		s.httpShed = m.Counter("deeprest_http_shed_total",
-			"Requests rejected with 503 because the admission bound (MaxInflight) was reached.")
+			"Requests shed with 503 (admission bound reached) or 429 (per-tenant ingest rate exceeded).")
 		s.estCacheHits = m.Counter("deeprest_estimate_cache_hits_total",
 			"Estimate requests answered from the prediction cache.")
 		s.estCacheMisses = m.Counter("deeprest_estimate_cache_misses_total",
@@ -220,6 +227,28 @@ func NewWithConfig(opts core.Options, pcfg pipeline.Config) (*Server, error) {
 // Pipeline exposes the continuous-learning orchestrator, e.g. for the
 // daemon to auto-start the loop or recover checkpoints at boot.
 func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
+
+// Windows reports the total ingested telemetry window count (0 before the
+// first ingest) — the fleet status endpoint reads it without going through
+// the tenant's HTTP surface.
+func (s *Server) Windows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.store == nil {
+		return 0
+	}
+	return s.store.NumWindows()
+}
+
+// ShedInc counts one shed request against this server's
+// deeprest_http_shed_total series. The fleet's per-tenant admission layer
+// uses it so 429s it issues on a tenant's behalf land on that tenant's
+// counter.
+func (s *Server) ShedInc() { s.httpShed.Inc() }
+
+// ShedCount reports how many requests have been shed (503 admission bound
+// plus fleet-issued 429s).
+func (s *Server) ShedCount() uint64 { return s.httpShed.Value() }
 
 // estBatcher lazily builds the estimate coalescer from the Server's tuning
 // fields; the Once makes direct handler invocation (tests) race-free with
@@ -694,6 +723,10 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 // --- continuous-learning endpoints ---
 
 func (s *Server) handlePipelineStart(w http.ResponseWriter, _ *http.Request) {
+	if s.ExternalScheduler {
+		writeErr(w, http.StatusConflict, "retraining is driven by the fleet scheduler; per-tenant loops are disabled")
+		return
+	}
 	if err := s.pipe.Start(); err != nil {
 		writeErr(w, http.StatusConflict, "%v", err)
 		return
@@ -704,6 +737,10 @@ func (s *Server) handlePipelineStart(w http.ResponseWriter, _ *http.Request) {
 // handlePipelineStop stops the loop; it waits for an in-flight generation
 // to finish, so the response means "no further training will happen".
 func (s *Server) handlePipelineStop(w http.ResponseWriter, _ *http.Request) {
+	if s.ExternalScheduler {
+		writeErr(w, http.StatusConflict, "retraining is driven by the fleet scheduler; per-tenant loops are disabled")
+		return
+	}
 	s.pipe.Stop()
 	writeJSON(w, s.pipe.Status())
 }

@@ -224,6 +224,7 @@ func (s *Server) Record(wr sim.WindowResult) {
 		}
 		s.metrics[p] = append(series, v)
 	}
+	s.padMetricsLocked(idx + 1)
 	s.evictLocked()
 }
 
@@ -261,7 +262,22 @@ func (s *Server) RecordRun(r *sim.Run) {
 		}
 		s.metrics[p] = append(series, vs...)
 	}
+	s.padMetricsLocked(base + len(r.Windows))
 	s.evictLocked()
+}
+
+// padMetricsLocked zero-fills every metric series to n values so pairs
+// absent from newly recorded windows stay aligned with the trace ring: a
+// pair missing from a window means zero observed usage, and both the range
+// reads and eviction re-slice all series by trace-ring offsets, so a short
+// series would panic them. Callers must hold s.mu.
+func (s *Server) padMetricsLocked(n int) {
+	for p, series := range s.metrics {
+		for len(series) < n {
+			series = append(series, 0)
+		}
+		s.metrics[p] = series
+	}
 }
 
 // evictLocked drops the oldest windows beyond the retention horizon —

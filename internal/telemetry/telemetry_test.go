@@ -104,6 +104,44 @@ func TestLateMetricBackfill(t *testing.T) {
 	}
 }
 
+// A pair absent from newly recorded windows must be zero-padded, not left
+// short: full-range reads and eviction slice every series by trace-ring
+// offsets and used to panic when telemetry from a different pair set (e.g.
+// another application's export) was ingested on top of an existing store.
+func TestAbsentMetricPadding(t *testing.T) {
+	s := NewServer(60)
+	a := app.Pair{Component: "A", Resource: app.CPU}
+	b := app.Pair{Component: "B", Resource: app.CPU}
+	s.Record(sim.WindowResult{Usage: sim.Usage{a: 1}})
+	s.Record(sim.WindowResult{Usage: sim.Usage{b: 5}})
+	s.Record(sim.WindowResult{Usage: sim.Usage{}})
+	m, err := s.Metric(a, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 1 || m[1] != 0 || m[2] != 0 {
+		t.Fatalf("padded series = %v", m)
+	}
+	all, err := s.Metrics(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all[a]) != 3 || len(all[b]) != 3 {
+		t.Fatalf("series lengths = %d, %d, want 3, 3", len(all[a]), len(all[b]))
+	}
+
+	// Eviction re-slices every series by the same offset; a short series
+	// used to panic here too.
+	s.SetRetention(2)
+	s.Record(sim.WindowResult{Usage: sim.Usage{}})
+	if m, err = s.Metric(b, s.OldestWindow(), s.NumWindows()); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("post-eviction series = %v", m)
+	}
+}
+
 func TestQueryCopiesData(t *testing.T) {
 	s := NewServer(60)
 	p := app.Pair{Component: "A", Resource: app.CPU}
