@@ -49,8 +49,10 @@ test-race:
 # recorded as BENCH_ingest.json, plus the topology path (generate, DSL
 # parse/encode, simulate at 30/100/300 components), recorded as
 # BENCH_topo.json, plus the shadow-scoring path (chunk scoring catch-up,
-# scoreboard rendering), recorded as BENCH_quality.json — all for regression
-# tracking across PRs.
+# scoreboard rendering), recorded as BENCH_quality.json, plus the autoscale
+# control loop (O(log n) allocation lookup, offline planner, one closed-loop
+# day), recorded as BENCH_autoscale.json — all for regression tracking
+# across PRs.
 bench:
 	{ $(GO) test -run='^$$' -bench=. -benchmem ./internal/estimator/... ; \
 	  $(GO) test -run='^$$' -bench='EstimateConcurrent' -benchmem ./internal/service ; \
@@ -63,6 +65,9 @@ bench:
 		$(GO) run ./cmd/benchjson -out BENCH_topo.json
 	$(GO) test -run='^$$' -bench='Scorer' -benchmem ./internal/quality | \
 		$(GO) run ./cmd/benchjson -out BENCH_quality.json
+	$(GO) test -run='^$$' -bench='AllocationAt|PlanSeries|CtrlLoop' -benchmem \
+		./internal/autoscale ./internal/ctrl | \
+		$(GO) run ./cmd/benchjson -out BENCH_autoscale.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem ./...

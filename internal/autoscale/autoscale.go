@@ -15,6 +15,7 @@ package autoscale
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/app"
 	"repro/internal/estimator"
@@ -84,9 +85,58 @@ func PlanSeries(series []float64, cfg Config) ([]Allocation, error) {
 	return planSeries(series, cfg), nil
 }
 
+// Planner applies the allocation rule (interval peak + headroom, bounded
+// hysteresis) one scheduling interval at a time. It is the incremental form
+// of PlanSeries, shared with the closed control loop in internal/ctrl so
+// the loop and the offline planner cannot drift apart semantically.
+type Planner struct {
+	cfg  Config
+	prev float64
+	live bool
+}
+
+// NewPlanner returns a Planner with the given headroom and hysteresis
+// settings (IntervalWindows is not used: the caller decides the cadence by
+// when it calls Next).
+func NewPlanner(cfg Config) (*Planner, error) {
+	if cfg.Headroom < 0 {
+		return nil, fmt.Errorf("autoscale: negative headroom")
+	}
+	if cfg.MinChange < 0 {
+		return nil, fmt.Errorf("autoscale: negative MinChange")
+	}
+	return &Planner{cfg: cfg}, nil
+}
+
+// Next consumes one scheduling interval's demand peak and returns the
+// amount to allocate for that interval.
+//
+// Hysteresis is only allowed to spend headroom, never SLO: the previous
+// allocation is kept when the desired change falls inside the MinChange
+// dead-band AND the held amount still covers the interval's raw demand
+// peak. Comparing against the last *actual* allocation (not the unclamped
+// desired amount) bounds cumulative drift to the dead-band, and the
+// peak-coverage condition bounds under-provisioning at zero: a slow
+// monotonic ramp whose per-interval change stays inside the dead-band
+// still triggers a reallocation the moment the held amount would sit
+// below demand.
+func (pl *Planner) Next(peak float64) float64 {
+	amount := peak * (1 + pl.cfg.Headroom)
+	if pl.live && math.Abs(amount-pl.prev) <= pl.cfg.MinChange*math.Max(pl.prev, 1e-9) && pl.prev >= peak {
+		amount = pl.prev
+	}
+	pl.prev = amount
+	pl.live = true
+	return amount
+}
+
+// Last returns the most recent allocation decision (0 before the first
+// Next call).
+func (pl *Planner) Last() float64 { return pl.prev }
+
 func planSeries(series []float64, cfg Config) []Allocation {
 	var out []Allocation
-	prev := math.NaN()
+	pl := &Planner{cfg: cfg}
 	for from := 0; from < len(series); from += cfg.IntervalWindows {
 		to := from + cfg.IntervalWindows
 		if to > len(series) {
@@ -98,30 +148,48 @@ func planSeries(series []float64, cfg Config) []Allocation {
 				peak = v
 			}
 		}
-		amount := peak * (1 + cfg.Headroom)
-		// Hysteresis: keep the previous allocation for small changes.
-		if !math.IsNaN(prev) && math.Abs(amount-prev) <= cfg.MinChange*math.Max(prev, 1e-9) {
-			amount = prev
-		}
+		amount := pl.Next(peak)
 		if len(out) > 0 && out[len(out)-1].Amount == amount {
 			out[len(out)-1].To = to
 		} else {
 			out = append(out, Allocation{From: from, To: to, Amount: amount})
 		}
-		prev = amount
 	}
 	return out
 }
 
-// AllocationAt returns the allocated amount for window w (0 beyond the
-// schedule).
+// Horizon returns the end of the planned range — the first window the
+// schedule says nothing about (0 for an empty schedule).
+func Horizon(allocs []Allocation) int {
+	if len(allocs) == 0 {
+		return 0
+	}
+	return allocs[len(allocs)-1].To
+}
+
+// AllocationAt returns the allocated amount for window w, or 0 when w is
+// outside the planned horizon. Allocations are contiguous and sorted by
+// construction, so the lookup is a binary search — it sits in the control
+// loop's per-window hot path. Callers that actuate capacities should
+// usually prefer AllocationAtHold, which does not drop to zero past the
+// horizon.
 func AllocationAt(allocs []Allocation, w int) float64 {
-	for _, a := range allocs {
-		if w >= a.From && w < a.To {
-			return a.Amount
-		}
+	i := sort.Search(len(allocs), func(i int) bool { return allocs[i].To > w })
+	if i < len(allocs) && w >= allocs[i].From {
+		return allocs[i].Amount
 	}
 	return 0
+}
+
+// AllocationAtHold is AllocationAt with hold-last semantics: windows past
+// the planned horizon keep the final allocation instead of reading as an
+// (impossible) zero reservation. Use it wherever an allocation becomes a
+// provisioned capacity.
+func AllocationAtHold(allocs []Allocation, w int) float64 {
+	if n := len(allocs); n > 0 && w >= allocs[n-1].To {
+		return allocs[n-1].Amount
+	}
+	return AllocationAt(allocs, w)
 }
 
 // Report scores a schedule against measured demand.
@@ -137,19 +205,34 @@ type Report struct {
 	WasteFrac float64
 	// Changes is the number of allocation changes (provisioning churn).
 	Changes int
+	// BeyondHorizon counts measured windows past the planned horizon.
+	// Those windows are excluded from scoring — the plan says nothing
+	// about them — instead of being charged as phantom depth-1.0
+	// violations against a zero allocation. A non-zero value is the
+	// explicit horizon-mismatch signal for callers that expected the
+	// plan to cover the whole measured range.
+	BeyondHorizon int
 }
 
 // Assess compares one pair's allocations against the measured series.
+// Scoring is truncated to the planned horizon: windows the schedule does
+// not cover are counted in Report.BeyondHorizon rather than scored as
+// violations of an all-zero allocation.
 func Assess(allocs []Allocation, actual []float64) Report {
 	var rep Report
-	if len(actual) == 0 {
+	n := len(actual)
+	if h := Horizon(allocs); n > h {
+		rep.BeyondHorizon = n - h
+		n = h
+	}
+	if n == 0 {
 		return rep
 	}
 	violations := 0
 	depth := 0.0
 	waste := 0.0
 	demand := 0.0
-	for w, d := range actual {
+	for w, d := range actual[:n] {
 		a := AllocationAt(allocs, w)
 		demand += d
 		if d > a {
@@ -161,7 +244,7 @@ func Assess(allocs []Allocation, actual []float64) Report {
 			waste += a - d
 		}
 	}
-	rep.ViolationFrac = float64(violations) / float64(len(actual))
+	rep.ViolationFrac = float64(violations) / float64(n)
 	if violations > 0 {
 		rep.ViolationDepth = depth / float64(violations)
 	}
@@ -176,27 +259,34 @@ func Assess(allocs []Allocation, actual []float64) Report {
 }
 
 // AssessSchedule aggregates Assess over every pair of a schedule, averaging
-// the fractions.
+// the fractions (BeyondHorizon is summed). Pairs are visited in sorted
+// order, so a missing-measurement error is deterministic regardless of map
+// iteration order.
 func AssessSchedule(s Schedule, actual map[app.Pair][]float64) (Report, error) {
+	pairs := make([]app.Pair, 0, len(s))
+	for p := range s {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].String() < pairs[j].String() })
 	var agg Report
-	n := 0
-	for p, allocs := range s {
+	for _, p := range pairs {
 		series, ok := actual[p]
 		if !ok {
 			return Report{}, fmt.Errorf("autoscale: no measurements for %s", p)
 		}
-		r := Assess(allocs, series)
+		r := Assess(s[p], series)
 		agg.ViolationFrac += r.ViolationFrac
 		agg.ViolationDepth += r.ViolationDepth
 		agg.WasteFrac += r.WasteFrac
 		agg.Changes += r.Changes
-		n++
+		agg.BeyondHorizon += r.BeyondHorizon
 	}
-	if n == 0 {
+	if len(pairs) == 0 {
 		return agg, nil
 	}
-	agg.ViolationFrac /= float64(n)
-	agg.ViolationDepth /= float64(n)
-	agg.WasteFrac /= float64(n)
+	n := float64(len(pairs))
+	agg.ViolationFrac /= n
+	agg.ViolationDepth /= n
+	agg.WasteFrac /= n
 	return agg, nil
 }

@@ -1,0 +1,38 @@
+package autoscale
+
+import "testing"
+
+// BenchmarkAllocationAt guards the lookup's complexity: it is called once
+// per window per pair inside the control loop's hot path, so it must stay
+// O(log n) in the schedule length. A regression back to the linear scan
+// shows up as ~100× more ns/op at this schedule size.
+func BenchmarkAllocationAt(b *testing.B) {
+	const intervals = 4096
+	allocs := make([]Allocation, intervals)
+	for i := range allocs {
+		allocs[i] = Allocation{From: i * 12, To: (i + 1) * 12, Amount: float64(i)}
+	}
+	horizon := Horizon(allocs)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += AllocationAt(allocs, (i*7919)%horizon)
+	}
+	_ = sink
+}
+
+// BenchmarkPlanSeries tracks the offline planner itself (one simulated
+// month at 5-minute windows, hourly reservations).
+func BenchmarkPlanSeries(b *testing.B) {
+	series := make([]float64, 30*288)
+	for i := range series {
+		series[i] = 100 + 50*float64(i%288)/288
+	}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanSeries(series, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

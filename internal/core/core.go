@@ -254,6 +254,39 @@ func (s *System) EstimateTraffic(t *workload.Traffic) (map[app.Pair]estimator.Es
 	return s.predictSeries(series)
 }
 
+// EstimateTrafficBatch runs Mode-1 queries for several hypothetical
+// traffics as one coalesced engine pass: the closed-loop autoscaler asks
+// "what will utilization be?" once per scheduling interval over a slightly
+// different hybrid traffic (realized-so-far plus projected-remainder), and
+// batching those forecasts amortises the per-pass weight traffic. With no
+// compiled engine (or when the engine refuses a series shape) every series
+// falls back to the tape path; both paths are bit-identical to calling
+// EstimateTraffic per traffic.
+func (s *System) EstimateTrafficBatch(ts []*workload.Traffic) ([]map[app.Pair]estimator.Estimate, error) {
+	batch := make([][]features.Vector, len(ts))
+	for i, t := range ts {
+		series, err := s.SynthesizeFeatures(t)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch traffic %d: %w", i, err)
+		}
+		batch[i] = series
+	}
+	if eng := s.engine.Load(); eng != nil {
+		if out, err := eng.PredictBatch(batch); err == nil {
+			return out, nil
+		}
+	}
+	out := make([]map[app.Pair]estimator.Estimate, len(batch))
+	for i, series := range batch {
+		est, err := s.model.PredictVectors(series)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = est
+	}
+	return out, nil
+}
+
 // SynthesizeFeatures runs the front half of a Mode-1 query: anonymisation,
 // trace synthesis, and feature extraction. The request batcher uses it to
 // prepare several requests' series before fanning them through the engine

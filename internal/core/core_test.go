@@ -301,3 +301,52 @@ func TestAnonymizationIsLossless(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateTrafficBatchMatchesSingle pins the batch entry point's
+// bit-identity contract on both serving paths: a coalesced engine pass and
+// the tape fallback must each return exactly what per-traffic
+// EstimateTraffic calls would.
+func TestEstimateTrafficBatchMatchesSingle(t *testing.T) {
+	_, _, run := testutil.ToyTelemetry(t, 2, 30, 5)
+	p := app.Pair{Component: "DB", Resource: app.CPU}
+	sys, err := LearnFromData(run.Windows, testutil.FocusPairs(run.Usage, p), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*workload.Traffic{
+		testutil.ToyProgram(1, 40, 6).Generate(),
+		testutil.ToyProgram(1, 55, 7).Generate(),
+		testutil.ToyProgram(1, 25, 8).Generate(),
+	}
+	check := func(path string) {
+		batch, err := sys.EstimateTrafficBatch(queries)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(batch) != len(queries) {
+			t.Fatalf("%s: %d results for %d queries", path, len(batch), len(queries))
+		}
+		for i, q := range queries {
+			single, err := sys.EstimateTraffic(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := range single[p].Exp {
+				if batch[i][p].Exp[w] != single[p].Exp[w] || batch[i][p].Up[w] != single[p].Up[w] {
+					t.Fatalf("%s: query %d window %d: batch (%.12f,%.12f) != single (%.12f,%.12f)",
+						path, i, w, batch[i][p].Exp[w], batch[i][p].Up[w], single[p].Exp[w], single[p].Up[w])
+				}
+			}
+		}
+	}
+	if sys.Engine() == nil {
+		t.Fatal("expected a compiled inference engine after LearnFromData")
+	}
+	check("engine")
+	sys.ReleaseEngine()
+	check("tape")
+
+	if out, err := sys.EstimateTrafficBatch(nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: got %v, %v", out, err)
+	}
+}

@@ -1,0 +1,17 @@
+package ctrl
+
+import "testing"
+
+// BenchmarkCtrlLoop measures one full closed-loop run (64 windows, 3
+// managed components, reactive policy) — the per-simulated-day cost the
+// autoscale experiment pays per policy per scenario.
+func BenchmarkCtrlLoop(b *testing.B) {
+	env := toyEnv(twoPeakCounts())
+	cfg := testConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(env, cfg, &Reactive{Up: 0.7, Down: 0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

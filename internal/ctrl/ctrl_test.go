@@ -1,0 +1,364 @@
+package ctrl
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/estimator"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// toyTraffic builds count-per-window /read traffic against app.Toy with
+// 60-second windows. With Toy's costs (DB 1100 CPUms per request), n
+// requests per window is a DB demand of n*1100/60/1000 millicores.
+func toyTraffic(counts []int) *workload.Traffic {
+	t := &workload.Traffic{WindowSeconds: 60, WindowsPerDay: len(counts), APIs: []string{"/read"}}
+	for _, n := range counts {
+		t.Windows = append(t.Windows, map[string]int{"/read": n})
+	}
+	return t
+}
+
+// twoPeakCounts is 16 intervals of 4 windows: base load with two peak
+// bursts at windows [17,24) and [41,48). Each peak starts one window after
+// an interval boundary, so a one-window actuation lag can still be planned
+// around by a proactive policy.
+func twoPeakCounts() []int {
+	counts := make([]int, 64)
+	for w := range counts {
+		counts[w] = 500
+		if (w >= 17 && w < 24) || (w >= 41 && w < 48) {
+			counts[w] = 3000
+		}
+	}
+	return counts
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.IntervalWindows = 4
+	return cfg
+}
+
+func toyEnv(counts []int) Env {
+	return Env{
+		Spec:       app.Toy(),
+		Traffic:    toyTraffic(counts),
+		Components: []string{"Gateway", "Service", "DB"},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	env := toyEnv(twoPeakCounts())
+	bad := []Config{
+		{},
+		{IntervalWindows: 4, UtilTarget: 0.5, MaxInflation: 3, LagWindows: -1},
+		{IntervalWindows: 4, UtilTarget: 0, MaxInflation: 3},
+		{IntervalWindows: 4, UtilTarget: 1.5, MaxInflation: 3},
+		{IntervalWindows: 4, UtilTarget: 0.5, MaxInflation: 1}, // no SLO at all
+	}
+	for i, cfg := range bad {
+		if _, err := Run(env, cfg, Static{}); err == nil {
+			t.Errorf("config %d: expected validation error", i)
+		}
+	}
+	if _, err := Run(Env{Spec: app.Toy(), Components: []string{"DB"}}, testConfig(), Static{}); err == nil {
+		t.Error("expected error for missing traffic")
+	}
+	if _, err := Run(Env{Spec: app.Toy(), Traffic: toyTraffic([]int{1})}, testConfig(), Static{}); err == nil {
+		t.Error("expected error for no managed components")
+	}
+	envBad := toyEnv([]int{1, 1})
+	envBad.Components = []string{"NoSuchComponent"}
+	if _, err := Run(envBad, testConfig(), Static{}); err == nil {
+		t.Error("expected error for unknown component")
+	}
+}
+
+// TestStaticLedgerAccounting pins the resource-hour ledger arithmetic: a
+// never-scaling policy over flat low traffic charges exactly the spec
+// capacities integrated over the run, with no violations and no scale ops.
+func TestStaticLedgerAccounting(t *testing.T) {
+	counts := make([]int, 24)
+	for i := range counts {
+		counts[i] = 500
+	}
+	env := toyEnv(counts)
+	res, err := Run(env, testConfig(), Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := res.Ledger
+	if led.WindowsScored != 24 {
+		t.Fatalf("WindowsScored = %d, want 24", led.WindowsScored)
+	}
+	if led.ViolationMinutes != 0 || led.ViolationWindows != 0 {
+		t.Fatalf("flat low load should not violate: %+v", led)
+	}
+	if led.ScaleOps != 0 {
+		t.Fatalf("static policy performed %d scale ops", led.ScaleOps)
+	}
+	// Toy declares Gateway 40 + Service 48 + DB 60 = 148 millicores over
+	// 24 windows of 60 s: 148/1000 * 24/60 core-hours.
+	want := 148.0 / 1000 * 24 * 60 / 3600
+	if math.Abs(led.ResourceHours-want) > 1e-9 {
+		t.Fatalf("ResourceHours = %g, want %g", led.ResourceHours, want)
+	}
+	for _, comp := range env.Components {
+		if len(res.Demand[comp]) != 24 {
+			t.Fatalf("demand series for %s has %d windows", comp, len(res.Demand[comp]))
+		}
+	}
+}
+
+// TestProactiveBeatsReactive is the package's reason to exist in miniature:
+// on a two-peak load, a proactive policy fed the realized demand (the
+// perfect-forecast oracle) provisions ahead of each burst and never
+// violates, while the threshold autoscaler — same planner, same lag, but
+// looking backwards — saturates through every burst onset.
+func TestProactiveBeatsReactive(t *testing.T) {
+	env := toyEnv(twoPeakCounts())
+	cfg := testConfig()
+
+	probe, err := Run(env, cfg, Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static capacity keeps peak utilization under 1 here, so the probe's
+	// observed demand is the true demand — a perfect forecast.
+	if got := probe.Ledger.ViolationWindows; got != 14 {
+		t.Fatalf("static probe violated %d windows, want the 14 peak windows", got)
+	}
+
+	pro, err := Run(env, cfg, NewProactive("proactive", probe.Demand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rea, err := Run(env, cfg, &Reactive{Up: 0.7, Down: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pro.Ledger.ViolationMinutes != 0 {
+		t.Errorf("proactive violated %.0f minutes, want 0", pro.Ledger.ViolationMinutes)
+	}
+	if rea.Ledger.ViolationMinutes <= pro.Ledger.ViolationMinutes {
+		t.Errorf("reactive (%.0f min) should violate more than proactive (%.0f min)",
+			rea.Ledger.ViolationMinutes, pro.Ledger.ViolationMinutes)
+	}
+	if rea.Ledger.ViolationMinutes < 10 {
+		t.Errorf("reactive violated only %.0f minutes; burst onsets should cost it more",
+			rea.Ledger.ViolationMinutes)
+	}
+	if pro.Ledger.ResourceHours <= 0 || rea.Ledger.ResourceHours <= 0 {
+		t.Errorf("resource-hours not charged: pro=%g rea=%g",
+			pro.Ledger.ResourceHours, rea.Ledger.ResourceHours)
+	}
+	// Both policies descale the over-provisioned spec at base load, so
+	// both should run cheaper than the static deployment.
+	if pro.Ledger.ResourceHours >= probe.Ledger.ResourceHours {
+		t.Errorf("proactive (%g core-h) should cost less than static (%g core-h)",
+			pro.Ledger.ResourceHours, probe.Ledger.ResourceHours)
+	}
+	if len(pro.Ledger.ByAPI) != 0 {
+		t.Errorf("proactive ByAPI should be empty, got %v", pro.Ledger.ByAPI)
+	}
+	if rea.Ledger.ByAPI["/read"] != rea.Ledger.ViolationMinutes {
+		t.Errorf("ByAPI[/read] = %g, want %g (single-API traffic)",
+			rea.Ledger.ByAPI["/read"], rea.Ledger.ViolationMinutes)
+	}
+}
+
+// recordingPolicy captures the capacity the loop exposes at each decision
+// boundary and requests one resize at the first.
+type recordingPolicy struct {
+	target float64
+	caps   []float64
+	fired  bool
+}
+
+func (r *recordingPolicy) Name() string { return "recording" }
+
+func (r *recordingPolicy) Target(from, to int, obs Observed) map[string]float64 {
+	r.caps = append(r.caps, obs.Capacity["DB"])
+	if !r.fired {
+		r.fired = true
+		return map[string]float64{"DB": r.target}
+	}
+	return nil
+}
+
+// TestActuationLag pins the provisioning-lag semantics: a decision made at
+// window 0 with LagWindows=2 is invisible to the policy until window 3
+// (decisions are taken before the same window's actuation).
+func TestActuationLag(t *testing.T) {
+	env := toyEnv([]int{500, 500, 500, 500, 500, 500})
+	env.Components = []string{"DB"}
+	cfg := testConfig()
+	cfg.IntervalWindows = 1
+	cfg.LagWindows = 2
+
+	pol := &recordingPolicy{target: 55}
+	res, err := Run(env, cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := 55 * (1 + cfg.Headroom) / cfg.UtilTarget
+	want := []float64{60, 60, 60, scaled, scaled, scaled}
+	if len(pol.caps) != len(want) {
+		t.Fatalf("policy called %d times, want %d", len(pol.caps), len(want))
+	}
+	for i, c := range pol.caps {
+		if math.Abs(c-want[i]) > 1e-9 {
+			t.Fatalf("capacity at decision %d = %g, want %g (full trace %v)", i, c, want[i], pol.caps)
+		}
+	}
+	if res.Ledger.ScaleOps != 1 {
+		t.Fatalf("ScaleOps = %d, want 1", res.Ledger.ScaleOps)
+	}
+}
+
+// TestCrashFaultChargesBoth verifies the fault contract: a crashed window
+// saturates (violation minutes accrue) while the reservation is still
+// charged — faults must not discount the resource ledger.
+func TestCrashFaultChargesBoth(t *testing.T) {
+	counts := make([]int, 12)
+	for i := range counts {
+		counts[i] = 500
+	}
+	clean := toyEnv(counts)
+	base, err := Run(clean, testConfig(), Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := faults.Compile("seed=1;crash:comp=DB,from=4,to=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := clean
+	faulty.Faults = sched
+	res, err := Run(faulty, testConfig(), Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ledger.ViolationWindows < 4 {
+		t.Errorf("crash should violate its 4 windows, got %d", res.Ledger.ViolationWindows)
+	}
+	if res.Ledger.ResourceHours != base.Ledger.ResourceHours {
+		t.Errorf("faults must not change the resource ledger: %g vs %g",
+			res.Ledger.ResourceHours, base.Ledger.ResourceHours)
+	}
+}
+
+// TestObservedDemandCapped verifies saturation blindness: a station driven
+// past its capacity reads as exactly 100% busy, so observed demand equals
+// the effective capacity, never the true arriving demand.
+func TestObservedDemandCapped(t *testing.T) {
+	counts := make([]int, 8)
+	for i := range counts {
+		counts[i] = 4000 // DB true demand ~73 mc > 60 mc capacity
+	}
+	env := toyEnv(counts)
+	res, err := Run(env, testConfig(), Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Demand["DB"] {
+		if math.Abs(d-60) > 1e-9 {
+			t.Fatalf("saturated DB observed at %g mc, want capped at capacity 60", d)
+		}
+	}
+	if res.Ledger.ViolationWindows != 8 {
+		t.Fatalf("all 8 saturated windows should violate, got %d", res.Ledger.ViolationWindows)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	env := toyEnv(twoPeakCounts())
+	env.Faults, _ = faults.Compile("seed=7;throttle:comp=Service,from=20,to=30,factor=0.5")
+	a, err := Run(env, testConfig(), &Reactive{Up: 0.7, Down: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(env, testConfig(), &Reactive{Up: 0.7, Down: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical runs diverged")
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	env := toyEnv(twoPeakCounts())
+	cfg := testConfig()
+	cfg.Metrics = reg
+	res, err := Run(env, cfg, Static{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reg.GaugeVec("deeprest_ctrl_violation_minutes",
+		"SLO violation minutes charged in the last control-loop run.", "policy").
+		With("static").Value()
+	if got != res.Ledger.ViolationMinutes {
+		t.Fatalf("violation-minutes gauge = %g, want %g", got, res.Ledger.ViolationMinutes)
+	}
+	ops := reg.CounterVec("deeprest_ctrl_windows_scored_total",
+		"Windows evaluated by the autoscale control loop.", "policy").
+		With("static").Value()
+	if ops != uint64(res.Ledger.WindowsScored) {
+		t.Fatalf("windows-scored counter = %d, want %d", ops, res.Ledger.WindowsScored)
+	}
+}
+
+func TestPolicyEdgeCases(t *testing.T) {
+	// Proactive holds (returns nothing) past its forecast horizon and on
+	// components it has no forecast for.
+	p := NewProactive("p", map[string][]float64{"DB": {1, 2, 3}})
+	if got := p.Target(4, 8, Observed{}); len(got) != 0 {
+		t.Errorf("past-horizon target = %v, want empty", got)
+	}
+	if got := p.Target(1, 8, Observed{}); got["DB"] != 3 {
+		t.Errorf("clamped-interval peak = %v, want DB:3", got)
+	}
+	// Reactive holds with no observations, or when inside the band.
+	r := &Reactive{Up: 0.7, Down: 0.3}
+	if got := r.Target(0, 4, Observed{}); len(got) != 0 {
+		t.Errorf("reactive with no history = %v, want empty", got)
+	}
+	obsd := Observed{
+		Demand:   map[string][]float64{"DB": {30, 30, 30, 30}},
+		Capacity: map[string]float64{"DB": 60},
+	}
+	if got := r.Target(4, 8, obsd); len(got) != 0 {
+		t.Errorf("in-band utilization should hold, got %v", got)
+	}
+	obsd.Capacity["DB"] = 0
+	if got := r.Target(4, 8, obsd); len(got) != 0 {
+		t.Errorf("zero capacity should hold, got %v", got)
+	}
+}
+
+func TestDemandForecast(t *testing.T) {
+	est := map[app.Pair]estimator.Estimate{
+		{Component: "DB", Resource: app.CPU}:      {Exp: []float64{1, 2}, Up: []float64{3, 4}},
+		{Component: "Service", Resource: app.CPU}: {Exp: []float64{5, 6}, Up: []float64{9}}, // ragged CI
+		{Component: "DB", Resource: app.Memory}:   {Exp: []float64{99}, Up: []float64{99}},
+	}
+	fc := DemandForecast(est, []string{"DB", "Service", "Gateway"})
+	if !reflect.DeepEqual(fc["DB"], []float64{3, 4}) {
+		t.Errorf("DB forecast = %v, want upper CI", fc["DB"])
+	}
+	if !reflect.DeepEqual(fc["Service"], []float64{5, 6}) {
+		t.Errorf("Service forecast = %v, want Exp fallback on ragged CI", fc["Service"])
+	}
+	if _, ok := fc["Gateway"]; ok {
+		t.Error("Gateway has no CPU estimate and should be absent")
+	}
+}

@@ -107,7 +107,7 @@ var registry = []driver{
 	{"fig21", "PCA of expert GRU parameters (Figure 21)", (*Runner).Fig21},
 	{"fig22", "learned API-aware masks (Figure 22)", (*Runner).Fig22},
 	{"gensweep", "extension: estimation accuracy across generated topology sizes", (*Runner).GenSweep},
-	{"autoscale", "extension: schedule-based autoscaling from estimates (paper §2)", (*Runner).ExtAutoscale},
+	{"autoscale", "extension: schedule-based autoscaling from estimates, offline plans + closed control loop (paper §2)", (*Runner).ExtAutoscale},
 	{"shallow", "extension: shallow model selection vs DeepRest (paper §3)", (*Runner).ExtShallow},
 	{"drift", "extension: concept-drift adaptation via continued training (paper §6)", (*Runner).ExtDrift},
 }

@@ -182,6 +182,31 @@ func TestReproductionShape(t *testing.T) {
 		t.Errorf("autoscale: DeepRest waste %.1f%% not below simple scaling %.1f%%",
 			ma["waste_deeprest"], ma["waste_simple"])
 	}
+	// Closed control loop (clean day): the estimate-driven proactive
+	// policy must beat the SLO-tuned reactive baseline on both ledgers —
+	// strictly fewer violation minutes at equal-or-lower core-hours —
+	// and run cheaper than the static deployment without violating more.
+	if ma["ctrl_proactive_violation_min"] >= ma["ctrl_reactive_violation_min"] {
+		t.Errorf("ctrl: proactive violation minutes %.1f not strictly below reactive %.1f",
+			ma["ctrl_proactive_violation_min"], ma["ctrl_reactive_violation_min"])
+	}
+	if ma["ctrl_proactive_core_hours"] > ma["ctrl_reactive_core_hours"] {
+		t.Errorf("ctrl: proactive core-hours %.3f above reactive %.3f",
+			ma["ctrl_proactive_core_hours"], ma["ctrl_reactive_core_hours"])
+	}
+	if ma["ctrl_proactive_core_hours"] >= ma["ctrl_static_core_hours"] {
+		t.Errorf("ctrl: proactive core-hours %.3f not below static deployment %.3f",
+			ma["ctrl_proactive_core_hours"], ma["ctrl_static_core_hours"])
+	}
+	if ma["ctrl_proactive_violation_min"] > ma["ctrl_static_violation_min"] {
+		t.Errorf("ctrl: proactive violation minutes %.1f above static %.1f",
+			ma["ctrl_proactive_violation_min"], ma["ctrl_static_violation_min"])
+	}
+	// Under faults the ranking must not invert: foresight still wins.
+	if ma["ctrl_crash_proactive_violation_min"] >= ma["ctrl_crash_reactive_violation_min"] {
+		t.Errorf("ctrl: crash scenario: proactive %.1f min not below reactive %.1f min",
+			ma["ctrl_crash_proactive_violation_min"], ma["ctrl_crash_reactive_violation_min"])
+	}
 
 	// Topology-size sweep: the focus-expert error stays bounded as the
 	// generated topology grows (quick scale sweeps 10 and 40 components).

@@ -11,6 +11,7 @@
 //	POST /v1/sanity           Mode 2: sanity-check a served period
 //	GET  /v1/influence        learned API→resource dependencies for one pair
 //	GET  /v1/model            download the serialized active model
+//	GET  /v1/autoscale/plan   read-only scaling schedule from recent telemetry
 //
 // Continuous learning (internal/pipeline):
 //
@@ -297,6 +298,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/models/{version}/activate", s.handleActivate)
 	mux.HandleFunc("GET /v1/quality", s.handleQuality)
+	mux.HandleFunc("GET /v1/autoscale/plan", s.handleAutoscalePlan)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	if s.opts.Metrics != nil {
 		mux.Handle("GET /metrics", s.opts.Metrics.Handler())

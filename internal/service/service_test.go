@@ -146,6 +146,36 @@ func TestServiceEndToEnd(t *testing.T) {
 	if _, err := estimator.Load(rec.Body); err != nil {
 		t.Fatalf("downloaded model unreadable: %v", err)
 	}
+
+	// Read-only autoscale plan over the trailing telemetry: one
+	// contiguous, positive-amount schedule per learned pair, in absolute
+	// window indices.
+	rec = do(t, h, "GET", "/v1/autoscale/plan?windows=48&interval=8&headroom=0.2", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("autoscale plan = %d: %s", rec.Code, rec.Body)
+	}
+	var pr planResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.ToWindow != st.Windows || pr.FromWindow != st.Windows-48 {
+		t.Fatalf("plan range [%d,%d), want trailing 48 of %d", pr.FromWindow, pr.ToWindow, st.Windows)
+	}
+	if pr.IntervalWindows != 8 || pr.Headroom != 0.2 || len(pr.Plans) != 2 {
+		t.Fatalf("plan shape = %+v", pr)
+	}
+	for pair, allocs := range pr.Plans {
+		cursor := pr.FromWindow
+		for _, a := range allocs {
+			if a.FromWindow != cursor || a.ToWindow <= a.FromWindow || a.Amount < 0 {
+				t.Fatalf("%s: bad allocation %+v at cursor %d", pair, a, cursor)
+			}
+			cursor = a.ToWindow
+		}
+		if cursor != pr.ToWindow {
+			t.Fatalf("%s: schedule ends at %d, want %d", pair, cursor, pr.ToWindow)
+		}
+	}
 }
 
 func TestServiceIngestAppend(t *testing.T) {
@@ -186,6 +216,18 @@ func TestServiceErrorPaths(t *testing.T) {
 	}
 	if rec := do(t, h, "GET", "/v1/influence", nil); rec.Code != http.StatusBadRequest {
 		t.Errorf("influence without pair = %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/autoscale/plan", nil); rec.Code != http.StatusPreconditionFailed {
+		t.Errorf("plan before learning = %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/autoscale/plan?windows=nope", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("plan with bad windows = %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/autoscale/plan?interval=-3", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("plan with bad interval = %d", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/autoscale/plan?headroom=-1", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("plan with bad headroom = %d", rec.Code)
 	}
 	if rec := do(t, h, "GET", "/v1/model", nil); rec.Code != http.StatusPreconditionFailed {
 		t.Errorf("model before learn = %d", rec.Code)
